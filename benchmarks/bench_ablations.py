@@ -1,0 +1,124 @@
+"""Ablations of BOAT's design knobs (beyond the paper's figures).
+
+DESIGN.md calls out several choices whose effect the paper leaves
+qualitative; these benches quantify them:
+
+* **sample size** — a larger D' stabilizes the bootstrap (fewer frontier
+  nodes, fewer rebuilds) at higher sampling-phase cost;
+* **bootstrap repetitions** — more trees widen intervals slightly but
+  protect against optimistic criteria;
+* **bucket budget** — the Lemma 3.1 check's resolution: tiny budgets
+  cause false-alarm rebuilds, large ones only cost memory;
+* **interval slack** — adaptive plateau widening trades held-tuple
+  memory against rebuild risk.
+
+Every configuration must still produce the exact reference tree — the
+ablations move cost, never correctness (asserted).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import pytest
+
+from repro.bench import RunResult, WorkloadSpec, default_configs, scaled
+from repro.core import boat_build
+from repro.splits import ImpuritySplitSelection
+from repro.tree import build_reference_tree, trees_equal
+
+N_TUPLES = scaled(40_000)
+SPEC = WorkloadSpec(function_id=7, n_tuples=N_TUPLES, noise=0.1, seed=77)
+
+
+def _ablate(workloads, collector, benchmark, experiment, x_label, variants):
+    table = workloads.table(SPEC)
+    split, base, _, _ = default_configs(N_TUPLES)
+    method = ImpuritySplitSelection("gini")
+    reference = build_reference_tree(table.read_all(), table.schema, method, split)
+    holder = {}
+
+    def once():
+        rows = []
+        for x, overrides in variants:
+            config = dataclasses.replace(base, **overrides)
+            start = time.perf_counter()
+            result = boat_build(table, method, split, config)
+            elapsed = time.perf_counter() - start
+            assert trees_equal(result.tree, reference), f"{experiment} x={x}"
+            finalize = result.report.finalize
+            rows.append(
+                (
+                    x,
+                    RunResult(
+                        algorithm="BOAT",
+                        workload=f"{SPEC.describe()} {x_label}={x}",
+                        n_tuples=N_TUPLES,
+                        wall_seconds=elapsed,
+                        scans=2,
+                        tuples_read=0,
+                        tree_nodes=result.tree.n_nodes,
+                        tree_leaves=result.tree.n_leaves,
+                        extra={
+                            "rebuilds": float(finalize.rebuilds if finalize else 0),
+                            "held": float(
+                                finalize.held_candidates if finalize else 0
+                            ),
+                        },
+                    ),
+                )
+            )
+        holder["rows"] = rows
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    print(f"\n== Ablation: {experiment} (F7, n={N_TUPLES}) ==")
+    print(f"{x_label:>12} {'seconds':>8} {'rebuilds':>9} {'held':>8}")
+    for x, row in holder["rows"]:
+        print(
+            f"{x!s:>12} {row.wall_seconds:>8.2f} "
+            f"{row.extra['rebuilds']:>9.0f} {row.extra['held']:>8.0f}"
+        )
+    for x, row in holder["rows"]:
+        collector.add(f"Ablation: {experiment}", x_label, x, row)
+    return holder["rows"]
+
+
+def test_ablation_sample_size(benchmark, workloads, collector):
+    variants = [
+        (n, {"sample_size": n, "bootstrap_subsample": max(n // 4, 500)})
+        for n in (N_TUPLES // 40, N_TUPLES // 10, N_TUPLES // 4)
+    ]
+    _ablate(
+        workloads, collector, benchmark, "sample size", "sample", variants
+    )
+
+
+def test_ablation_bootstrap_repetitions(benchmark, workloads, collector):
+    variants = [(b, {"bootstrap_repetitions": b}) for b in (5, 20, 40)]
+    _ablate(
+        workloads, collector, benchmark, "bootstrap repetitions", "b", variants
+    )
+
+
+def test_ablation_bucket_budget(benchmark, workloads, collector):
+    variants = [(budget, {"bucket_budget": budget}) for budget in (4, 16, 64, 256)]
+    rows = _ablate(
+        workloads, collector, benchmark, "bucket budget", "buckets", variants
+    )
+    # Coarse buckets must never rebuild *less* than fine ones.
+    coarse = rows[0][1].extra["rebuilds"]
+    fine = rows[-1][1].extra["rebuilds"]
+    assert coarse >= fine
+
+
+def test_ablation_interval_slack(benchmark, workloads, collector):
+    variants = [
+        (slack, {"interval_impurity_slack": slack}) for slack in (0.0, 0.05, 0.2)
+    ]
+    rows = _ablate(
+        workloads, collector, benchmark, "interval impurity slack", "slack", variants
+    )
+    # More slack -> more held tuples (monotone by construction).
+    held = [row.extra["held"] for _, row in rows]
+    assert held[0] <= held[-1]

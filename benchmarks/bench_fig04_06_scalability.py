@@ -1,0 +1,105 @@
+"""Figures 4–6: overall construction time vs training database size.
+
+Paper setup: Functions 1, 6 and 7 at 10 % noise, 2–10 M tuples, BOAT vs
+RF-Hybrid (3 M-entry AVC buffer) vs RF-Vertical (1.8 M), in-memory switch
+at 1.5 M tuples.  Here sizes are scaled down ~50x (multiply back up with
+``REPRO_BENCH_SCALE``); buffer and switch sizes keep the paper's
+proportions via :func:`repro.bench.default_configs`.
+
+Expected shape (asserted): BOAT completes in exactly two database scans
+at every size while the level-wise algorithms pay one or more scans per
+level, and all three algorithms emit the identical tree.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    WorkloadSpec,
+    default_configs,
+    run_boat,
+    run_rf_hybrid,
+    run_rf_vertical,
+    scaled,
+)
+from repro.splits import ImpuritySplitSelection
+
+SIZES = [scaled(n) for n in (20_000, 40_000, 80_000)]
+ALGORITHMS = {
+    "BOAT": run_boat,
+    "RF-Hybrid": run_rf_hybrid,
+    "RF-Vertical": run_rf_vertical,
+}
+FIGS = {4: 1, 5: 6, 6: 7}
+
+
+def _run(fig, function_id, algorithm, n, workloads, collector, benchmark):
+    spec = WorkloadSpec(function_id=function_id, n_tuples=n, noise=0.1, seed=fig)
+    table = workloads.table(spec)
+    split, boat, hybrid, vertical = default_configs(n)
+    method = ImpuritySplitSelection("gini")
+    config = {"BOAT": boat, "RF-Hybrid": hybrid, "RF-Vertical": vertical}[algorithm]
+    runner = ALGORITHMS[algorithm]
+    holder = {}
+
+    def once():
+        holder["result"] = runner(spec, table, method, split, config)
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    result = holder["result"]
+    collector.add(
+        f"Figure {fig}: overall time, F{function_id} (noise 10%)",
+        "tuples",
+        n,
+        result,
+    )
+    if algorithm == "BOAT":
+        assert result.scans == 2, "BOAT must finish in two scans"
+    else:
+        assert result.scans >= 3, "level-wise algorithms scan per level"
+    return result
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+def test_fig4_f1(benchmark, algorithm, n, workloads, collector):
+    _run(4, 1, algorithm, n, workloads, collector, benchmark)
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+def test_fig5_f6(benchmark, algorithm, n, workloads, collector):
+    _run(5, 6, algorithm, n, workloads, collector, benchmark)
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+def test_fig6_f7(benchmark, algorithm, n, workloads, collector):
+    _run(6, 7, algorithm, n, workloads, collector, benchmark)
+
+
+@pytest.mark.parametrize("fig,function_id", sorted(FIGS.items()))
+def test_identical_trees_across_algorithms(
+    benchmark, fig, function_id, workloads
+):
+    """All three algorithms construct exactly the same tree (paper claim)."""
+    from repro.config import SplitConfig
+    from repro.core import boat_build
+    from repro.rainforest import build_rf_hybrid, build_rf_vertical
+    from repro.tree import trees_equal
+
+    n = SIZES[0]
+    spec = WorkloadSpec(function_id=function_id, n_tuples=n, noise=0.1, seed=fig)
+    table = workloads.table(spec)
+    split, boat_cfg, hybrid_cfg, vertical_cfg = default_configs(n)
+    method = ImpuritySplitSelection("gini")
+
+    def once():
+        boat = boat_build(table, method, split, boat_cfg).tree
+        hybrid = build_rf_hybrid(table, method, split, hybrid_cfg).tree
+        vertical = build_rf_vertical(table, method, split, vertical_cfg).tree
+        assert trees_equal(boat, hybrid)
+        assert trees_equal(hybrid, vertical)
+
+    benchmark.pedantic(once, rounds=1, iterations=1)

@@ -1,0 +1,93 @@
+"""Figures 7–9: construction time vs label-noise level.
+
+Paper setup: 5 M tuples (scaled here), noise swept 2 %–10 %, Functions 1,
+6 and 7.  Expected shape (asserted): BOAT's running time is essentially
+flat in the noise level — noise only perturbs deep splits, where the
+in-memory switch has already taken over — and BOAT keeps its two-scan
+guarantee at every noise level.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    WorkloadSpec,
+    default_configs,
+    run_boat,
+    run_rf_hybrid,
+    run_rf_vertical,
+    scaled,
+)
+from repro.splits import ImpuritySplitSelection
+
+N_TUPLES = scaled(50_000)
+NOISE_LEVELS = [0.02, 0.06, 0.10]
+ALGORITHMS = {
+    "BOAT": run_boat,
+    "RF-Hybrid": run_rf_hybrid,
+    "RF-Vertical": run_rf_vertical,
+}
+FIGS = {7: 1, 8: 6, 9: 7}
+
+
+def _run(fig, function_id, algorithm, noise, workloads, collector, benchmark):
+    spec = WorkloadSpec(
+        function_id=function_id, n_tuples=N_TUPLES, noise=noise, seed=fig
+    )
+    table = workloads.table(spec)
+    split, boat, hybrid, vertical = default_configs(N_TUPLES)
+    method = ImpuritySplitSelection("gini")
+    config = {"BOAT": boat, "RF-Hybrid": hybrid, "RF-Vertical": vertical}[algorithm]
+    holder = {}
+
+    def once():
+        holder["result"] = ALGORITHMS[algorithm](spec, table, method, split, config)
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    result = holder["result"]
+    collector.add(
+        f"Figure {fig}: time vs noise, F{function_id} (n={N_TUPLES})",
+        "noise %",
+        int(noise * 100),
+        result,
+    )
+    if algorithm == "BOAT":
+        assert result.scans == 2
+
+
+@pytest.mark.parametrize("noise", NOISE_LEVELS)
+@pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+def test_fig7_f1(benchmark, algorithm, noise, workloads, collector):
+    _run(7, 1, algorithm, noise, workloads, collector, benchmark)
+
+
+@pytest.mark.parametrize("noise", NOISE_LEVELS)
+@pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+def test_fig8_f6(benchmark, algorithm, noise, workloads, collector):
+    _run(8, 6, algorithm, noise, workloads, collector, benchmark)
+
+
+@pytest.mark.parametrize("noise", NOISE_LEVELS)
+@pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+def test_fig9_f7(benchmark, algorithm, noise, workloads, collector):
+    _run(9, 7, algorithm, noise, workloads, collector, benchmark)
+
+
+def test_boat_flat_in_noise(benchmark, workloads):
+    """The paper's observation: BOAT's cost does not depend on noise."""
+    from repro.bench import run_boat as runner
+
+    method = ImpuritySplitSelection("gini")
+    times = []
+
+    def once():
+        for noise in (0.02, 0.10):
+            spec = WorkloadSpec(function_id=1, n_tuples=N_TUPLES, noise=noise, seed=7)
+            table = workloads.table(spec)
+            split, boat, _, _ = default_configs(N_TUPLES)
+            times.append(runner(spec, table, method, split, boat).wall_seconds)
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    low, high = times
+    assert high < 2.5 * low, "BOAT time should be roughly flat in noise"

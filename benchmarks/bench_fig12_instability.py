@@ -1,0 +1,135 @@
+"""Figure 12: instability of impurity-based split selection.
+
+The paper's scenario: a numerical attribute whose impurity profile has
+two near-equal minima far apart (attribute values ~20 and ~60 of 0–80).
+Tiny perturbations of the training set flip the global minimum between
+them, so bootstrap split points are *bimodal*, the confidence interval
+spans both modes, and tree growth below the node effectively restarts
+(bootstrap trees disagree about the children).
+
+Regenerated series: the bootstrap split-point distribution's mass around
+each mode, the resulting interval width and held fraction — and the
+assertion that BOAT still produces exactly the reference tree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import RunResult, scaled
+from repro.config import BoatConfig, SplitConfig
+from repro.core import boat_build, sampling_phase
+from repro.splits import ImpuritySplitSelection
+from repro.storage import CLASS_COLUMN, Attribute, MemoryTable, Schema
+from repro.tree import build_reference_tree, trees_equal
+
+N_TUPLES = scaled(40_000)
+
+
+def bimodal_dataset(n: int, seed: int = 0) -> tuple[Schema, np.ndarray]:
+    """Uniform x in [0, 80]; class 1 exactly inside the band (20, 60].
+
+    Splits at 20 and at 60 have identical expected impurity, so the
+    empirical argmin is a coin flip — the paper's Figure 12 situation.
+    """
+    schema = Schema([Attribute.numerical("x")], n_classes=2)
+    rng = np.random.default_rng(seed)
+    data = schema.empty(n)
+    data["x"] = rng.uniform(0.0, 80.0, n)
+    data[CLASS_COLUMN] = ((data["x"] > 20.0) & (data["x"] <= 60.0)).astype(np.int32)
+    return schema, data
+
+
+def test_fig12_bootstrap_split_points_are_bimodal(benchmark, collector):
+    schema, data = bimodal_dataset(N_TUPLES, seed=12)
+    method = ImpuritySplitSelection("gini")
+    split_config = SplitConfig(min_samples_split=100, min_samples_leaf=25, max_depth=4)
+    config = BoatConfig(
+        sample_size=max(N_TUPLES // 10, 2000),
+        bootstrap_repetitions=40,
+        # Subsamples smaller than the sample (the paper's 50K-of-200K):
+        # bootstrap noise must dominate the base sample's own bias between
+        # the two minima for the bimodality to show.
+        bootstrap_subsample=max(N_TUPLES // 80, 500),
+        seed=5,
+    )
+    holder = {}
+
+    def once():
+        rng = np.random.default_rng(config.seed)
+        idx = rng.choice(len(data), config.sample_size, replace=False)
+        holder["result"] = sampling_phase(
+            data[idx], schema, method, split_config, config, len(data), rng
+        )
+        # Collect the roots' bootstrap split points directly.
+        from repro.storage import bootstrap_resample
+        from repro.tree import build_reference_tree as refbuild
+
+        rng2 = np.random.default_rng(99)
+        points = []
+        subsample = config.bootstrap_subsample or len(idx)
+        for _ in range(40):
+            resample = bootstrap_resample(data[idx], subsample, rng2)
+            tree = refbuild(resample, schema, method, split_config)
+            if not tree.root.is_leaf:
+                points.append(tree.root.split.value)
+        holder["points"] = np.array(points)
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    points = holder["points"]
+    near_low = np.sum(np.abs(points - 20.0) < 5.0)
+    near_high = np.sum(np.abs(points - 60.0) < 5.0)
+    print(
+        f"\nFigure 12: {len(points)} bootstrap split points -> "
+        f"{near_low} near 20, {near_high} near 60 "
+        f"(bimodal fraction {(near_low + near_high) / len(points):.0%})"
+    )
+    assert near_low + near_high >= 0.9 * len(points)
+    assert near_low >= 4 and near_high >= 4, "both modes must attract mass"
+    criterion = holder["result"].root.criterion
+    assert criterion is not None
+    width = criterion.high - criterion.low
+    print(f"coarse interval [{criterion.low:.2f}, {criterion.high:.2f}] width {width:.2f}")
+    assert width > 30.0, "the interval must span both minima"
+
+
+def test_fig12_boat_remains_exact_under_instability(benchmark, collector):
+    schema, data = bimodal_dataset(N_TUPLES, seed=13)
+    method = ImpuritySplitSelection("gini")
+    split_config = SplitConfig(min_samples_split=100, min_samples_leaf=25, max_depth=4)
+    config = BoatConfig(
+        sample_size=max(N_TUPLES // 10, 2000), bootstrap_repetitions=20, seed=7
+    )
+    table = MemoryTable(schema, data)
+    holder = {}
+
+    def once():
+        holder["boat"] = boat_build(table, method, split_config, config)
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    result = holder["boat"]
+    reference = build_reference_tree(data, schema, method, split_config)
+    assert trees_equal(result.tree, reference)
+    held = result.report.finalize.held_candidates if result.report.finalize else 0
+    print(
+        f"\nFigure 12: BOAT exact under instability; held {held} tuples "
+        f"({held / N_TUPLES:.0%} of the data), "
+        f"rebuilds={result.report.finalize.rebuilds if result.report.finalize else 0}"
+    )
+    collector.add(
+        "Figure 12: instability scenario (band dataset)",
+        "n",
+        N_TUPLES,
+        RunResult(
+            algorithm="BOAT",
+            workload=f"band n={N_TUPLES}",
+            n_tuples=N_TUPLES,
+            wall_seconds=result.report.total_seconds,
+            scans=0,
+            tuples_read=0,
+            tree_nodes=result.tree.n_nodes,
+            tree_leaves=result.tree.n_leaves,
+            extra={"held_fraction": held / N_TUPLES},
+        ),
+    )

@@ -1,0 +1,212 @@
+"""Figures 13–15: decision tree maintenance in a dynamic environment.
+
+* **Figure 13** — chunks arrive from the *same* distribution (Function 1,
+  10 % noise).  Series: cumulative time to incorporate each chunk with
+  the incremental BOAT update vs. rebuilding from scratch (the paper's
+  conservative comparison assumes the original dataset has size zero, so
+  the rebuild baseline constructs a tree over the accumulated chunks
+  only).  Expected shape (asserted): the update is significantly cheaper
+  and its per-chunk cost does not grow like the rebuild's.
+* **Figure 14** — the distribution changes (modified Function 1: the old
+  old-age boundary moves from 60 to 70).  Parts of the tree must be
+  rebuilt, yet the incremental algorithm still wins by roughly the
+  paper's factor of two.
+* **Figure 15** — arrival chunk size 1x vs 2x: the cumulative-time
+  curves, plotted against cumulative tuples, are nearly identical.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import RunResult, scaled, simulated_io_mbps
+from repro.config import BoatConfig, SplitConfig
+from repro.core import IncrementalBoat, boat_build
+from repro.datagen import AgrawalConfig, AgrawalGenerator, ChunkStream, drifted_function_1
+from repro.splits import ImpuritySplitSelection
+from repro.storage import DiskTable, IOStats
+from repro.tree import build_reference_tree, tree_diff
+
+CHUNK = scaled(20_000)
+N_CHUNKS = 5
+SPLIT = SplitConfig(min_samples_split=400, min_samples_leaf=100, max_depth=10)
+
+
+def boat_config() -> BoatConfig:
+    return BoatConfig(
+        sample_size=max(CHUNK // 4, 2000),
+        bootstrap_repetitions=12,
+        bootstrap_subsample=max(CHUNK // 8, 1000),
+        seed=13,
+    )
+
+
+def _rebuild_time(chunks, schema, method, tmp_path, tag) -> float:
+    """Time a from-scratch BOAT build over the accumulated chunks."""
+    io = IOStats()
+    table = DiskTable.create(tmp_path / f"rebuild_{tag}.tbl", schema, io)
+    for chunk in chunks:
+        table.append(chunk)
+    table.set_simulated_throughput(simulated_io_mbps())
+    start = time.perf_counter()
+    boat_build(table, method, SPLIT, boat_config())
+    elapsed = time.perf_counter() - start
+    table.delete_file()
+    return elapsed
+
+
+def _result(algorithm, tag, chunk_index, seconds) -> RunResult:
+    return RunResult(
+        algorithm=algorithm,
+        workload=f"{tag} chunk={chunk_index}",
+        n_tuples=(chunk_index + 1) * CHUNK,
+        wall_seconds=seconds,
+        scans=0,
+        tuples_read=0,
+        tree_nodes=0,
+        tree_leaves=0,
+    )
+
+
+def _run_dynamic(stream, tag, tmp_path, collector, check_against=None):
+    """Shared Figure 13/14 engine: incremental vs cumulative rebuilds."""
+    method = ImpuritySplitSelection("gini")
+    schema = AgrawalGenerator(AgrawalConfig(function_id=1)).schema
+    chunks = list(stream.chunks(N_CHUNKS))
+    inc = IncrementalBoat.from_chunk(chunks[0], schema, method, SPLIT, boat_config())
+    cumulative_update = inc.reports[-1].wall_seconds
+    cumulative_rebuild = _rebuild_time(chunks[:1], schema, method, tmp_path, f"{tag}0")
+    collector.add(tag, "chunks", 1, _result("BOAT-update (cumulative)", tag, 0, cumulative_update))
+    collector.add(tag, "chunks", 1, _result("Rebuild (cumulative)", tag, 0, cumulative_rebuild))
+    update_times = [cumulative_update]
+    for i in range(1, N_CHUNKS):
+        report = inc.insert(chunks[i])
+        cumulative_update += report.wall_seconds
+        update_times.append(report.wall_seconds)
+        cumulative_rebuild += _rebuild_time(
+            chunks[: i + 1], schema, method, tmp_path, f"{tag}{i}"
+        )
+        collector.add(
+            tag, "chunks", i + 1,
+            _result("BOAT-update (cumulative)", tag, i, cumulative_update),
+        )
+        collector.add(
+            tag, "chunks", i + 1,
+            _result("Rebuild (cumulative)", tag, i, cumulative_rebuild),
+        )
+    if check_against is not None:
+        reference = build_reference_tree(
+            np.concatenate(chunks), schema, method, SPLIT
+        )
+        assert tree_diff(inc.tree, reference) is None
+    inc.close()
+    return cumulative_update, cumulative_rebuild, update_times, inc
+
+
+def test_fig13_same_distribution(benchmark, collector, tmp_path):
+    stream = ChunkStream(AgrawalConfig(function_id=1, noise=0.1), CHUNK, seed=130)
+    holder = {}
+
+    def once():
+        holder["out"] = _run_dynamic(
+            stream,
+            "Figure 13: dynamic updates, same distribution",
+            tmp_path,
+            collector,
+            check_against=True,
+        )
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    cumulative_update, cumulative_rebuild, update_times, _ = holder["out"]
+    assert cumulative_update < cumulative_rebuild, "updates must beat rebuilds"
+    # Per-chunk update cost must not grow like the rebuild cost does:
+    # the last update should stay within a small factor of the second.
+    assert update_times[-1] < 4 * max(update_times[1], 1e-3)
+
+
+def test_fig14_distribution_change(benchmark, collector, tmp_path):
+    from repro.datagen import DriftSpec
+
+    drifted = AgrawalConfig(
+        function_id=1, noise=0.1, label_fn=drifted_function_1(70.0)
+    )
+    stream = ChunkStream(
+        AgrawalConfig(function_id=1, noise=0.1),
+        CHUNK,
+        seed=140,
+        drift=DriftSpec(after_chunk=2, drifted_config=drifted),
+    )
+    holder = {}
+
+    def once():
+        holder["out"] = _run_dynamic(
+            stream,
+            "Figure 14: dynamic updates under distribution change",
+            tmp_path,
+            collector,
+            check_against=True,
+        )
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    cumulative_update, cumulative_rebuild, _, inc = holder["out"]
+    # The paper: incremental still wins by ~2x even though subtrees get
+    # rebuilt; we assert it simply wins.
+    assert cumulative_update < cumulative_rebuild
+    print(
+        f"\nFigure 14: incremental {cumulative_update:.2f}s vs rebuild "
+        f"{cumulative_rebuild:.2f}s "
+        f"({cumulative_rebuild / cumulative_update:.2f}x)"
+    )
+    drift_reports = [r for r in inc.reports if r.drift]
+    print(f"drift reports on {len(drift_reports)} update(s):")
+    for report in drift_reports[:3]:
+        for line in report.drift[:2]:
+            print("   ", line)
+
+
+def test_fig15_chunk_size_invariance(benchmark, collector):
+    """Cumulative update time vs cumulative tuples for 1x vs 2x chunks."""
+    method = ImpuritySplitSelection("gini")
+    schema = AgrawalGenerator(AgrawalConfig(function_id=1)).schema
+    total = CHUNK * 4
+    holder = {}
+
+    def once():
+        curves = {}
+        for label, size in (("chunk=1x", CHUNK // 2), ("chunk=2x", CHUNK)):
+            stream = ChunkStream(
+                AgrawalConfig(function_id=1, noise=0.1), size, seed=150
+            )
+            chunks = list(stream.chunks(total // size))
+            inc = IncrementalBoat.from_chunk(
+                chunks[0], schema, method, SPLIT, boat_config()
+            )
+            cumulative = inc.reports[-1].wall_seconds
+            points = [(size, cumulative)]
+            for chunk in chunks[1:]:
+                cumulative += inc.insert(chunk).wall_seconds
+                points.append((points[-1][0] + size, cumulative))
+            curves[label] = points
+            inc.close()
+        holder["curves"] = curves
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    curves = holder["curves"]
+    for label, points in curves.items():
+        for tuples, seconds in points:
+            if tuples % CHUNK:
+                continue  # report on the common cumulative-tuples grid
+            collector.add(
+                "Figure 15: cumulative update time vs arrival volume",
+                "tuples",
+                tuples,
+                _result(label, "fig15", tuples // CHUNK, seconds),
+            )
+    end_small = curves["chunk=1x"][-1][1]
+    end_large = curves["chunk=2x"][-1][1]
+    ratio = max(end_small, end_large) / max(min(end_small, end_large), 1e-6)
+    print(f"\nFigure 15: total {end_small:.2f}s (1x) vs {end_large:.2f}s (2x), ratio {ratio:.2f}")
+    assert ratio < 2.0, "curves should be nearly identical (paper: overlap)"

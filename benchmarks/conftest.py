@@ -1,0 +1,115 @@
+"""Shared infrastructure for the figure benchmarks.
+
+Every benchmark records :class:`~repro.bench.RunResult` rows into a
+session-wide collector; at the end of the session each experiment's
+series is printed in the paper-figure format (x-axis vs one column per
+algorithm, for both wall-clock seconds and database scans) and appended
+to ``bench_results.jsonl``.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from collections import OrderedDict
+
+import pytest
+
+from repro.bench import (
+    WorkloadSpec,
+    append_results_json,
+    format_series,
+    materialize,
+    results_path,
+    speedup_summary,
+)
+from repro.storage import IOStats
+
+
+class SeriesCollector:
+    """Accumulates per-experiment result rows across parametrized tests."""
+
+    def __init__(self) -> None:
+        self.experiments: "OrderedDict[str, dict]" = OrderedDict()
+
+    def add(self, experiment: str, x_label: str, x_value, result) -> None:
+        entry = self.experiments.setdefault(
+            experiment, {"x_label": x_label, "x_values": [], "results": []}
+        )
+        if x_value not in entry["x_values"]:
+            entry["x_values"].append(x_value)
+        entry["results"].append(result)
+
+    def render(self) -> str:
+        blocks = []
+        for name, entry in self.experiments.items():
+            blocks.append(
+                format_series(
+                    name,
+                    entry["x_label"],
+                    entry["x_values"],
+                    entry["results"],
+                    metric="wall_seconds",
+                )
+            )
+            blocks.append(
+                format_series(
+                    name + " (scans)",
+                    entry["x_label"],
+                    entry["x_values"],
+                    entry["results"],
+                    metric="scans",
+                )
+            )
+            summary = speedup_summary(entry["results"])
+            if summary:
+                blocks.append(summary)
+        return "\n\n".join(blocks)
+
+
+_COLLECTOR = SeriesCollector()
+
+
+@pytest.fixture(scope="session")
+def collector() -> SeriesCollector:
+    return _COLLECTOR
+
+
+class WorkloadCache:
+    """Materializes each workload table once per session."""
+
+    def __init__(self) -> None:
+        self.directory = tempfile.mkdtemp(prefix="repro-bench-session-")
+        self._tables: dict[WorkloadSpec, tuple] = {}
+
+    def table(self, spec: WorkloadSpec):
+        if spec not in self._tables:
+            io = IOStats()
+            table = materialize(spec, self.directory, io)
+            self._tables[spec] = (table, io)
+        table, io = self._tables[spec]
+        io.reset()
+        return table
+
+    def cleanup(self) -> None:
+        shutil.rmtree(self.directory, ignore_errors=True)
+
+
+@pytest.fixture(scope="session")
+def workloads():
+    cache = WorkloadCache()
+    yield cache
+    cache.cleanup()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _COLLECTOR.experiments:
+        return
+    terminalreporter.write_sep("=", "paper figure series")
+    terminalreporter.write_line(_COLLECTOR.render())
+    try:
+        for name, entry in _COLLECTOR.experiments.items():
+            append_results_json(results_path(), name, entry["results"])
+        terminalreporter.write_line(f"\n(series appended to {results_path()})")
+    except OSError:
+        pass

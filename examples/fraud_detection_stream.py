@@ -1,0 +1,98 @@
+"""Incremental tree maintenance for a transaction stream (the §4 scenario).
+
+The paper motivates incremental maintenance with credit-card fraud
+detection: transactions arrive continuously and the classifier must
+reflect the newest fraud patterns without nightly full rebuilds.  This
+example maintains a tree over arriving chunks, expires old data, and —
+when the fraud pattern drifts — shows how BOAT's statistical tests
+pinpoint which part of the tree the drift invalidated (something a plain
+before/after tree diff cannot attribute to drift vs. sampling noise).
+
+Run:  python examples/fraud_detection_stream.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    AgrawalConfig,
+    AgrawalGenerator,
+    BoatConfig,
+    ImpuritySplitSelection,
+    SplitConfig,
+    build_reference_tree,
+    tree_summary,
+    trees_equal,
+)
+from repro.core import IncrementalBoat
+from repro.datagen import drifted_function_1
+
+
+def main() -> None:
+    schema = AgrawalGenerator(AgrawalConfig(function_id=1)).schema
+    method = ImpuritySplitSelection("gini")
+    split_config = SplitConfig(
+        min_samples_split=200, min_samples_leaf=50, max_depth=8
+    )
+    boat_config = BoatConfig(
+        sample_size=4_000, bootstrap_repetitions=10, seed=11
+    )
+
+    # Day 0: bootstrap the detector from the first batch of transactions.
+    legitimate = AgrawalConfig(function_id=1, noise=0.1)
+    day0 = AgrawalGenerator(legitimate, seed=0).generate(20_000)
+    detector = IncrementalBoat.from_chunk(
+        day0, schema, method, split_config, boat_config
+    )
+    history = [day0]
+    print(f"day 0: built {tree_summary(detector.tree)}")
+
+    # Days 1-3: normal traffic streams in; old data expires after 3 days.
+    for day in range(1, 4):
+        chunk = AgrawalGenerator(legitimate, seed=day).generate(10_000)
+        report = detector.insert(chunk)
+        history.append(chunk)
+        if len(history) > 3:
+            expired = history.pop(0)
+            detector.delete(expired)
+        print(
+            f"day {day}: +10k txns in {report.wall_seconds:.2f}s, "
+            f"tree has {detector.tree.n_leaves} leaves, "
+            f"{detector.n_rows} txns live"
+        )
+
+    # Day 4: fraudsters change tactics (the labeling function drifts).
+    drifted = AgrawalConfig(
+        function_id=1, noise=0.1, label_fn=drifted_function_1(70.0)
+    )
+    chunk = AgrawalGenerator(drifted, seed=99).generate(10_000)
+    report = detector.insert(chunk)
+    history.append(chunk)
+    print(f"\nday 4: fraud pattern drifted (+10k txns, {report.wall_seconds:.2f}s)")
+    if report.drift:
+        print("drift detected — statistically significant changes at:")
+        for line in report.drift:
+            print("   ", line)
+    else:
+        print(
+            "drift absorbed inside existing confidence intervals / "
+            "frontier regions (no subtree invalidated)"
+        )
+
+    # The guarantee survives every update: the maintained tree is exactly
+    # what a from-scratch build over the live window would produce.
+    live = np.concatenate(history)
+    reference = build_reference_tree(live, schema, method, split_config)
+    assert trees_equal(detector.tree, reference)
+    print("\nexactness after stream + expiry + drift: verified")
+    holdout = AgrawalGenerator(drifted, seed=123).generate(5_000)
+    print(
+        f"holdout error on drifted traffic: "
+        f"{detector.tree.misclassification_rate(holdout):.3%}"
+    )
+    detector.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""BOAT — Bootstrapped Optimistic Algorithm for Tree construction.
+
+A from-scratch reproduction of *BOAT — Optimistic Decision Tree
+Construction* (Gehrke, Ganti, Ramakrishnan, Loh; SIGMOD 1999): scalable
+decision tree construction in two database scans, with guaranteed-exact
+output and incremental maintenance under insertions and deletions.
+
+Quick start::
+
+    from repro import (
+        AgrawalConfig, AgrawalGenerator, BoatConfig, ImpuritySplitSelection,
+        MemoryTable, SplitConfig, boat_build,
+    )
+
+    gen = AgrawalGenerator(AgrawalConfig(function_id=1), seed=0)
+    table = MemoryTable(gen.schema, gen.generate(100_000))
+    result = boat_build(table, ImpuritySplitSelection("gini"),
+                        SplitConfig(min_samples_split=100),
+                        BoatConfig(sample_size=10_000))
+    print(result.tree.predict(gen.generate(5)))
+"""
+
+from .config import BoatConfig, RainForestConfig, SplitConfig
+from .core import BoatReport, BoatResult, boat_build
+from .datagen import AgrawalConfig, AgrawalGenerator, agrawal_schema
+from .estimator import BoatClassifier, FitReport
+from .exceptions import ReproError
+from .splits import (
+    ImpuritySplitSelection,
+    QuestSplitSelection,
+    available_impurities,
+    get_impurity,
+    get_method,
+)
+from .storage import Attribute, DiskTable, IOStats, MemoryTable, Schema, Table
+from .tree import (
+    DecisionTree,
+    build_reference_tree,
+    render_tree,
+    tree_diff,
+    tree_summary,
+    trees_equal,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AgrawalConfig",
+    "AgrawalGenerator",
+    "Attribute",
+    "BoatClassifier",
+    "BoatConfig",
+    "BoatReport",
+    "BoatResult",
+    "DecisionTree",
+    "DiskTable",
+    "FitReport",
+    "IOStats",
+    "ImpuritySplitSelection",
+    "MemoryTable",
+    "QuestSplitSelection",
+    "RainForestConfig",
+    "ReproError",
+    "Schema",
+    "SplitConfig",
+    "Table",
+    "agrawal_schema",
+    "available_impurities",
+    "boat_build",
+    "build_reference_tree",
+    "get_impurity",
+    "get_method",
+    "render_tree",
+    "tree_diff",
+    "tree_summary",
+    "trees_equal",
+]

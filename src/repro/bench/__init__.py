@@ -1,0 +1,41 @@
+"""Benchmark harness: workload specs, algorithm adapters, series reporting."""
+
+from .harness import (
+    RunResult,
+    WorkloadSpec,
+    bench_scale,
+    default_configs,
+    materialize,
+    run_boat,
+    run_reference,
+    run_rf_hybrid,
+    run_rf_vertical,
+    scaled,
+    simulated_io_mbps,
+)
+from .reporting import (
+    append_results_json,
+    format_series,
+    format_table,
+    results_path,
+    speedup_summary,
+)
+
+__all__ = [
+    "RunResult",
+    "WorkloadSpec",
+    "append_results_json",
+    "bench_scale",
+    "default_configs",
+    "format_series",
+    "format_table",
+    "materialize",
+    "results_path",
+    "run_boat",
+    "run_reference",
+    "run_rf_hybrid",
+    "run_rf_vertical",
+    "scaled",
+    "simulated_io_mbps",
+    "speedup_summary",
+]

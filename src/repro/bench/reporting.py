@@ -1,0 +1,111 @@
+"""Series formatting for benchmark output.
+
+Benchmarks print the same series the paper's figures plot: an x-axis
+(tuples, noise %, extra attributes, chunk index) against one column per
+algorithm.  Everything is plain text so ``pytest -s benchmarks/`` output
+can be pasted straight into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import defaultdict
+from typing import Sequence
+
+from .harness import RunResult
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width text table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence[object],
+    results: Sequence[RunResult],
+    metric: str = "wall_seconds",
+) -> str:
+    """A figure-style series: x-axis vs per-algorithm metric columns.
+
+    ``results`` must contain one row per (algorithm, x value), in x order
+    within each algorithm.
+    """
+    by_algorithm: dict[str, list[RunResult]] = defaultdict(list)
+    for result in results:
+        by_algorithm[result.algorithm].append(result)
+    algorithms = sorted(by_algorithm)
+    headers = [x_label] + [f"{a} ({_metric_label(metric)})" for a in algorithms]
+    rows = []
+    for i, x in enumerate(x_values):
+        row: list[object] = [x]
+        for algorithm in algorithms:
+            series = by_algorithm[algorithm]
+            value = getattr(series[i], metric) if i < len(series) else ""
+            row.append(_fmt(value))
+        rows.append(row)
+    return f"== {title} ==\n" + format_table(headers, rows)
+
+
+def _metric_label(metric: str) -> str:
+    return {
+        "wall_seconds": "s",
+        "scans": "scans",
+        "tuples_read": "tuples read",
+    }.get(metric, metric)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def speedup_summary(results: Sequence[RunResult], baseline: str = "BOAT") -> str:
+    """Average speedup of ``baseline`` over each other algorithm."""
+    by_key: dict[tuple[str, str], RunResult] = {}
+    for result in results:
+        by_key[(result.algorithm, result.workload)] = result
+    others = sorted({a for a, _ in by_key} - {baseline})
+    lines = []
+    for other in others:
+        ratios = []
+        scan_ratios = []
+        for (algorithm, workload), result in by_key.items():
+            if algorithm != baseline:
+                continue
+            competitor = by_key.get((other, workload))
+            if competitor is None or result.wall_seconds == 0:
+                continue
+            ratios.append(competitor.wall_seconds / result.wall_seconds)
+            if result.scans:
+                scan_ratios.append(competitor.scans / result.scans)
+        if ratios:
+            avg = sum(ratios) / len(ratios)
+            scan_avg = sum(scan_ratios) / len(scan_ratios) if scan_ratios else 0
+            lines.append(
+                f"{baseline} vs {other}: {avg:.2f}x wall-clock, "
+                f"{scan_avg:.2f}x scans (avg over {len(ratios)} workloads)"
+            )
+    return "\n".join(lines)
+
+
+def append_results_json(path: str | os.PathLike, title: str, results: Sequence[RunResult]) -> None:
+    """Append a result block to a JSON-lines file for later aggregation."""
+    record = {"experiment": title, "rows": [r.as_row() for r in results]}
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record) + "\n")
+
+
+def results_path() -> str:
+    """Where benchmark runs log their series (repo-root ``bench_results.jsonl``)."""
+    return os.environ.get("REPRO_BENCH_RESULTS", "bench_results.jsonl")

@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``generate`` — write a synthetic Agrawal training table.
+* ``build`` — construct a tree with BOAT from an on-disk table.
+* ``evaluate`` — misclassification rate of a saved tree on a table.
+* ``show`` — render a saved tree (ASCII or Graphviz DOT).
+
+The CLI is a thin veneer over the library; every command prints the
+I/O accounting so the two-scan story stays visible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .config import BoatConfig, SplitConfig
+from .core import boat_build
+from .datagen import AgrawalConfig, AgrawalGenerator
+from .exceptions import ReproError
+from .splits import ImpuritySplitSelection, QuestSplitSelection
+from .storage import DiskTable, IOStats
+from .tree import render_tree, tree_from_json, tree_summary, tree_to_dot, tree_to_json
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    config = AgrawalConfig(
+        function_id=args.function, noise=args.noise, extra_numeric=args.extra
+    )
+    generator = AgrawalGenerator(config, seed=args.seed)
+    table = DiskTable.create(args.out, generator.schema)
+    generator.fill_table(table, args.n)
+    print(
+        f"wrote {args.n} tuples (function {args.function}, noise "
+        f"{args.noise:.0%}, {args.extra} extra attrs) to {args.out}"
+    )
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    io = IOStats()
+    table = DiskTable.open(args.table, io)
+    split_config = SplitConfig(
+        min_samples_split=args.min_split,
+        min_samples_leaf=args.min_leaf,
+        max_depth=args.max_depth,
+    )
+    boat_config = BoatConfig(
+        sample_size=args.sample_size,
+        bootstrap_repetitions=args.bootstraps,
+        seed=args.seed,
+    )
+    if args.method == "quest":
+        from .core import quest_boat_build
+
+        result = quest_boat_build(
+            table, QuestSplitSelection(), split_config, boat_config
+        )
+        tree = result.tree
+    else:
+        result = boat_build(
+            table, ImpuritySplitSelection(args.method), split_config, boat_config
+        )
+        tree = result.tree
+    with open(args.out, "w", encoding="utf-8") as fh:
+        fh.write(tree_to_json(tree, indent=2))
+    print(tree_summary(tree))
+    print(f"I/O: {io}")
+    print(f"tree written to {args.out}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    with open(args.tree, encoding="utf-8") as fh:
+        tree = tree_from_json(fh.read())
+    io = IOStats()
+    table = DiskTable.open(args.table, io)
+    if table.schema != tree.schema:
+        print("error: table schema does not match the tree's schema", file=sys.stderr)
+        return 2
+    errors = 0
+    total = 0
+    from .storage import CLASS_COLUMN
+
+    for batch in table.scan():
+        predicted = tree.predict(batch)
+        errors += int((predicted != batch[CLASS_COLUMN]).sum())
+        total += len(batch)
+    rate = errors / total if total else 0.0
+    print(f"misclassification rate: {rate:.4%} ({errors}/{total})")
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    with open(args.tree, encoding="utf-8") as fh:
+        tree = tree_from_json(fh.read())
+    if args.dot:
+        print(tree_to_dot(tree, max_depth=args.max_depth))
+    else:
+        print(tree_summary(tree))
+        print(render_tree(tree, max_depth=args.max_depth))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BOAT: optimistic decision tree construction (SIGMOD 1999)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="write a synthetic training table")
+    gen.add_argument("out", help="output table path")
+    gen.add_argument("--n", type=int, default=100_000)
+    gen.add_argument("--function", type=int, default=1, choices=range(1, 11))
+    gen.add_argument("--noise", type=float, default=0.0)
+    gen.add_argument("--extra", type=int, default=0)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.set_defaults(fn=_cmd_generate)
+
+    build = sub.add_parser("build", help="build a tree with BOAT")
+    build.add_argument("table", help="training table path")
+    build.add_argument("out", help="output tree JSON path")
+    build.add_argument(
+        "--method",
+        default="gini",
+        choices=["gini", "entropy", "interclass_variance", "quest"],
+    )
+    build.add_argument("--sample-size", type=int, default=20_000)
+    build.add_argument("--bootstraps", type=int, default=20)
+    build.add_argument("--min-split", type=int, default=2)
+    build.add_argument("--min-leaf", type=int, default=1)
+    build.add_argument("--max-depth", type=int, default=None)
+    build.add_argument("--seed", type=int, default=42)
+    build.set_defaults(fn=_cmd_build)
+
+    evaluate = sub.add_parser("evaluate", help="score a saved tree on a table")
+    evaluate.add_argument("tree", help="tree JSON path")
+    evaluate.add_argument("table", help="table path")
+    evaluate.set_defaults(fn=_cmd_evaluate)
+
+    show = sub.add_parser("show", help="render a saved tree")
+    show.add_argument("tree", help="tree JSON path")
+    show.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
+    show.add_argument("--max-depth", type=int, default=None)
+    show.set_defaults(fn=_cmd_show)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""BOAT core: sampling phase, cleanup scan, finalization, incremental maintenance."""
+
+from .boat import BoatReport, BoatResult, boat_build
+from .bootstrap import SamplingReport, SamplingResult, sampling_phase
+from .bounds import admissible_bucket_mask, bucket_lower_bound, bucket_lower_bounds
+from .coarse import CoarseCategorical, CoarseCriterion, CoarseNumeric
+from .discretize import (
+    bucket_index,
+    build_discretization,
+    interval_bucket_range,
+    interval_forced_edges,
+)
+from .finalize import (
+    FinalizeReport,
+    Finalizer,
+    config_at_depth,
+    finalize_tree,
+    reference_rebuild,
+)
+from .crossval import CrossValidationResult, boat_cross_validate
+from .incremental import IncrementalBoat, UpdateReport
+from .quest_boat import QuestBoatReport, QuestBoatResult, quest_boat_build
+from .state import (
+    BoatNode,
+    EffectiveStats,
+    collect_family,
+    effective_stats,
+    multiset_remove,
+    stream_batch,
+)
+
+__all__ = [
+    "BoatNode",
+    "BoatReport",
+    "BoatResult",
+    "CoarseCategorical",
+    "CoarseCriterion",
+    "CoarseNumeric",
+    "CrossValidationResult",
+    "EffectiveStats",
+    "FinalizeReport",
+    "Finalizer",
+    "IncrementalBoat",
+    "QuestBoatReport",
+    "QuestBoatResult",
+    "UpdateReport",
+    "quest_boat_build",
+    "SamplingReport",
+    "SamplingResult",
+    "admissible_bucket_mask",
+    "boat_build",
+    "boat_cross_validate",
+    "bucket_index",
+    "bucket_lower_bound",
+    "bucket_lower_bounds",
+    "build_discretization",
+    "collect_family",
+    "config_at_depth",
+    "effective_stats",
+    "finalize_tree",
+    "interval_bucket_range",
+    "interval_forced_edges",
+    "multiset_remove",
+    "reference_rebuild",
+    "sampling_phase",
+    "stream_batch",
+]

@@ -1,0 +1,133 @@
+"""The BOAT driver (§3.5): sampling phase + cleanup scan + finalization.
+
+:func:`boat_build` constructs, from an out-of-core training table, exactly
+the tree the reference builder would grow on the full data — in two scans
+(one to draw the sample, one cleanup scan) plus localized rebuild work
+when a coarse criterion is refuted.
+
+The returned :class:`BoatReport` carries per-phase wall-clock times and
+I/O-counter deltas so benchmarks can report both views of cost.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import BoatConfig, SplitConfig
+from ..splits.methods import ImpuritySplitSelection
+from ..storage import IOStats, Table, sample_table
+from ..tree import DecisionTree, build_reference_tree
+from .bootstrap import SamplingReport, sampling_phase
+from .finalize import FinalizeReport, finalize_tree
+from .state import stream_batch
+
+
+@dataclass
+class BoatReport:
+    """Diagnostics of one static BOAT construction.
+
+    Attributes:
+        mode: "boat" for the full algorithm, "in-memory" when the table
+            was no larger than the sample and BOAT switched to the
+            reference builder outright.
+        table_size: |D|.
+        sampling / finalize: phase diagnostics (None in in-memory mode).
+        wall_seconds: per-phase wall-clock times.
+        io: per-phase I/O deltas (only phases that touched storage).
+    """
+
+    mode: str
+    table_size: int
+    sampling: SamplingReport | None = None
+    finalize: FinalizeReport | None = None
+    wall_seconds: dict[str, float] = field(default_factory=dict)
+    io: dict[str, IOStats] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.wall_seconds.values())
+
+
+@dataclass
+class BoatResult:
+    """A finished tree plus its construction report."""
+
+    tree: DecisionTree
+    report: BoatReport
+
+
+def boat_build(
+    table: Table,
+    method: ImpuritySplitSelection,
+    split_config: SplitConfig | None = None,
+    boat_config: BoatConfig | None = None,
+    spill_dir: str | None = None,
+) -> BoatResult:
+    """Build the exact reference tree for ``table`` with the BOAT algorithm.
+
+    Args:
+        table: the training database D (its ``io_stats``, if any, is
+            charged for every scan).
+        method: an impurity-based split selection method; the output tree
+            is identical to ``build_reference_tree(D, method)``.
+        split_config: stopping rules (part of the tree's identity).
+        boat_config: BOAT knobs (sample size, bootstraps, buckets...) —
+            affect speed and rebuild frequency, never the output.
+        spill_dir: directory for temporary held/family spill files.
+    """
+    split_config = split_config or SplitConfig()
+    boat_config = boat_config or BoatConfig()
+    rng = np.random.default_rng(boat_config.seed)
+    io = table.io_stats
+    report = BoatReport(mode="boat", table_size=len(table))
+
+    def phase(name: str, start: float, io_before: IOStats | None) -> None:
+        report.wall_seconds[name] = time.perf_counter() - start
+        if io is not None and io_before is not None:
+            report.io[name] = io.delta_since(io_before)
+
+    # -- sampling phase ------------------------------------------------------
+    t0 = time.perf_counter()
+    io_before = io.snapshot() if io is not None else None
+    sample = sample_table(table, boat_config.sample_size, rng, boat_config.batch_rows)
+    if len(sample) >= len(table):
+        # D fits in the sample: the paper's in-memory switch applies at the
+        # root; run the reference builder directly.
+        tree = build_reference_tree(sample, table.schema, method, split_config)
+        phase("in_memory_build", t0, io_before)
+        report.mode = "in-memory"
+        return BoatResult(tree=tree, report=report)
+    result = sampling_phase(
+        sample,
+        table.schema,
+        method,
+        split_config,
+        boat_config,
+        len(table),
+        rng,
+        spill_dir,
+        io,
+    )
+    report.sampling = result.report
+    phase("sampling", t0, io_before)
+
+    # -- cleanup scan -------------------------------------------------------------
+    t0 = time.perf_counter()
+    io_before = io.snapshot() if io is not None else None
+    for batch in table.scan(boat_config.batch_rows):
+        stream_batch(result.root, batch, table.schema, sign=1)
+    phase("cleanup_scan", t0, io_before)
+
+    # -- finalization ----------------------------------------------------------------
+    t0 = time.perf_counter()
+    io_before = io.snapshot() if io is not None else None
+    tree, finalize_report = finalize_tree(
+        result.root, table.schema, method, split_config
+    )
+    report.finalize = finalize_report
+    phase("finalize", t0, io_before)
+    result.root.release()
+    return BoatResult(tree=tree, report=report)

@@ -1,0 +1,340 @@
+"""BOAT's sampling phase (§3.2): bootstrapped coarse splitting criteria.
+
+From the in-memory sample D' we grow ``b`` bootstrap trees (resampling D'
+with replacement) and intersect them top-down:
+
+* all ``b`` trees must split the node on the same attribute — otherwise
+  the node becomes a *frontier* node (its subtree is completed in-memory
+  during finalization);
+* a categorical attribute additionally requires all ``b`` splitting
+  subsets to be identical (the paper's stringent treatment — subtrees
+  below differing subsets are incomparable);
+* a numerical attribute yields a confidence interval spanning the ``b``
+  bootstrap split points, widened by a configurable fraction.
+
+The intersection simultaneously routes D' down the skeleton to build, at
+every node, the adaptive discretizations for the Lemma 3.1 failure check
+(:mod:`repro.core.discretize`) — many buckets where the sample impurity
+profile flirts with the minimum, few elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import BoatConfig, SplitConfig
+from ..exceptions import SplitSelectionError
+from ..splits.base import CategoricalSplit, NumericSplit
+from ..splits.categorical import best_categorical_split
+from ..splits.methods import ImpuritySplitSelection
+from ..splits.numeric import numeric_profile
+from ..storage import CLASS_COLUMN, IOStats, Schema, bootstrap_resample
+from ..tree import DecisionTree, Node, build_reference_tree
+from .coarse import CoarseCategorical, CoarseNumeric
+from .discretize import build_discretization, interval_forced_edges
+from .state import BoatNode
+
+
+@dataclass
+class SamplingReport:
+    """Diagnostics of one sampling phase."""
+
+    sample_size: int = 0
+    bootstrap_repetitions: int = 0
+    skeleton_nodes: int = 0
+    frontier_nodes: int = 0
+    attribute_disagreements: int = 0
+    subset_disagreements: int = 0
+    interval_widths: list[float] = field(default_factory=list)
+
+
+@dataclass
+class SamplingResult:
+    """The skeleton with coarse criteria, plus diagnostics."""
+
+    root: BoatNode
+    report: SamplingReport
+
+
+class _SkeletonBuilder:
+    def __init__(
+        self,
+        schema: Schema,
+        method: ImpuritySplitSelection,
+        split_config: SplitConfig,
+        boat_config: BoatConfig,
+        table_size: int,
+        sample_size: int,
+        spill_dir: str | None,
+        io_stats: IOStats | None,
+    ):
+        self._schema = schema
+        self._method = method
+        self._split_config = split_config
+        self._config = boat_config
+        self._table_size = table_size
+        self._sample_size = max(sample_size, 1)
+        self._spill_dir = spill_dir
+        self._io_stats = io_stats
+        self._next_id = 0
+        self.report = SamplingReport(
+            sample_size=sample_size,
+            bootstrap_repetitions=boat_config.bootstrap_repetitions,
+        )
+
+    def _allocate_id(self) -> int:
+        nid = self._next_id
+        self._next_id += 1
+        return nid
+
+    def build(self, nodes: list[Node], sample_family: np.ndarray, depth: int) -> BoatNode:
+        self.report.skeleton_nodes += 1
+        criterion = self._agree(nodes, depth)
+        estimated = int(
+            round(len(sample_family) / self._sample_size * self._table_size)
+        )
+        if criterion is not None and (
+            0
+            < self._config.inmemory_threshold
+            and estimated <= self._config.inmemory_threshold
+        ):
+            criterion = None
+        if criterion is None:
+            self.report.frontier_nodes += 1
+            return BoatNode(
+                self._allocate_id(),
+                depth,
+                None,
+                self._schema,
+                {},
+                self._config,
+                self._spill_dir,
+                self._io_stats,
+                estimated,
+            )
+        profiles, best_estimate = self._profiles(sample_family)
+        if isinstance(criterion, CoarseNumeric):
+            criterion = self._extend_interval(
+                criterion, profiles, best_estimate, sample_family
+            )
+            self.report.interval_widths.append(criterion.high - criterion.low)
+        edges = self._edges(profiles, criterion, best_estimate)
+        boat_node = BoatNode(
+            self._allocate_id(),
+            depth,
+            criterion,
+            self._schema,
+            edges,
+            self._config,
+            self._spill_dir,
+            self._io_stats,
+            estimated,
+        )
+        go_left = self._route_mask(sample_family, criterion, nodes)
+        boat_node.left = self.build(
+            [n.left for n in nodes], sample_family[go_left], depth + 1
+        )
+        boat_node.right = self.build(
+            [n.right for n in nodes], sample_family[~go_left], depth + 1
+        )
+        boat_node.left.parent = boat_node
+        boat_node.right.parent = boat_node
+        return boat_node
+
+    def _agree(
+        self, nodes: list[Node], depth: int
+    ) -> CoarseNumeric | CoarseCategorical | None:
+        """The coarse criterion if all bootstrap trees agree, else None."""
+        if any(n.is_leaf for n in nodes):
+            return None
+        if (
+            self._split_config.max_depth is not None
+            and depth >= self._split_config.max_depth
+        ):
+            return None
+        splits = [n.split for n in nodes]
+        first = splits[0]
+        if any(
+            s.attribute_index != first.attribute_index or type(s) is not type(first)
+            for s in splits
+        ):
+            self.report.attribute_disagreements += 1
+            return None
+        if isinstance(first, CategoricalSplit):
+            if any(s.subset != first.subset for s in splits):
+                self.report.subset_disagreements += 1
+                return None
+            return CoarseCategorical(first.attribute_index, first.subset)
+        values = np.array([s.value for s in splits], dtype=np.float64)
+        low = float(values.min())
+        high = float(values.max())
+        pad = self._config.interval_widening * (high - low)
+        return CoarseNumeric(first.attribute_index, low - pad, high + pad)
+
+    def _route_mask(
+        self,
+        sample_family: np.ndarray,
+        criterion: CoarseNumeric | CoarseCategorical,
+        nodes: list[Node],
+    ) -> np.ndarray:
+        """Go-left mask for routing D' down the skeleton.
+
+        Numeric skeleton nodes route by the *median* bootstrap split point
+        — any representative inside the interval works; it only shapes the
+        discretizations of descendants, never correctness.
+        """
+        if isinstance(criterion, CoarseCategorical):
+            return criterion.go_left(sample_family, self._schema)
+        values = np.sort(
+            np.array([n.split.value for n in nodes], dtype=np.float64)
+        )
+        median = float(values[len(values) // 2])
+        column = sample_family[self._schema[criterion.attribute_index].name]
+        return column <= median
+
+    def _profiles(
+        self, sample_family: np.ndarray
+    ) -> tuple[dict[int, "object"], float]:
+        """Sample impurity profiles per numeric attribute + best estimate.
+
+        The best estimate spans *all* attributes (categorical included) —
+        it anchors both the adaptive interval widening and the boundary
+        placement weights.
+        """
+        impurity = self._method.impurity
+        labels = sample_family[CLASS_COLUMN]
+        k = self._schema.n_classes
+        min_leaf = self._split_config.min_samples_leaf
+        profiles: dict[int, object] = {}
+        best_estimate = np.inf
+        for index, attr in enumerate(self._schema.attributes):
+            column = sample_family[attr.name]
+            if attr.is_numerical:
+                profile = numeric_profile(column, labels, k, impurity, min_leaf)
+                profiles[index] = profile
+                found = profile.best()
+                if found is not None and found[0] < best_estimate:
+                    best_estimate = found[0]
+            else:
+                found = best_categorical_split(
+                    column,
+                    labels,
+                    attr.domain_size,
+                    k,
+                    impurity,
+                    min_leaf,
+                    self._split_config.max_categorical_exhaustive,
+                )
+                if found is not None and found[0] < best_estimate:
+                    best_estimate = found[0]
+        if not np.isfinite(best_estimate):
+            best_estimate = 0.0
+        return profiles, best_estimate
+
+    def _extend_interval(
+        self,
+        criterion: CoarseNumeric,
+        profiles: dict[int, "object"],
+        best_estimate: float,
+        sample_family: np.ndarray,
+    ) -> CoarseNumeric:
+        """Widen the interval over the sample profile's near-minimum plateau.
+
+        Candidates whose sample impurity sits within
+        ``interval_impurity_slack * (node impurity - best)`` of the best
+        are exactly the ones the corner bound cannot separate from i'
+        later; holding them costs memory but prevents false-alarm
+        rebuilds on flat impurity plateaus.
+        """
+        profile = profiles.get(criterion.attribute_index)
+        if profile is None or profile.n_candidates == 0:
+            return criterion
+        impurity = self._method.impurity
+        counts = np.bincount(
+            sample_family[CLASS_COLUMN], minlength=self._schema.n_classes
+        )
+        node_imp = impurity.node_impurity(counts)
+        slack = self._config.interval_impurity_slack * max(
+            node_imp - best_estimate, 0.0
+        )
+        close = profile.admissible & (profile.impurities <= best_estimate + slack)
+        if not close.any():
+            return criterion
+        values = profile.candidates[close]
+        return CoarseNumeric(
+            criterion.attribute_index,
+            min(criterion.low, float(values.min())),
+            max(criterion.high, float(values.max())),
+        )
+
+    def _edges(
+        self,
+        profiles: dict[int, "object"],
+        criterion: CoarseNumeric | CoarseCategorical,
+        best_estimate: float,
+    ) -> dict[int, np.ndarray]:
+        """Discretization edges for every numerical attribute at this node."""
+        edges: dict[int, np.ndarray] = {}
+        for index, profile in profiles.items():
+            forced: tuple[float, ...] = ()
+            exclude: tuple[float, float] | None = None
+            if (
+                isinstance(criterion, CoarseNumeric)
+                and index == criterion.attribute_index
+            ):
+                forced = interval_forced_edges(criterion.low, criterion.high)
+                exclude = (criterion.low, criterion.high)
+            edges[index] = build_discretization(
+                profile,
+                best_estimate,
+                self._config.bucket_budget,
+                forced,
+                exclude,
+            )
+        return edges
+
+
+def sampling_phase(
+    sample: np.ndarray,
+    schema: Schema,
+    method: ImpuritySplitSelection,
+    split_config: SplitConfig,
+    boat_config: BoatConfig,
+    table_size: int,
+    rng: np.random.Generator,
+    spill_dir: str | None = None,
+    io_stats: IOStats | None = None,
+) -> SamplingResult:
+    """Run the sampling phase: bootstrap trees → skeleton with coarse criteria.
+
+    Args:
+        sample: the in-memory sample D'.
+        table_size: |D|, used to estimate family sizes for the in-memory
+            switch.
+        rng: drives the bootstrap resampling only.
+    """
+    if not isinstance(method, ImpuritySplitSelection):
+        raise SplitSelectionError(
+            "the impurity-mode sampling phase requires an ImpuritySplitSelection"
+        )
+    if len(sample) == 0:
+        raise SplitSelectionError("cannot run the sampling phase on an empty sample")
+    subsample = boat_config.bootstrap_subsample or len(sample)
+    trees: list[DecisionTree] = []
+    for _ in range(boat_config.bootstrap_repetitions):
+        resample = bootstrap_resample(sample, subsample, rng)
+        trees.append(build_reference_tree(resample, schema, method, split_config))
+    builder = _SkeletonBuilder(
+        schema,
+        method,
+        split_config,
+        boat_config,
+        table_size,
+        len(sample),
+        spill_dir,
+        io_stats,
+    )
+    root = builder.build([t.root for t in trees], sample, 0)
+    return SamplingResult(root=root, report=builder.report)

@@ -1,0 +1,75 @@
+"""Coarse splitting criteria (Figure 2 of the paper).
+
+The sampling phase attaches one coarse criterion to each node of the
+skeleton tree:
+
+* numerical — the splitting attribute plus a closed confidence interval
+  ``[low, high]`` that contains the final split point with high
+  probability.  During the cleanup scan, tuples with an attribute value
+  inside the interval are *held* at the node; tuples outside route to a
+  child unambiguously because every split point in the interval routes
+  them identically.
+* categorical — the splitting attribute plus the (claimed-final) splitting
+  subset; nothing is held because the subset is either exactly right or
+  the subtree is rebuilt.
+
+A frontier node of the skeleton carries no criterion; the scan collects
+its whole family for in-memory completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..storage import Schema
+
+
+@dataclass(frozen=True)
+class CoarseNumeric:
+    """Coarse criterion for a numerical splitting attribute."""
+
+    attribute_index: int
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not self.low <= self.high:
+            raise ValueError(f"empty confidence interval [{self.low}, {self.high}]")
+
+    def masks(
+        self, batch: np.ndarray, schema: Schema
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(below, held, above) boolean masks for a batch.
+
+        below: ``X < low`` (routes left under any split in the interval),
+        held: ``low <= X <= high``, above: ``X > high`` (routes right).
+        """
+        values = batch[schema[self.attribute_index].name]
+        below = values < self.low
+        above = values > self.high
+        return below, ~(below | above), above
+
+    def describe(self, schema: Schema) -> str:
+        name = schema[self.attribute_index].name
+        return f"{name} in [{self.low:g}, {self.high:g}]"
+
+
+@dataclass(frozen=True)
+class CoarseCategorical:
+    """Coarse criterion for a categorical splitting attribute."""
+
+    attribute_index: int
+    subset: frozenset[int]
+
+    def go_left(self, batch: np.ndarray, schema: Schema) -> np.ndarray:
+        codes = batch[schema[self.attribute_index].name]
+        return np.isin(codes, sorted(self.subset))
+
+    def describe(self, schema: Schema) -> str:
+        name = schema[self.attribute_index].name
+        return f"{name} in {{{','.join(str(c) for c in sorted(self.subset))}}}"
+
+
+CoarseCriterion = CoarseNumeric | CoarseCategorical

@@ -1,0 +1,165 @@
+"""k-fold cross-validation in three database scans (§2's aside).
+
+The paper notes that although MDL pruning is preferred at scale,
+cross-validation for large training sets also benefits from BOAT: the
+k per-fold trees can share scans instead of paying k separate
+constructions.  This module realizes that:
+
+* scan 1 draws one sample; each fold's sampling phase uses the sample
+  minus its own fold's records,
+* scan 2 is a shared cleanup scan — every batch is streamed through all
+  k skeletons, each skeleton skipping its own fold,
+* scan 3 evaluates every record against its own fold's finished tree.
+
+Fold assignment is by global row position modulo k — deterministic
+across scans, so training and evaluation partitions agree exactly.
+
+Every fold tree is exactly the reference tree of its training partition
+(the BOAT guarantee applies per fold).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import BoatConfig, SplitConfig
+from ..exceptions import SplitSelectionError
+from ..splits.methods import ImpuritySplitSelection
+from ..storage import CLASS_COLUMN, Table
+from ..tree import DecisionTree, build_reference_tree
+from .bootstrap import sampling_phase
+from .finalize import finalize_tree
+from .state import stream_batch
+
+
+@dataclass
+class CrossValidationResult:
+    """k fold trees plus their held-out error estimates.
+
+    Attributes:
+        trees: fold trees; ``trees[f]`` was trained on every record whose
+            global row position is not congruent to f modulo k.
+        fold_errors: held-out misclassification rate per fold.
+        scans: database scans consumed (3 when all folds take the BOAT
+            path; fewer only for degenerate inputs).
+        wall_seconds: total wall-clock time.
+    """
+
+    trees: list[DecisionTree]
+    fold_errors: list[float]
+    scans: int
+    wall_seconds: float
+
+    @property
+    def mean_error(self) -> float:
+        return float(np.mean(self.fold_errors)) if self.fold_errors else 0.0
+
+
+def boat_cross_validate(
+    table: Table,
+    k: int,
+    method: ImpuritySplitSelection,
+    split_config: SplitConfig | None = None,
+    boat_config: BoatConfig | None = None,
+    spill_dir: str | None = None,
+) -> CrossValidationResult:
+    """k-fold cross-validation sharing scans across all folds."""
+    if k < 2:
+        raise SplitSelectionError("cross-validation needs k >= 2")
+    if len(table) < k:
+        raise SplitSelectionError("table smaller than the number of folds")
+    split_config = split_config or SplitConfig()
+    boat_config = boat_config or BoatConfig()
+    start = time.perf_counter()
+    rng = np.random.default_rng(boat_config.seed)
+    schema = table.schema
+    n = len(table)
+
+    # -- scan 1: one shared sample, with global positions retained -------
+    size = min(boat_config.sample_size, n)
+    chosen = np.sort(rng.choice(n, size=size, replace=False))
+    sample = schema.empty(size)
+    sample_positions = chosen
+    filled = 0
+    offset = 0
+    for batch in table.scan(boat_config.batch_rows):
+        lo = np.searchsorted(chosen, offset, side="left")
+        hi = np.searchsorted(chosen, offset + len(batch), side="left")
+        if hi > lo:
+            sample[filled : filled + hi - lo] = batch[chosen[lo:hi] - offset]
+            filled += hi - lo
+        offset += len(batch)
+    scans = 1
+
+    small = size >= n  # whole table in memory: fall back per fold
+    sample_folds = sample_positions % k
+    skeletons = []
+    if not small:
+        for fold in range(k):
+            training_sample = sample[sample_folds != fold]
+            result = sampling_phase(
+                training_sample,
+                schema,
+                method,
+                split_config,
+                boat_config,
+                n - n // k,
+                rng,
+                spill_dir,
+                table.io_stats,
+            )
+            skeletons.append(result.root)
+
+        # -- scan 2: shared cleanup scan ---------------------------------
+        offset = 0
+        for batch in table.scan(boat_config.batch_rows):
+            folds = (offset + np.arange(len(batch))) % k
+            for fold, skeleton in enumerate(skeletons):
+                stream_batch(skeleton, batch[folds != fold], schema)
+            offset += len(batch)
+        scans += 1
+
+        trees = []
+        for skeleton in skeletons:
+            tree, _ = finalize_tree(skeleton, schema, method, split_config)
+            trees.append(tree)
+            skeleton.release()
+    else:
+        family = sample  # == the full table
+        trees = []
+        for fold in range(k):
+            trees.append(
+                build_reference_tree(
+                    family[sample_folds != fold], schema, method, split_config
+                )
+            )
+
+    # -- scan 3: held-out evaluation, all folds in one pass ---------------
+    errors = np.zeros(k, dtype=np.int64)
+    totals = np.zeros(k, dtype=np.int64)
+    offset = 0
+    for batch in table.scan(boat_config.batch_rows):
+        folds = (offset + np.arange(len(batch))) % k
+        for fold in range(k):
+            mask = folds == fold
+            if not mask.any():
+                continue
+            rows = batch[mask]
+            predicted = trees[fold].predict(rows)
+            errors[fold] += int(np.sum(predicted != rows[CLASS_COLUMN]))
+            totals[fold] += len(rows)
+        offset += len(batch)
+    scans += 1
+
+    fold_errors = [
+        float(errors[f]) / totals[f] if totals[f] else 0.0 for f in range(k)
+    ]
+    return CrossValidationResult(
+        trees=trees,
+        fold_errors=fold_errors,
+        scans=scans,
+        wall_seconds=time.perf_counter() - start,
+    )

@@ -1,0 +1,519 @@
+"""BOAT finalization: coarse → exact splitting criteria, with failure detection.
+
+After the cleanup scan, the skeleton is processed top-down (§3.3–§3.5):
+
+1. compute the node's *effective* statistics (persistent counts plus
+   ancestor-held tuples re-routed to it),
+2. find the exact best split the coarse criterion permits — for a numeric
+   criterion, evaluate every candidate value inside the confidence
+   interval from the held tuples; for a categorical criterion, evaluate
+   the attribute exactly from its contingency matrix,
+3. verify, via exact categorical evaluations and the Lemma 3.1 bucket
+   lower bounds, that no candidate outside the coarse criterion could be
+   the reference builder's choice (§3.4),
+4. on success, emit the final split and push the held tuples to the
+   children; on failure, discard the subtree and rebuild it from its
+   collected family.
+
+Tie-break bookkeeping mirrors the reference builder exactly: candidates
+are ranked by (impurity, attribute index, split value / subset order), so
+a competing candidate at an earlier rank triggers a rebuild even on exact
+impurity equality, while a later-ranked tie never can.  Lower bounds make
+the comparison conservative — false alarms cost a rebuild, never
+correctness.
+
+Two operating modes:
+
+* **static** (``keep_state=False``) — one-shot construction; stores of
+  finished subtrees are released, rebuilds go straight to the in-memory
+  reference builder.
+* **incremental** (``keep_state=True``) — §4 maintenance; stores and
+  statistics survive the pass, unchanged subtrees are served from a
+  per-node cache (so update cost tracks the *change*, not the database
+  size), and rebuilds construct a fresh, fully populated skeleton subtree
+  from the subtree's own stores so future updates keep working.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+import numpy as np
+
+from ..config import SplitConfig
+from ..splits.base import CategoricalSplit, NumericSplit
+from ..splits.categorical import best_categorical_split_from_counts
+from ..splits.methods import ImpuritySplitSelection
+from ..splits.numeric import numeric_profile
+from ..storage import CLASS_COLUMN, Schema
+from ..tree import DecisionTree, Node, build_reference_tree
+from .bounds import admissible_bucket_mask, bucket_lower_bounds
+from .coarse import CoarseNumeric
+from .discretize import interval_bucket_range, point_bucket_mask
+from .state import BoatNode, EffectiveStats, collect_family, effective_stats
+
+#: Static rebuild strategy: collected family + depth -> finished subtree.
+RebuildFn = Callable[[np.ndarray, int], Node]
+
+
+def config_at_depth(config: SplitConfig, depth: int) -> SplitConfig:
+    """Stopping rules for a subtree rooted ``depth`` levels down.
+
+    Only ``max_depth`` is depth-relative; a subtree built separately (a
+    frontier completion or a rebuild) must see its remaining budget.
+    """
+    if config.max_depth is None or depth == 0:
+        return config
+    return dataclasses.replace(config, max_depth=max(config.max_depth - depth, 0))
+
+#: Incremental rebuild strategy: (store-resident family, depth,
+#: force_frontier) -> fresh, fully populated skeleton subtree.  The
+#: force_frontier flag demands a plain frontier node; the finalizer sets
+#: it when a freshly rebuilt subtree fails verification again, which
+#: guarantees termination (frontier completion never re-verifies).
+SkeletonRebuildFn = Callable[[np.ndarray, int, bool], BoatNode]
+
+
+@dataclass
+class FinalizeReport:
+    """What happened during one finalization pass."""
+
+    confirmed_splits: int = 0
+    leaves: int = 0
+    frontier_completions: int = 0
+    cache_hits: int = 0
+    rebuilds: int = 0
+    rebuilt_tuples: int = 0
+    rebuild_reasons: list[str] = field(default_factory=list)
+    held_candidates: int = 0
+
+
+class Finalizer:
+    """One finalization pass over a populated skeleton."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        method: ImpuritySplitSelection,
+        config: SplitConfig,
+        rebuild: RebuildFn,
+        keep_state: bool = False,
+        skeleton_rebuild: SkeletonRebuildFn | None = None,
+        id_counter: Iterator[int] | None = None,
+    ):
+        self._schema = schema
+        self._method = method
+        self._impurity = method.impurity
+        self._config = config
+        self._rebuild = rebuild
+        self._keep_state = keep_state
+        self._skeleton_rebuild = skeleton_rebuild
+        self._ids = id_counter if id_counter is not None else itertools.count()
+        self._fresh_nodes: set[int] = set()
+        self.report = FinalizeReport()
+        #: Set when the skeleton root itself was replaced by a rebuild.
+        self.new_root: BoatNode | None = None
+
+    # -- public entry -------------------------------------------------------
+
+    def run(self, root: BoatNode) -> DecisionTree:
+        final_root = self._finalize(root, self._schema.empty(0), is_root=True)
+        tree = DecisionTree(self._schema, final_root)
+        return tree
+
+    # -- recursion ------------------------------------------------------------
+
+    def _finalize(
+        self, node: BoatNode, inherited: np.ndarray, is_root: bool = False
+    ) -> Node:
+        cache_key = self._cache_key(inherited)
+        if (
+            self._keep_state
+            and not node.dirty
+            and node.cached_final is not None
+            and node.cached_key == cache_key
+        ):
+            self.report.cache_hits += 1
+            return self._clone_subtree(node.cached_final)
+        final = self._compute(node, inherited, is_root)
+        if self._keep_state:
+            node.cached_final = final
+            node.cached_key = cache_key
+            node.dirty = False
+            return self._clone_subtree(final)
+        return final
+
+    def _compute(self, node: BoatNode, inherited: np.ndarray, is_root: bool) -> Node:
+        stats = effective_stats(node, inherited, self._schema)
+        counts = np.asarray(stats.class_counts, dtype=np.int64)
+        if node.is_frontier:
+            return self._complete_frontier(node, inherited, counts)
+        # Absolute leaf conditions — identical to the reference builder's.
+        max_depth = self._config.max_depth
+        if (
+            int(counts.sum()) < self._config.min_samples_split
+            or np.count_nonzero(counts) <= 1
+            or (max_depth is not None and node.depth >= max_depth)
+        ):
+            return self._confirmed_leaf(node, counts)
+        outcome = self._exact_best(node, stats, counts)
+        if outcome is None:
+            return self._rebuild_subtree(
+                node, inherited, "categorical coarse subset refuted", is_root
+            )
+        final_split, threshold, is_leaf_decision = outcome
+        failure = self._verify(node, stats, counts, threshold, is_leaf_decision)
+        if failure is not None:
+            return self._rebuild_subtree(node, inherited, failure, is_root)
+        if is_leaf_decision:
+            return self._confirmed_leaf(node, counts)
+        self.report.confirmed_splits += 1
+        final = self._leaf(node.depth, counts)
+        left_in, right_in = self._partition_for_children(node, stats, final_split)
+        left_node, right_node = node.children()
+        final.make_internal(
+            final_split,
+            self._finalize(left_node, left_in),
+            self._finalize(right_node, right_in),
+        )
+        return final
+
+    # -- pieces ------------------------------------------------------------------
+
+    def _cache_key(self, inherited: np.ndarray) -> bytes:
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(len(inherited).to_bytes(8, "little"))
+        if len(inherited):
+            digest.update(np.ascontiguousarray(inherited).tobytes())
+        return digest.digest()
+
+    def _leaf(self, depth: int, counts: np.ndarray) -> Node:
+        return Node(next(self._ids), depth, counts)
+
+    def _confirmed_leaf(self, node: BoatNode, counts: np.ndarray) -> Node:
+        self.report.leaves += 1
+        if not self._keep_state:
+            # Static construction never revisits the subtree; free its
+            # stores.  Incremental maintenance keeps them: later inserts
+            # can turn the leaf back into a split.
+            if node.left is not None:
+                node.left.release()
+            if node.right is not None:
+                node.right.release()
+        return self._leaf(node.depth, counts)
+
+    def _complete_frontier(
+        self, node: BoatNode, inherited: np.ndarray, counts: np.ndarray
+    ) -> Node:
+        # Certain-leaf fast path: pure, undersized or depth-capped families
+        # become leaves without touching the (possibly spilled) store.
+        max_depth = self._config.max_depth
+        if (
+            int(counts.sum()) < self._config.min_samples_split
+            or np.count_nonzero(counts) <= 1
+            or (max_depth is not None and node.depth >= max_depth)
+        ):
+            self.report.leaves += 1
+            return self._leaf(node.depth, counts)
+        self.report.frontier_completions += 1
+        family = collect_family(node, inherited, self._schema)
+        sub = build_reference_tree(
+            family, self._schema, self._method, config_at_depth(self._config, node.depth)
+        )
+        return self._graft(sub.root, node.depth)
+
+    def _graft(self, root: Node, depth_offset: int) -> Node:
+        """Renumber ids and shift depths of a separately built subtree."""
+        for sub in _preorder(root):
+            sub.node_id = next(self._ids)
+            sub.depth += depth_offset
+        return root
+
+    def _clone_subtree(self, root: Node) -> Node:
+        """Structure-copy a cached subtree with fresh node ids.
+
+        Class-count arrays are shared (read-only by convention); Node
+        objects are fresh so successive tree snapshots stay independent.
+        """
+        clone = Node(next(self._ids), root.depth, root.class_counts)
+        if not root.is_leaf:
+            clone.make_internal(
+                root.split,
+                self._clone_subtree(root.left),
+                self._clone_subtree(root.right),
+            )
+        return clone
+
+    def _rebuild_subtree(
+        self, node: BoatNode, inherited: np.ndarray, reason: str, is_root: bool
+    ) -> Node:
+        self.report.rebuilds += 1
+        self.report.rebuild_reasons.append(
+            f"node {node.node_id} (depth {node.depth}): {reason}"
+        )
+        if self._keep_state and self._skeleton_rebuild is not None:
+            # Rebuild the skeleton from the subtree's *stores* only;
+            # ancestor-held tuples stay at their ancestors and keep being
+            # re-routed non-destructively on every pass.  If this subtree
+            # was itself produced by a rebuild in this very pass, force a
+            # frontier node — its in-memory completion never re-verifies,
+            # so rebuilding terminates even on pathological plateaus.
+            force_frontier = node.node_id in self._fresh_nodes
+            own_family = collect_family(node, self._schema.empty(0), self._schema)
+            self.report.rebuilt_tuples += len(own_family) + len(inherited)
+            node.release()
+            fresh = self._skeleton_rebuild(own_family, node.depth, force_frontier)
+            self._fresh_nodes.update(sub.node_id for sub in fresh.nodes())
+            self._swap_skeleton(node, fresh, is_root)
+            return self._finalize(fresh, inherited)
+        family = collect_family(node, inherited, self._schema)
+        self.report.rebuilt_tuples += len(family)
+        node.release()
+        rebuilt = self._rebuild(family, node.depth)
+        return self._graft(rebuilt, 0)
+
+    def _swap_skeleton(self, old: BoatNode, fresh: BoatNode, is_root: bool) -> None:
+        parent = old.parent
+        fresh.parent = parent
+        if parent is None or is_root:
+            self.new_root = fresh
+            return
+        if parent.left is old:
+            parent.left = fresh
+        elif parent.right is old:
+            parent.right = fresh
+        else:  # pragma: no cover - defensive
+            raise RuntimeError("skeleton parent link broken")
+
+    def _exact_best(
+        self, node: BoatNode, stats: EffectiveStats, counts: np.ndarray
+    ) -> tuple[NumericSplit | CategoricalSplit | None, float, bool] | None:
+        """Exact best split permitted by the coarse criterion.
+
+        Returns ``(split, comparison threshold, leaf?)``; ``None`` means
+        the coarse criterion is already refuted (categorical subset
+        mismatch) and the subtree must be rebuilt.  ``leaf?`` flags a
+        zero-gain / no-candidate leaf decision, pending verification.
+        """
+        node_imp = self._impurity.node_impurity(counts)
+        criterion = node.criterion
+        if isinstance(criterion, CoarseNumeric):
+            held = stats.held
+            self.report.held_candidates += len(held)
+            attr_name = self._schema[criterion.attribute_index].name
+            profile = numeric_profile(
+                held[attr_name],
+                held[CLASS_COLUMN],
+                self._schema.n_classes,
+                self._impurity,
+                self._config.min_samples_leaf,
+                base_left=stats.below_counts,
+                total_counts=counts,
+            )
+            found = profile.best()
+            if found is None or not found[0] < node_imp:
+                return (None, node_imp, True)
+            return (NumericSplit(criterion.attribute_index, found[1]), found[0], False)
+        found = best_categorical_split_from_counts(
+            stats.cat_counts[criterion.attribute_index],
+            self._impurity,
+            self._config.min_samples_leaf,
+            self._config.max_categorical_exhaustive,
+        )
+        if found is None or not found[0] < node_imp:
+            return (None, node_imp, True)
+        if found[1] != criterion.subset:
+            # The exact best subset differs from the coarse subset: the
+            # children's statistics were accumulated under the wrong
+            # routing, so nothing below this node can be salvaged.
+            return None
+        return (CategoricalSplit(criterion.attribute_index, found[1]), found[0], False)
+
+    def _verify(
+        self,
+        node: BoatNode,
+        stats: EffectiveStats,
+        counts: np.ndarray,
+        threshold: float,
+        is_leaf_decision: bool,
+    ) -> str | None:
+        """§3.4 failure detection.  Returns a reason string, or None if ok.
+
+        ``threshold`` is i' (or the node impurity for a pending leaf
+        decision).  A competing candidate *earlier* in the reference
+        builder's tie-break order refutes the criterion already on exact
+        equality; a later one only when strictly better.  A pending leaf
+        is refuted by any strict improvement anywhere.
+        """
+        criterion = node.criterion
+        coarse_index = criterion.attribute_index
+        for index, attr in enumerate(self._schema.attributes):
+            if attr.is_categorical:
+                if index == coarse_index:
+                    continue  # evaluated exactly in _exact_best
+                found = best_categorical_split_from_counts(
+                    stats.cat_counts[index],
+                    self._impurity,
+                    self._config.min_samples_leaf,
+                    self._config.max_categorical_exhaustive,
+                )
+                if found is None:
+                    continue
+                if self._beats(
+                    found[0], index, coarse_index, threshold, is_leaf_decision
+                ):
+                    return (
+                        f"categorical attribute {attr.name} reaches impurity "
+                        f"{found[0]:.6g} vs threshold {threshold:.6g}"
+                    )
+                continue
+            edges = node.bucket_edges.get(index)
+            if edges is None:  # pragma: no cover - every numeric attr has edges
+                continue
+            bucket_counts = stats.bucket_counts[index]
+            bounds = bucket_lower_bounds(bucket_counts, counts, self._impurity)
+            point = point_bucket_mask(edges)
+            if point.any():
+                # A point bucket's single possible candidate is its upper
+                # edge; its stamp point is exact, so evaluate it exactly
+                # instead of corner-bounding.
+                cum = np.cumsum(bucket_counts, axis=0)
+                bounds = bounds.copy()
+                bounds[point] = self._impurity.weighted(cum[point], counts)
+            admissible = admissible_bucket_mask(
+                bucket_counts, self._config.min_samples_leaf
+            )
+            if index == coarse_index and isinstance(criterion, CoarseNumeric):
+                first, last = interval_bucket_range(
+                    edges, criterion.low, criterion.high
+                )
+                below = admissible.copy()
+                below[first:] = False
+                above = admissible.copy()
+                above[:last] = False
+                if is_leaf_decision:
+                    if np.any((below | above) & (bounds < threshold)):
+                        return (
+                            f"split attribute {attr.name}: leaf decision but a "
+                            f"bucket bound < node impurity {threshold:.6g}"
+                        )
+                else:
+                    # Below-interval values precede the chosen split value,
+                    # so they win exact ties; above-interval values lose them.
+                    if np.any(below & (bounds <= threshold)):
+                        return (
+                            f"split attribute {attr.name}: bucket below the "
+                            f"confidence interval bounds <= {threshold:.6g}"
+                        )
+                    if np.any(above & (bounds < threshold)):
+                        return (
+                            f"split attribute {attr.name}: bucket above the "
+                            f"confidence interval bounds < {threshold:.6g}"
+                        )
+                continue
+            beaten = self._beats_mask(
+                bounds, index, coarse_index, threshold, is_leaf_decision
+            )
+            if np.any(admissible & beaten):
+                return (
+                    f"numerical attribute {attr.name}: a bucket lower bound "
+                    f"undercuts threshold {threshold:.6g}"
+                )
+        return None
+
+    def _beats(
+        self,
+        value: float,
+        index: int,
+        coarse_index: int,
+        threshold: float,
+        is_leaf_decision: bool,
+    ) -> bool:
+        if is_leaf_decision:
+            return value < threshold
+        if index < coarse_index:
+            return value <= threshold
+        return value < threshold
+
+    def _beats_mask(
+        self,
+        bounds: np.ndarray,
+        index: int,
+        coarse_index: int,
+        threshold: float,
+        is_leaf_decision: bool,
+    ) -> np.ndarray:
+        if is_leaf_decision or index > coarse_index:
+            return bounds < threshold
+        return bounds <= threshold
+
+    def _partition_for_children(
+        self,
+        node: BoatNode,
+        stats: EffectiveStats,
+        final_split: NumericSplit | CategoricalSplit,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Inherited arrays for the two children under the final split."""
+        if isinstance(final_split, CategoricalSplit):
+            return stats.inherited_below, stats.inherited_above
+        held = stats.held
+        go_left = (
+            held[self._schema[final_split.attribute_index].name]
+            <= final_split.value
+        )
+        left = _concat(stats.inherited_below, held[go_left])
+        right = _concat(stats.inherited_above, held[~go_left])
+        return left, right
+
+
+def _concat(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    if len(a) == 0:
+        return b
+    if len(b) == 0:
+        return a
+    return np.concatenate([a, b])
+
+
+def _preorder(root: Node) -> Iterator[Node]:
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        if not node.is_leaf:
+            stack.append(node.right)
+            stack.append(node.left)
+
+
+def reference_rebuild(
+    schema: Schema, method: ImpuritySplitSelection, config: SplitConfig
+) -> RebuildFn:
+    """The default static rebuild strategy: the in-memory reference builder."""
+
+    def rebuild(family: np.ndarray, depth: int) -> Node:
+        sub = build_reference_tree(
+            family, schema, method, config_at_depth(config, depth)
+        )
+        for node in _preorder(sub.root):
+            node.depth += depth
+        return sub.root
+
+    return rebuild
+
+
+def finalize_tree(
+    root: BoatNode,
+    schema: Schema,
+    method: ImpuritySplitSelection,
+    config: SplitConfig,
+    rebuild: RebuildFn | None = None,
+) -> tuple[DecisionTree, FinalizeReport]:
+    """Run one static finalization pass over a populated skeleton."""
+    rebuild = rebuild or reference_rebuild(schema, method, config)
+    finalizer = Finalizer(schema, method, config, rebuild)
+    tree = finalizer.run(root)
+    tree.validate()
+    return tree, finalizer.report

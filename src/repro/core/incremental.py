@@ -1,0 +1,346 @@
+"""Incremental decision tree maintenance (§4 of the paper).
+
+:class:`IncrementalBoat` keeps, between updates, everything BOAT's cleanup
+phase collected: the skeleton with its coarse criteria, the per-node
+statistics, the held tuples inside each confidence interval, and the
+frontier families.  To incorporate a chunk of insertions (or deletions)
+it streams the chunk down the skeleton exactly as the cleanup scan would
+— one pass over the *chunk*, never over the original database — and then
+re-runs the finalization pass.
+
+Guarantees, mirroring the paper:
+
+* the maintained tree is *exactly* the tree a from-scratch build on the
+  updated database would produce;
+* if the chunk is drawn from the same distribution, updates touch only
+  counts and held stores, and unchanged subtrees are served from the
+  finalization cache — update cost is independent of |D|;
+* if the distribution changed, the failure checks fire exactly where the
+  tree is no longer defensible, and only those subtrees are rebuilt (with
+  a fresh mini-BOAT sampling phase so future updates stay cheap).  The
+  rebuild log doubles as a drift report for the analyst.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import BoatConfig, SplitConfig
+from ..exceptions import TreeStructureError
+from ..splits.methods import ImpuritySplitSelection
+from ..storage import IOStats, Schema, Table
+from ..tree import DecisionTree
+from .bootstrap import sampling_phase
+from .finalize import FinalizeReport, Finalizer, config_at_depth
+from .state import BoatNode, collect_family, stream_batch
+
+
+@dataclass
+class UpdateReport:
+    """Diagnostics of one insert/delete/build operation."""
+
+    operation: str
+    chunk_size: int
+    wall_seconds: float
+    finalize: FinalizeReport
+    #: Human-readable description of where the tree was rebuilt — the §4
+    #: drift report ("specific parts of the tree changed significantly").
+    drift: list[str] = field(default_factory=list)
+
+
+class IncrementalBoat:
+    """A decision tree maintained under chunk insertions and deletions."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        method: ImpuritySplitSelection,
+        split_config: SplitConfig | None = None,
+        boat_config: BoatConfig | None = None,
+        spill_dir: str | None = None,
+        io_stats: IOStats | None = None,
+    ):
+        self._schema = schema
+        self._method = method
+        self._split_config = split_config or SplitConfig()
+        self._config = boat_config or BoatConfig()
+        self._spill_dir = spill_dir
+        self._io = io_stats
+        self._ids = itertools.count()
+        self._node_ids = itertools.count(1_000_000)
+        self._rng = np.random.default_rng(self._config.seed)
+        self._skeleton: BoatNode | None = None
+        self._tree: DecisionTree | None = None
+        self._n_rows = 0
+        self.reports: list[UpdateReport] = []
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        table: Table,
+        method: ImpuritySplitSelection,
+        split_config: SplitConfig | None = None,
+        boat_config: BoatConfig | None = None,
+        spill_dir: str | None = None,
+    ) -> "IncrementalBoat":
+        """Initial construction from a training table (two scans)."""
+        maintainer = cls(
+            table.schema,
+            method,
+            split_config,
+            boat_config,
+            spill_dir,
+            table.io_stats,
+        )
+        maintainer._initial_build(table)
+        return maintainer
+
+    @classmethod
+    def from_chunk(
+        cls,
+        chunk: np.ndarray,
+        schema: Schema,
+        method: ImpuritySplitSelection,
+        split_config: SplitConfig | None = None,
+        boat_config: BoatConfig | None = None,
+        spill_dir: str | None = None,
+    ) -> "IncrementalBoat":
+        """Start a maintained tree from an in-memory first chunk."""
+        maintainer = cls(schema, method, split_config, boat_config, spill_dir)
+        start = time.perf_counter()
+        # _grow_skeleton both builds the skeleton and streams the chunk
+        # through it; streaming again here would double-count every tuple.
+        maintainer._skeleton = maintainer._grow_skeleton(chunk, depth=0)
+        maintainer._n_rows = len(chunk)
+        report = maintainer._finalize()
+        maintainer._record("build", len(chunk), start, report)
+        return maintainer
+
+    def _initial_build(self, table: Table) -> None:
+        from ..storage import sample_table  # local import to avoid cycle noise
+
+        start = time.perf_counter()
+        sample = sample_table(
+            table, self._config.sample_size, self._rng, self._config.batch_rows
+        )
+        if len(sample) >= len(table):
+            self._skeleton = self._frontier_node(depth=0)
+        else:
+            result = sampling_phase(
+                sample,
+                self._schema,
+                self._method,
+                self._split_config,
+                self._config,
+                len(table),
+                self._rng,
+                self._spill_dir,
+                self._io,
+            )
+            self._skeleton = result.root
+        for batch in table.scan(self._config.batch_rows):
+            stream_batch(self._skeleton, batch, self._schema, sign=1)
+        self._n_rows = len(table)
+        report = self._finalize()
+        self._record("build", len(table), start, report)
+
+    # -- updates --------------------------------------------------------------
+
+    def insert(self, chunk: np.ndarray) -> UpdateReport:
+        """Incorporate new training tuples; returns the update report."""
+        return self._update(chunk, "insert", sign=1)
+
+    def delete(self, chunk: np.ndarray) -> UpdateReport:
+        """Expire training tuples (bitwise record match required)."""
+        return self._update(chunk, "delete", sign=-1)
+
+    def _update(self, chunk: np.ndarray, operation: str, sign: int) -> UpdateReport:
+        if self._skeleton is None:
+            raise TreeStructureError("IncrementalBoat has not been built yet")
+        self._schema.validate_batch(chunk)
+        start = time.perf_counter()
+        for offset in range(0, len(chunk), self._config.batch_rows):
+            stream_batch(
+                self._skeleton,
+                chunk[offset : offset + self._config.batch_rows],
+                self._schema,
+                sign=sign,
+            )
+        self._n_rows += sign * len(chunk)
+        if sign > 0:
+            self._deepen_frontiers()
+        report = self._finalize()
+        return self._record(operation, len(chunk), start, report)
+
+    def _deepen_frontiers(self) -> None:
+        """Convert over-grown frontier families into mini-BOAT subtrees.
+
+        A frontier family keeps absorbing inserts; once it clearly exceeds
+        the in-memory regime, growing a skeleton over it moves most of its
+        tuples into held stores and certain-leaf sub-frontiers, keeping
+        later update passes cheap.  A watermark backs off retries when the
+        bootstrap trees disagree at the family's root (instability), which
+        would otherwise re-run the sampling phase on every update.
+        """
+        threshold = 2 * max(self._config.sample_size, self._config.inmemory_threshold)
+        for node in list(self.skeleton.nodes()):
+            if not node.is_frontier:
+                continue
+            size = len(node.family_store)
+            if size <= threshold or size <= node.deepen_watermark:
+                continue
+            family = node.family_store.read_all()
+            fresh = self._grow_skeleton(family, node.depth)
+            if fresh.is_frontier:
+                fresh.release()
+                node.deepen_watermark = int(1.5 * size)
+                continue
+            node.release()
+            self._swap(node, fresh)
+
+    def _swap(self, old: BoatNode, fresh: BoatNode) -> None:
+        parent = old.parent
+        fresh.parent = parent
+        if parent is None:
+            self._skeleton = fresh
+        elif parent.left is old:
+            parent.left = fresh
+        elif parent.right is old:
+            parent.right = fresh
+        else:  # pragma: no cover - defensive
+            raise TreeStructureError("skeleton parent link broken")
+
+    # -- finalization -------------------------------------------------------------
+
+    def _finalize(self) -> FinalizeReport:
+        finalizer = Finalizer(
+            self._schema,
+            self._method,
+            self._split_config,
+            rebuild=self._unused_static_rebuild,
+            keep_state=True,
+            skeleton_rebuild=self._grow_skeleton,
+            id_counter=self._ids,
+        )
+        self._tree = finalizer.run(self._skeleton)
+        self._tree.validate()
+        if finalizer.new_root is not None:
+            self._skeleton = finalizer.new_root
+        return finalizer.report
+
+    @staticmethod
+    def _unused_static_rebuild(family: np.ndarray, depth: int):  # pragma: no cover
+        raise TreeStructureError(
+            "incremental finalization must use the skeleton rebuild path"
+        )
+
+    def _record(
+        self, operation: str, size: int, start: float, report: FinalizeReport
+    ) -> UpdateReport:
+        update = UpdateReport(
+            operation=operation,
+            chunk_size=size,
+            wall_seconds=time.perf_counter() - start,
+            finalize=report,
+            drift=list(report.rebuild_reasons),
+        )
+        self.reports.append(update)
+        return update
+
+    # -- skeleton (re)construction ------------------------------------------------
+
+    def _frontier_node(self, depth: int) -> BoatNode:
+        return BoatNode(
+            next(self._node_ids),
+            depth,
+            None,
+            self._schema,
+            {},
+            self._config,
+            self._spill_dir,
+            self._io,
+        )
+
+    def _grow_skeleton(
+        self, family: np.ndarray, depth: int, force_frontier: bool = False
+    ) -> BoatNode:
+        """A fresh, fully populated skeleton subtree for ``family``.
+
+        Small families become a single frontier node (the in-memory
+        regime); larger ones get a mini-BOAT sampling phase so that
+        subsequent updates in this region stay cheap.  ``force_frontier``
+        is the finalizer's termination escape hatch.
+        """
+        if force_frontier or len(family) <= self._config.sample_size:
+            node = self._frontier_node(depth)
+        else:
+            size = min(self._config.sample_size, len(family))
+            idx = self._rng.choice(len(family), size=size, replace=False)
+            result = sampling_phase(
+                family[idx],
+                self._schema,
+                self._method,
+                config_at_depth(self._split_config, depth),
+                self._config,
+                len(family),
+                self._rng,
+                self._spill_dir,
+                self._io,
+            )
+            node = result.root
+            for sub in node.nodes():
+                sub.node_id = next(self._node_ids)
+                sub.depth += depth
+        for offset in range(0, len(family), self._config.batch_rows):
+            stream_batch(
+                node,
+                family[offset : offset + self._config.batch_rows],
+                self._schema,
+                sign=1,
+            )
+        return node
+
+    # -- inspection ---------------------------------------------------------------------
+
+    @property
+    def tree(self) -> DecisionTree:
+        """The current maintained tree (a snapshot; safe to keep)."""
+        if self._tree is None:
+            raise TreeStructureError("IncrementalBoat has not been built yet")
+        return self._tree
+
+    @property
+    def n_rows(self) -> int:
+        """Number of training tuples currently represented."""
+        return self._n_rows
+
+    @property
+    def skeleton(self) -> BoatNode:
+        if self._skeleton is None:
+            raise TreeStructureError("IncrementalBoat has not been built yet")
+        return self._skeleton
+
+    def stored_rows(self) -> int:
+        """Total tuples across all skeleton stores (consistency checks)."""
+        total = 0
+        for node in self.skeleton.nodes():
+            if node.held is not None:
+                total += len(node.held)
+            if node.family_store is not None:
+                total += len(node.family_store)
+        return total
+
+    def materialize(self) -> np.ndarray:
+        """Reassemble the complete current training multiset from stores."""
+        return collect_family(self.skeleton, self._schema.empty(0), self._schema)
+
+    def close(self) -> None:
+        """Release every store held by the skeleton."""
+        if self._skeleton is not None:
+            self._skeleton.release()

@@ -1,0 +1,390 @@
+"""Per-node state of the BOAT skeleton tree.
+
+A :class:`BoatNode` carries everything the cleanup scan accumulates at one
+node (§3.3–3.5) and everything the incremental maintainer keeps alive
+between updates (§4):
+
+* exact class counts of the tuples that streamed through the node,
+* per-categorical-attribute contingency matrices (exact categorical
+  impurity evaluation and splitting-attribute verification),
+* per-numerical-attribute discretization bucket counts (stamp points for
+  the Lemma 3.1 check),
+* for a numeric coarse criterion: exact class counts strictly below /
+  above the confidence interval and the *held* tuples inside it,
+* for a frontier node: the collected family.
+
+Persistent statistics cover only tuples that physically streamed past the
+node — tuples held at an ancestor are re-routed non-destructively at every
+finalization pass (:func:`effective_stats`), which keeps repeated
+incremental updates exactly correct when final split points drift inside
+their confidence intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..config import BoatConfig
+from ..exceptions import StorageError
+from ..storage import CLASS_COLUMN, IOStats, Schema, TupleStore
+from ..splits.categorical import category_class_counts
+from .coarse import CoarseCategorical, CoarseCriterion, CoarseNumeric
+from .discretize import bucket_index
+
+
+class BoatNode:
+    """One node of the BOAT skeleton with its accumulated statistics."""
+
+    __slots__ = (
+        "node_id",
+        "depth",
+        "criterion",
+        "left",
+        "right",
+        "parent",
+        "class_counts",
+        "below_counts",
+        "above_counts",
+        "held",
+        "family_store",
+        "cat_counts",
+        "bucket_edges",
+        "bucket_counts",
+        "estimated_family",
+        "dirty",
+        "cached_final",
+        "cached_key",
+        "deepen_watermark",
+    )
+
+    def __init__(
+        self,
+        node_id: int,
+        depth: int,
+        criterion: CoarseCriterion | None,
+        schema: Schema,
+        bucket_edges: dict[int, np.ndarray],
+        config: BoatConfig,
+        spill_dir: str | None = None,
+        io_stats: IOStats | None = None,
+        estimated_family: int = 0,
+    ):
+        k = schema.n_classes
+        self.node_id = node_id
+        self.depth = depth
+        self.criterion = criterion
+        self.left: BoatNode | None = None
+        self.right: BoatNode | None = None
+        self.parent: BoatNode | None = None
+        #: Finalization cache (incremental mode): the last final subtree
+        #: computed for this skeleton node and the digest of the inherited
+        #: tuples it was computed under.
+        self.cached_final = None
+        self.cached_key: bytes | None = None
+        #: Frontier-deepening backoff: skip re-attempting a mini-BOAT
+        #: conversion until the family outgrows this size.
+        self.deepen_watermark = 0
+        self.class_counts = np.zeros(k, dtype=np.int64)
+        self.estimated_family = estimated_family
+        self.dirty = True
+        # Frontier nodes keep their whole family, so per-attribute counts
+        # would be redundant work; internal nodes need them for the checks.
+        if criterion is None:
+            self.cat_counts = {}
+        else:
+            self.cat_counts = {
+                i: np.zeros((a.domain_size, k), dtype=np.int64)
+                for i, a in enumerate(schema.attributes)
+                if a.is_categorical
+            }
+        self.bucket_edges = bucket_edges
+        self.bucket_counts = {
+            i: np.zeros((len(edges) + 1, k), dtype=np.int64)
+            for i, edges in bucket_edges.items()
+        }
+        if isinstance(criterion, CoarseNumeric):
+            self.below_counts = np.zeros(k, dtype=np.int64)
+            self.above_counts = np.zeros(k, dtype=np.int64)
+            self.held = TupleStore(
+                schema, config.spill_threshold_rows, spill_dir, io_stats
+            )
+        else:
+            self.below_counts = None
+            self.above_counts = None
+            self.held = None
+        if criterion is None:
+            self.family_store = TupleStore(
+                schema, config.spill_threshold_rows, spill_dir, io_stats
+            )
+        else:
+            self.family_store = None
+
+    @property
+    def is_frontier(self) -> bool:
+        return self.criterion is None
+
+    @property
+    def n_tuples(self) -> int:
+        return int(self.class_counts.sum())
+
+    def children(self) -> tuple["BoatNode", "BoatNode"]:
+        if self.left is None or self.right is None:
+            raise StorageError(f"BOAT node {self.node_id} has no children")
+        return self.left, self.right
+
+    def nodes(self) -> Iterator["BoatNode"]:
+        """This node and all descendants, preorder."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            if node.right is not None:
+                stack.append(node.right)
+            if node.left is not None:
+                stack.append(node.left)
+
+    def release(self) -> None:
+        """Drop every store in this subtree (subtree discard / teardown)."""
+        for node in self.nodes():
+            if node.held is not None:
+                node.held.clear()
+            if node.family_store is not None:
+                node.family_store.clear()
+
+    def __repr__(self) -> str:
+        kind = "frontier" if self.is_frontier else str(self.criterion)
+        return f"BoatNode(id={self.node_id}, depth={self.depth}, {kind}, n={self.n_tuples})"
+
+
+# ---------------------------------------------------------------------------
+# Streaming accumulation (the cleanup scan, and incremental insert/delete)
+# ---------------------------------------------------------------------------
+
+
+def stream_batch(
+    node: BoatNode, batch: np.ndarray, schema: Schema, sign: int = 1
+) -> None:
+    """Stream a batch down the skeleton, updating statistics in place.
+
+    ``sign=+1`` inserts (the cleanup scan and incremental insertion);
+    ``sign=-1`` deletes (incremental deletion) — counts are decremented
+    and matching tuples are removed from held/family stores.
+    """
+    if batch.size == 0:
+        return
+    node.dirty = True
+    _accumulate_counts(node, batch, schema, sign)
+    if node.criterion is None:
+        if sign > 0:
+            node.family_store.append(batch)
+        else:
+            _remove_from_store(node.family_store, batch)
+        return
+    if isinstance(node.criterion, CoarseCategorical):
+        go_left = node.criterion.go_left(batch, schema)
+        left, right = node.children()
+        stream_batch(left, batch[go_left], schema, sign)
+        stream_batch(right, batch[~go_left], schema, sign)
+        return
+    below, held, above = node.criterion.masks(batch, schema)
+    labels = batch[CLASS_COLUMN]
+    k = schema.n_classes
+    node.below_counts += sign * np.bincount(labels[below], minlength=k)
+    node.above_counts += sign * np.bincount(labels[above], minlength=k)
+    held_batch = batch[held]
+    if held_batch.size:
+        if sign > 0:
+            node.held.append(held_batch)
+        else:
+            _remove_from_store(node.held, held_batch)
+    left, right = node.children()
+    stream_batch(left, batch[below], schema, sign)
+    stream_batch(right, batch[above], schema, sign)
+
+
+def _accumulate_counts(
+    node: BoatNode, batch: np.ndarray, schema: Schema, sign: int
+) -> None:
+    labels = batch[CLASS_COLUMN]
+    k = schema.n_classes
+    node.class_counts += sign * np.bincount(labels, minlength=k)
+    for index, matrix in node.cat_counts.items():
+        matrix += sign * category_class_counts(
+            batch[schema[index].name], labels, matrix.shape[0], k
+        )
+    for index, counts in node.bucket_counts.items():
+        edges = node.bucket_edges[index]
+        buckets = bucket_index(edges, batch[schema[index].name])
+        flat = np.bincount(buckets * k + labels, minlength=counts.size)
+        counts += sign * flat.reshape(counts.shape)
+
+
+def _remove_from_store(store: TupleStore, records: np.ndarray) -> None:
+    remaining = multiset_remove(store.read_all(), records)
+    store.replace(remaining)
+
+
+def multiset_remove(haystack: np.ndarray, needles: np.ndarray) -> np.ndarray:
+    """Remove one occurrence per needle from a record array (bitwise match).
+
+    Raises :class:`StorageError` if any needle has no remaining match —
+    deleting a tuple that was never inserted is a caller bug the paper's
+    model does not allow.
+    """
+    if len(needles) == 0:
+        return haystack
+    size = haystack.dtype.itemsize
+    raw = np.ascontiguousarray(haystack).tobytes()
+    pending: dict[bytes, int] = {}
+    for i in range(len(needles)):
+        key = np.ascontiguousarray(needles[i : i + 1]).tobytes()
+        pending[key] = pending.get(key, 0) + 1
+    keep = np.ones(len(haystack), dtype=bool)
+    removed = 0
+    for i in range(len(haystack)):
+        key = raw[i * size : (i + 1) * size]
+        count = pending.get(key, 0)
+        if count:
+            pending[key] = count - 1
+            keep[i] = False
+            removed += 1
+            if removed == len(needles):
+                break
+    if removed != len(needles):
+        raise StorageError(
+            f"{len(needles) - removed} deleted tuple(s) not present in store"
+        )
+    return haystack[keep]
+
+
+# ---------------------------------------------------------------------------
+# Effective statistics (finalization pass)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class EffectiveStats:
+    """The node's statistics with ancestor-held tuples routed back in.
+
+    All arrays may alias the node's persistent state when ``inherited`` is
+    empty — treat them as read-only.
+
+    Attributes:
+        class_counts: family class counts.
+        cat_counts: per-categorical-attribute contingency matrices.
+        bucket_counts: per-numerical-attribute bucket class counts.
+        below_counts / above_counts: numeric criterion only.
+        held: every family tuple inside the confidence interval (own held
+            store plus in-interval inherited tuples); numeric criterion
+            only, else an empty array.
+        inherited_below / inherited_above: inherited tuples continuing to
+            the left / right child (numeric criterion), or the subset
+            partition of the inherited tuples (categorical criterion).
+    """
+
+    class_counts: np.ndarray
+    cat_counts: dict[int, np.ndarray]
+    bucket_counts: dict[int, np.ndarray]
+    below_counts: np.ndarray | None
+    above_counts: np.ndarray | None
+    held: np.ndarray
+    inherited_below: np.ndarray
+    inherited_above: np.ndarray
+
+
+def effective_stats(
+    node: BoatNode, inherited: np.ndarray, schema: Schema
+) -> EffectiveStats:
+    """Combine persistent statistics with re-routed ancestor-held tuples."""
+    k = schema.n_classes
+    empty = inherited[:0]
+    if node.criterion is None:
+        below = empty
+        above = empty
+        held_own = None
+    elif isinstance(node.criterion, CoarseCategorical):
+        go_left = node.criterion.go_left(inherited, schema)
+        below = inherited[go_left]
+        above = inherited[~go_left]
+        held_own = None
+    else:
+        below_mask, held_mask, above_mask = node.criterion.masks(inherited, schema)
+        below = inherited[below_mask]
+        above = inherited[above_mask]
+        held_own = inherited[held_mask]
+
+    if len(inherited) == 0:
+        class_counts = node.class_counts
+        cat_counts = node.cat_counts
+        bucket_counts = node.bucket_counts
+        below_counts = node.below_counts
+        above_counts = node.above_counts
+    else:
+        labels = inherited[CLASS_COLUMN]
+        class_counts = node.class_counts + np.bincount(labels, minlength=k)
+        cat_counts = {}
+        for index, matrix in node.cat_counts.items():
+            cat_counts[index] = matrix + category_class_counts(
+                inherited[schema[index].name], labels, matrix.shape[0], k
+            )
+        bucket_counts = {}
+        for index, counts in node.bucket_counts.items():
+            edges = node.bucket_edges[index]
+            buckets = bucket_index(edges, inherited[schema[index].name])
+            flat = np.bincount(
+                buckets * k + labels, minlength=counts.size
+            ).reshape(counts.shape)
+            bucket_counts[index] = counts + flat
+        below_counts = node.below_counts
+        above_counts = node.above_counts
+        if isinstance(node.criterion, CoarseNumeric):
+            below_counts = node.below_counts + np.bincount(
+                below[CLASS_COLUMN], minlength=k
+            )
+            above_counts = node.above_counts + np.bincount(
+                above[CLASS_COLUMN], minlength=k
+            )
+
+    if isinstance(node.criterion, CoarseNumeric):
+        own = node.held.read_all()
+        if held_own is not None and len(held_own):
+            held = np.concatenate([own, held_own]) if len(own) else held_own
+        else:
+            held = own
+    else:
+        held = empty
+
+    return EffectiveStats(
+        class_counts=class_counts,
+        cat_counts=cat_counts,
+        bucket_counts=bucket_counts,
+        below_counts=below_counts,
+        above_counts=above_counts,
+        held=held,
+        inherited_below=below,
+        inherited_above=above,
+    )
+
+
+def collect_family(node: BoatNode, inherited: np.ndarray, schema: Schema) -> np.ndarray:
+    """The node's complete family: every store in the subtree + inherited.
+
+    Every tuple that streamed past a node ends up in exactly one store of
+    its subtree (a held store, or a frontier family store), so the family
+    is recoverable without rescanning the training database — the property
+    that makes subtree rebuilds local.
+    """
+    parts: list[np.ndarray] = []
+    if len(inherited):
+        parts.append(inherited)
+    for sub in node.nodes():
+        if sub.held is not None and len(sub.held):
+            parts.append(sub.held.read_all())
+        if sub.family_store is not None and len(sub.family_store):
+            parts.append(sub.family_store.read_all())
+    if not parts:
+        return schema.empty(0)
+    return parts[0] if len(parts) == 1 else np.concatenate(parts)

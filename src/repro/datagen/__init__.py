@@ -1,0 +1,25 @@
+"""Synthetic workloads: the Agrawal et al. [AIS93] generator and chunk streams."""
+
+from .agrawal import (
+    BASE_ATTRIBUTE_NAMES,
+    AgrawalConfig,
+    AgrawalGenerator,
+    agrawal_schema,
+    drifted_function_1,
+)
+from .functions import FUNCTIONS, GROUP_A, GROUP_B, labels_for
+from .streams import ChunkStream, DriftSpec
+
+__all__ = [
+    "AgrawalConfig",
+    "AgrawalGenerator",
+    "BASE_ATTRIBUTE_NAMES",
+    "ChunkStream",
+    "DriftSpec",
+    "FUNCTIONS",
+    "GROUP_A",
+    "GROUP_B",
+    "agrawal_schema",
+    "drifted_function_1",
+    "labels_for",
+]

@@ -1,0 +1,200 @@
+"""The synthetic data generator of Agrawal et al. [AIS93].
+
+Nine predictor attributes (six numerical, three categorical) plus a binary
+class label assigned by one of ten classification functions
+(:mod:`repro.datagen.functions`).  This is the workload used by the BOAT,
+SPRINT, PUBLIC and RainForest performance studies.
+
+Attribute distributions (per [AIS93]):
+
+========== ============ ===========================================
+attribute   type         distribution
+========== ============ ===========================================
+salary      numerical    uniform in [20 000, 150 000]
+commission  numerical    0 if salary >= 75 000, else uniform in
+                         [10 000, 75 000]
+age         numerical    uniform integer in [20, 80]
+elevel      categorical  uniform in {0, ..., 4}
+car         categorical  uniform in {0, ..., 19} (20 makes)
+zipcode     categorical  uniform in {0, ..., 8} (9 zipcodes)
+hvalue      numerical    uniform in [k*50 000, k*150 000] with
+                         k = zipcode + 1 (house values track zipcode)
+hyears      numerical    uniform integer in [1, 30]
+loan        numerical    uniform in [0, 500 000]
+========== ============ ===========================================
+
+Our binary record is 64 bytes (float64 numerics, int32 categoricals and
+label) versus the paper's 40; record size only scales byte counters, never
+scan counts or comparative shapes.
+
+Noise and extra random attributes reproduce the paper's §5 experiments:
+*label noise* assigns, with probability ``noise``, a uniformly random class
+label; ``extra_numeric`` appends predictively-useless uniform attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+import numpy as np
+
+from ..exceptions import DatagenError
+from ..storage import CLASS_COLUMN, Attribute, Schema, Table
+from .functions import FUNCTIONS, GROUP_A, GROUP_B, labels_for
+
+#: Names of the nine standard predictor attributes, in schema order.
+BASE_ATTRIBUTE_NAMES = (
+    "salary",
+    "commission",
+    "age",
+    "elevel",
+    "car",
+    "zipcode",
+    "hvalue",
+    "hyears",
+    "loan",
+)
+
+
+def agrawal_schema(extra_numeric: int = 0) -> Schema:
+    """The generator's schema, optionally with extra random attributes."""
+    if extra_numeric < 0:
+        raise DatagenError("extra_numeric must be >= 0")
+    attrs = [
+        Attribute.numerical("salary"),
+        Attribute.numerical("commission"),
+        Attribute.numerical("age"),
+        Attribute.categorical("elevel", 5),
+        Attribute.categorical("car", 20),
+        Attribute.categorical("zipcode", 9),
+        Attribute.numerical("hvalue"),
+        Attribute.numerical("hyears"),
+        Attribute.numerical("loan"),
+    ]
+    attrs.extend(
+        Attribute.numerical(f"extra_{i}") for i in range(extra_numeric)
+    )
+    return Schema(attrs, n_classes=2)
+
+
+@dataclass(frozen=True)
+class AgrawalConfig:
+    """Parameters of one synthetic workload.
+
+    Attributes:
+        function_id: which of the ten classification functions labels the
+            data (the BOAT paper uses 1, 6 and 7).
+        noise: probability that a record's label is replaced by a uniformly
+            random class (the paper sweeps 2 %–10 %).
+        extra_numeric: number of additional uniform-random numerical
+            attributes with no predictive power (paper Figure 10/11).
+        label_fn: optional override of the classification function; takes a
+            batch, returns a boolean Group A mask.  Used by the dynamic
+            experiments to model distribution drift.
+    """
+
+    function_id: int = 1
+    noise: float = 0.0
+    extra_numeric: int = 0
+    label_fn: Callable[[np.ndarray], np.ndarray] | None = None
+
+    def __post_init__(self) -> None:
+        if self.label_fn is None and self.function_id not in FUNCTIONS:
+            raise DatagenError(
+                f"function_id must be in 1..10, got {self.function_id}"
+            )
+        if not 0.0 <= self.noise <= 1.0:
+            raise DatagenError("noise must be in [0, 1]")
+        if self.extra_numeric < 0:
+            raise DatagenError("extra_numeric must be >= 0")
+
+
+class AgrawalGenerator:
+    """Deterministic, seedable batch generator for one workload."""
+
+    def __init__(self, config: AgrawalConfig | None = None, seed: int = 0):
+        self._config = config or AgrawalConfig()
+        self._schema = agrawal_schema(self._config.extra_numeric)
+        self._rng = np.random.default_rng(seed)
+        self._seed = seed
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def config(self) -> AgrawalConfig:
+        return self._config
+
+    def generate(self, n: int) -> np.ndarray:
+        """Generate ``n`` labeled records as one structured array."""
+        if n < 0:
+            raise DatagenError("n must be >= 0")
+        rng = self._rng
+        batch = self._schema.empty(n)
+        salary = rng.uniform(20_000.0, 150_000.0, n)
+        batch["salary"] = salary
+        commission = rng.uniform(10_000.0, 75_000.0, n)
+        batch["commission"] = np.where(salary >= 75_000.0, 0.0, commission)
+        batch["age"] = rng.integers(20, 81, n).astype(np.float64)
+        batch["elevel"] = rng.integers(0, 5, n, dtype=np.int32)
+        batch["car"] = rng.integers(0, 20, n, dtype=np.int32)
+        zipcode = rng.integers(0, 9, n, dtype=np.int32)
+        batch["zipcode"] = zipcode
+        k = (zipcode + 1).astype(np.float64)
+        batch["hvalue"] = rng.uniform(0.0, 1.0, n) * (k * 100_000.0) + k * 50_000.0
+        batch["hyears"] = rng.integers(1, 31, n).astype(np.float64)
+        batch["loan"] = rng.uniform(0.0, 500_000.0, n)
+        for i in range(self._config.extra_numeric):
+            batch[f"extra_{i}"] = rng.uniform(0.0, 1.0, n)
+        batch[CLASS_COLUMN] = self._labels(batch)
+        if self._config.noise > 0.0 and n > 0:
+            flip = rng.random(n) < self._config.noise
+            random_labels = rng.integers(
+                0, self._schema.n_classes, n, dtype=np.int32
+            )
+            batch[CLASS_COLUMN] = np.where(
+                flip, random_labels, batch[CLASS_COLUMN]
+            ).astype(np.int32)
+        return batch
+
+    def _labels(self, batch: np.ndarray) -> np.ndarray:
+        if self._config.label_fn is not None:
+            mask = self._config.label_fn(batch)
+            return np.where(mask, GROUP_A, GROUP_B).astype(np.int32)
+        return labels_for(batch, self._config.function_id)
+
+    def batches(self, n: int, batch_rows: int = 65536) -> Iterator[np.ndarray]:
+        """Generate ``n`` records as a stream of batches."""
+        if batch_rows < 1:
+            raise DatagenError("batch_rows must be >= 1")
+        remaining = n
+        while remaining > 0:
+            take = min(batch_rows, remaining)
+            yield self.generate(take)
+            remaining -= take
+
+    def fill_table(self, table: Table, n: int, batch_rows: int = 65536) -> Table:
+        """Append ``n`` generated records to ``table`` and return it."""
+        if table.schema != self._schema:
+            raise DatagenError("table schema does not match generator schema")
+        for batch in self.batches(n, batch_rows):
+            table.append(batch)
+        return table
+
+
+def drifted_function_1(age_threshold: float = 70.0) -> Callable[[np.ndarray], np.ndarray]:
+    """A modified Function 1 whose tree differs only in part of the space.
+
+    Function 1 labels Group A iff ``age < 40 or age >= 60``; the modified
+    function keeps the young branch intact and moves the old-age boundary to
+    ``age_threshold``.  A tree built on the original data only needs its
+    ``age >= 40`` subtree rebuilt — exactly the paper's Figure 14 scenario.
+    """
+
+    def predicate(batch: np.ndarray) -> np.ndarray:
+        age = batch["age"]
+        return (age < 40) | (age >= age_threshold)
+
+    return predicate

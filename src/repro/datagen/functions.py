@@ -1,0 +1,204 @@
+"""The ten classification functions of Agrawal et al. [AIS93].
+
+Each function maps a batch of generated records to class labels
+{0 = Group A, 1 = Group B}.  The BOAT paper evaluates Functions 1, 6 and 7:
+Function 1 depends on two predictor attributes, Function 6 on three, and
+Function 7 on a linear combination of four.  We implement all ten so the
+generator is a complete substrate; formulas follow the published
+definitions (salary ranges in dollars, age in years).
+
+All predicates are vectorized over numpy structured arrays produced by
+:mod:`repro.datagen.agrawal`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+GROUP_A = 0
+GROUP_B = 1
+
+#: Signature of one classification function: batch -> bool mask of Group A.
+PredicateFn = Callable[[np.ndarray], np.ndarray]
+
+
+def _age_bands(batch: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    age = batch["age"]
+    return age < 40, (age >= 40) & (age < 60), age >= 60
+
+
+def function_1(batch: np.ndarray) -> np.ndarray:
+    """Group A iff age < 40 or age >= 60."""
+    young, _, old = _age_bands(batch)
+    return young | old
+
+
+def function_2(batch: np.ndarray) -> np.ndarray:
+    """Age bands with disjoint salary windows."""
+    young, middle, old = _age_bands(batch)
+    salary = batch["salary"]
+    return (
+        (young & (50_000 <= salary) & (salary <= 100_000))
+        | (middle & (75_000 <= salary) & (salary <= 125_000))
+        | (old & (25_000 <= salary) & (salary <= 75_000))
+    )
+
+
+def function_3(batch: np.ndarray) -> np.ndarray:
+    """Age bands with education-level windows."""
+    young, middle, old = _age_bands(batch)
+    elevel = batch["elevel"]
+    return (
+        (young & (elevel <= 1))
+        | (middle & (1 <= elevel) & (elevel <= 3))
+        | (old & (2 <= elevel) & (elevel <= 4))
+    )
+
+
+def function_4(batch: np.ndarray) -> np.ndarray:
+    """Age/education bands, each with its own salary window."""
+    young, middle, old = _age_bands(batch)
+    elevel = batch["elevel"]
+    salary = batch["salary"]
+    in_low = elevel <= 1
+    return (
+        young
+        & np.where(
+            in_low,
+            (25_000 <= salary) & (salary <= 75_000),
+            (50_000 <= salary) & (salary <= 100_000),
+        )
+        | middle
+        & np.where(
+            in_low,
+            (50_000 <= salary) & (salary <= 100_000),
+            (75_000 <= salary) & (salary <= 125_000),
+        )
+        | old
+        & np.where(
+            in_low,
+            (25_000 <= salary) & (salary <= 75_000),
+            (25_000 <= salary) & (salary <= 75_000),
+        )
+    )
+
+
+def function_5(batch: np.ndarray) -> np.ndarray:
+    """Age bands with salary/loan trade-off windows."""
+    young, middle, old = _age_bands(batch)
+    salary = batch["salary"]
+    loan = batch["loan"]
+    rich = (50_000 <= salary) & (salary <= 100_000)
+    return (
+        young
+        & np.where(
+            rich,
+            (100_000 <= loan) & (loan <= 300_000),
+            (200_000 <= loan) & (loan <= 400_000),
+        )
+        | middle
+        & np.where(
+            (75_000 <= salary) & (salary <= 125_000),
+            (200_000 <= loan) & (loan <= 400_000),
+            (300_000 <= loan) & (loan <= 500_000),
+        )
+        | old
+        & np.where(
+            (25_000 <= salary) & (salary <= 75_000),
+            (300_000 <= loan) & (loan <= 500_000),
+            (100_000 <= loan) & (loan <= 300_000),
+        )
+    )
+
+
+def function_6(batch: np.ndarray) -> np.ndarray:
+    """Age bands with total-income (salary + commission) windows.
+
+    The BOAT paper's "three predicates" function.
+    """
+    young, middle, old = _age_bands(batch)
+    total = batch["salary"] + batch["commission"]
+    return (
+        (young & (50_000 <= total) & (total <= 100_000))
+        | (middle & (75_000 <= total) & (total <= 125_000))
+        | (old & (25_000 <= total) & (total <= 75_000))
+    )
+
+
+def disposable_7(batch: np.ndarray) -> np.ndarray:
+    """Disposable income used by Function 7 (four predictor attributes)."""
+    return (
+        0.67 * (batch["salary"] + batch["commission"])
+        - 5_000.0 * batch["elevel"]
+        - 0.2 * batch["loan"]
+        - 10_000.0
+    )
+
+
+def function_7(batch: np.ndarray) -> np.ndarray:
+    """Group A iff disposable income > 0 (linear in four attributes)."""
+    return disposable_7(batch) > 0
+
+
+def _equity(batch: np.ndarray) -> np.ndarray:
+    hyears = batch["hyears"]
+    return np.where(hyears >= 20, 0.1 * batch["hvalue"] * (hyears - 20.0), 0.0)
+
+
+def function_8(batch: np.ndarray) -> np.ndarray:
+    """Group A iff 0.67 * (salary + commission) - 5000 * elevel - 20000 > 0."""
+    disposable = (
+        0.67 * (batch["salary"] + batch["commission"])
+        - 5_000.0 * batch["elevel"]
+        - 20_000.0
+    )
+    return disposable > 0
+
+
+def function_9(batch: np.ndarray) -> np.ndarray:
+    """Function 8 plus a loan term: ... - 0.2 * loan + 10000 > 0."""
+    disposable = (
+        0.67 * (batch["salary"] + batch["commission"])
+        - 5_000.0 * batch["elevel"]
+        - 0.2 * batch["loan"]
+        + 10_000.0
+    )
+    return disposable > 0
+
+
+def function_10(batch: np.ndarray) -> np.ndarray:
+    """Function 8 with a home-equity term: ... + 0.2 * equity - 10000 > 0."""
+    disposable = (
+        0.67 * (batch["salary"] + batch["commission"])
+        - 5_000.0 * batch["elevel"]
+        + 0.2 * _equity(batch)
+        - 10_000.0
+    )
+    return disposable > 0
+
+
+FUNCTIONS: Dict[int, PredicateFn] = {
+    1: function_1,
+    2: function_2,
+    3: function_3,
+    4: function_4,
+    5: function_5,
+    6: function_6,
+    7: function_7,
+    8: function_8,
+    9: function_9,
+    10: function_10,
+}
+
+
+def labels_for(batch: np.ndarray, function_id: int) -> np.ndarray:
+    """Class labels (0 = Group A, 1 = Group B) for a generated batch."""
+    try:
+        predicate = FUNCTIONS[function_id]
+    except KeyError:
+        raise ValueError(
+            f"function_id must be in 1..10, got {function_id}"
+        ) from None
+    return np.where(predicate(batch), GROUP_A, GROUP_B).astype(np.int32)

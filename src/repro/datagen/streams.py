@@ -1,0 +1,72 @@
+"""Chunked data arrival for the dynamic-environment experiments (§4, §5.3).
+
+The paper's dynamic experiments feed the tree "chunks" of new training data
+(insertions) and expire old chunks (deletions).  :class:`ChunkStream`
+produces a deterministic sequence of labeled chunks, optionally switching
+the underlying distribution after a given chunk index to model drift
+(Figure 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..exceptions import DatagenError
+from .agrawal import AgrawalConfig, AgrawalGenerator
+
+
+@dataclass(frozen=True)
+class DriftSpec:
+    """Switch the labeling distribution starting at ``after_chunk``."""
+
+    after_chunk: int
+    drifted_config: AgrawalConfig
+
+    def __post_init__(self) -> None:
+        if self.after_chunk < 0:
+            raise DatagenError("after_chunk must be >= 0")
+
+
+class ChunkStream:
+    """A deterministic stream of training-data chunks.
+
+    Each chunk is an independent sample; chunk ``i`` switches to the
+    drifted configuration when a :class:`DriftSpec` says ``i >=
+    after_chunk``.  The stream is reproducible from (config, seed).
+    """
+
+    def __init__(
+        self,
+        config: AgrawalConfig,
+        chunk_size: int,
+        seed: int = 0,
+        drift: DriftSpec | None = None,
+    ):
+        if chunk_size < 1:
+            raise DatagenError("chunk_size must be >= 1")
+        self._config = config
+        self._chunk_size = chunk_size
+        self._seed = seed
+        self._drift = drift
+
+    @property
+    def chunk_size(self) -> int:
+        return self._chunk_size
+
+    def chunk(self, index: int) -> np.ndarray:
+        """The ``index``-th chunk (deterministic random function of index)."""
+        if index < 0:
+            raise DatagenError("chunk index must be >= 0")
+        config = self._config
+        if self._drift is not None and index >= self._drift.after_chunk:
+            config = self._drift.drifted_config
+        generator = AgrawalGenerator(config, seed=self._seed * 1_000_003 + index)
+        return generator.generate(self._chunk_size)
+
+    def chunks(self, n_chunks: int) -> Iterator[np.ndarray]:
+        """The first ``n_chunks`` chunks, in order."""
+        for i in range(n_chunks):
+            yield self.chunk(i)

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised errors derive from :class:`ReproError`, so callers can
+catch one base class at an API boundary.  Subclasses exist per subsystem so
+tests can assert on the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed, or a record does not match its schema."""
+
+
+class StorageError(ReproError):
+    """An on-disk table or spill file is corrupt or used incorrectly."""
+
+
+class TableClosedError(StorageError):
+    """An operation was attempted on a table that has been closed."""
+
+
+class SplitSelectionError(ReproError):
+    """A split selection method was asked something it cannot answer."""
+
+
+class TreeStructureError(ReproError):
+    """A decision tree is structurally invalid (bad links, labels, ...)."""
+
+
+class CoarseCriterionFailure(ReproError):
+    """A coarse splitting criterion was detected to be incorrect.
+
+    Raised internally during BOAT's cleanup phase when the Lemma 3.1 check
+    (or the exact categorical check) signals that the global impurity
+    minimum may lie outside what the coarse criterion allows.  The driver
+    catches it and rebuilds the affected subtree; it escaping to user code
+    is a bug.
+    """
+
+    def __init__(self, node_id: int, reason: str):
+        super().__init__(f"coarse criterion failed at node {node_id}: {reason}")
+        self.node_id = node_id
+        self.reason = reason
+
+
+class DatagenError(ReproError):
+    """Bad parameters passed to the synthetic data generator."""
+
+
+class BenchmarkError(ReproError):
+    """A benchmark harness was configured inconsistently."""

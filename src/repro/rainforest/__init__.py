@@ -1,0 +1,45 @@
+"""RainForest baselines [GRG98]: RF-Hybrid and RF-Vertical."""
+
+from .avc import (
+    AVCGroup,
+    CategoricalAVC,
+    NumericAVC,
+    categorical_avc_from_batch,
+    estimate_group_entries,
+    numeric_avc_from_batch,
+)
+from .quest_levelwise import (
+    QuestLevelwiseReport,
+    QuestLevelwiseResult,
+    build_quest_levelwise,
+)
+from .levelwise import (
+    HybridPolicy,
+    LevelReport,
+    LevelwiseBuilder,
+    RainForestReport,
+    RainForestResult,
+    VerticalPolicy,
+    build_rf_hybrid,
+    build_rf_vertical,
+)
+
+__all__ = [
+    "AVCGroup",
+    "CategoricalAVC",
+    "HybridPolicy",
+    "LevelReport",
+    "LevelwiseBuilder",
+    "NumericAVC",
+    "QuestLevelwiseReport",
+    "QuestLevelwiseResult",
+    "RainForestReport",
+    "RainForestResult",
+    "VerticalPolicy",
+    "build_quest_levelwise",
+    "build_rf_hybrid",
+    "build_rf_vertical",
+    "categorical_avc_from_batch",
+    "estimate_group_entries",
+    "numeric_avc_from_batch",
+]

@@ -1,0 +1,129 @@
+"""Level-wise (one scan per level) construction for the QUEST method.
+
+QUEST's attribute selection and QDA split points are functions of
+streaming sufficient statistics, so the RainForest schema applies: scan
+the database once per level, accumulate each frontier node's
+:class:`~repro.splits.quest.QuestSufficientStats`, then decide splits
+from the statistics alone.  This is the baseline the BOAT-QUEST
+experiment (§5's non-impurity results) compares against.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import SplitConfig
+from ..splits.quest import QuestSplitSelection, QuestSufficientStats
+from ..storage import CLASS_COLUMN, IOStats, Table
+from ..tree import DecisionTree, Node
+
+
+@dataclass
+class QuestLevelwiseReport:
+    table_size: int
+    levels: int = 0
+    scans: int = 0
+    wall_seconds: float = 0.0
+    io: IOStats | None = None
+
+
+@dataclass
+class QuestLevelwiseResult:
+    tree: DecisionTree
+    report: QuestLevelwiseReport
+
+
+def build_quest_levelwise(
+    table: Table,
+    method: QuestSplitSelection | None = None,
+    split_config: SplitConfig | None = None,
+    batch_rows: int = 65536,
+) -> QuestLevelwiseResult:
+    """Grow the QUEST tree with one database scan per level."""
+    method = method or QuestSplitSelection()
+    config = split_config or SplitConfig()
+    schema = table.schema
+    start = time.perf_counter()
+    io = table.io_stats
+    io_before = io.snapshot() if io is not None else None
+    ids = itertools.count()
+    root = Node(next(ids), 0, np.zeros(schema.n_classes, dtype=np.int64))
+    tree = DecisionTree(schema, root)
+    report = QuestLevelwiseReport(table_size=len(table))
+    frontier: list[Node] = [root]
+    while frontier:
+        active = list(frontier)
+        if not active:
+            break
+        stats = {node.node_id: QuestSufficientStats.empty(schema) for node in active}
+        side_counts: dict[int, np.ndarray] = {}
+        for batch in table.scan(batch_rows):
+            leaf_ids = tree.route(batch)
+            for node in active:
+                mask = leaf_ids == node.node_id
+                if mask.any():
+                    stats[node.node_id].update(batch[mask])
+        report.scans += 1
+        report.levels += 1
+        next_frontier: list[Node] = []
+        for node in active:
+            node_stats = stats[node.node_id]
+            node.class_counts = node_stats.class_counts.copy()
+            if (
+                int(node.class_counts.sum()) < config.min_samples_split
+                or np.count_nonzero(node.class_counts) <= 1
+                or (
+                    config.max_depth is not None
+                    and node.depth >= config.max_depth
+                )
+            ):
+                continue
+            decision = method.decide_from_stats(node_stats, config)
+            if decision is None:
+                continue
+            # Side sizes are not derivable from the statistics alone; an
+            # extra partial evaluation during the next scan would fix
+            # min_samples_leaf lazily — here we accept the split and let
+            # the next level's exact counts retract empty children.
+            left = Node(next(ids), node.depth + 1, np.zeros_like(node.class_counts))
+            right = Node(next(ids), node.depth + 1, np.zeros_like(node.class_counts))
+            node.make_internal(decision.split, left, right)
+            next_frontier.extend([left, right])
+        frontier = next_frontier
+    _retract_degenerate(tree, config)
+    tree.validate()
+    report.wall_seconds = time.perf_counter() - start
+    if io is not None and io_before is not None:
+        report.io = io.delta_since(io_before)
+    return QuestLevelwiseResult(tree=tree, report=report)
+
+
+def _retract_degenerate(tree: DecisionTree, config: SplitConfig) -> None:
+    """Collapse splits whose children violate the leaf-size rules.
+
+    The level-wise schema learns child sizes one scan late; splits whose
+    realized children are empty or below ``min_samples_leaf`` are turned
+    back into leaves, matching the reference QUEST builder's refusal to
+    make them.
+    """
+    changed = True
+    while changed:
+        changed = False
+        for node in list(tree.nodes()):
+            if node.is_leaf:
+                continue
+            left, right = node.children()
+            if left.is_leaf and right.is_leaf:
+                n_left, n_right = left.n_tuples, right.n_tuples
+                if (
+                    n_left < config.min_samples_leaf
+                    or n_right < config.min_samples_leaf
+                    or n_left == 0
+                    or n_right == 0
+                ):
+                    node.make_leaf()
+                    changed = True

@@ -1,0 +1,169 @@
+"""Concave impurity functions over class-count vectors.
+
+Everything BOAT's exactness guarantee rests on lives here: the reference
+builder, BOAT's finalization pass, and the RainForest baselines all funnel
+their candidate evaluations through :meth:`ImpurityMeasure.weighted` with
+*integer* class counts.  Identical integer inputs through one code path
+yield bit-identical float64 outputs, so argmin and tie-break decisions
+agree across algorithms — the whole library compares impurities with ``<``
+and never needs an epsilon.
+
+All measures are concave in the class-probability arguments (required by
+Lemma 3.1's corner-point lower bound):
+
+* ``gini`` — the Gini index of CART [BFOS84],
+* ``entropy`` — the information entropy of ID3/C4.5 [Qui86],
+* ``interclass_variance`` — negated interclass variance, a stand-in for
+  the index-of-correlation family of [MFM+98] (minimizing it maximizes the
+  between-children class-distribution spread).
+
+Conventions: a *weighted* impurity of a binary split is
+``(n_L/N) imp(p_L) + (n_R/N) imp(p_R)``; empty sides contribute zero,
+matching the limit of the concave functions.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..exceptions import SplitSelectionError
+
+
+def _as_2d_float(counts: np.ndarray) -> np.ndarray:
+    arr = np.asarray(counts, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr[np.newaxis, :]
+    if arr.ndim != 2:
+        raise SplitSelectionError(f"counts must be 1-D or 2-D, got shape {arr.shape}")
+    return arr
+
+
+class ImpurityMeasure(ABC):
+    """A concave impurity function evaluated from class counts."""
+
+    #: Registry name (set by subclasses).
+    name: str = ""
+
+    @abstractmethod
+    def _node_impurity_rows(self, counts: np.ndarray) -> np.ndarray:
+        """Per-row impurity of a (m, k) float count matrix, in [0, ...].
+
+        Rows with zero total must map to 0.0.
+        """
+
+    def node_impurity(self, counts: np.ndarray) -> float:
+        """Impurity of a single node from its 1-D class-count vector."""
+        return float(self._node_impurity_rows(_as_2d_float(counts))[0])
+
+    def weighted(self, left_counts: np.ndarray, total_counts: np.ndarray) -> np.ndarray:
+        """Weighted split impurity for candidate left-count rows.
+
+        Args:
+            left_counts: integer array of shape (m, k) — class counts of the
+                left child for each of m candidate splits (1-D allowed for
+                a single candidate).
+            total_counts: integer 1-D array of shape (k,) — class counts of
+                the whole family; right counts are ``total - left``.
+
+        Returns:
+            float64 array of shape (m,) with the weighted impurity
+            ``(n_L/N) imp(L) + (n_R/N) imp(R)`` per candidate.
+        """
+        left = _as_2d_float(left_counts)
+        total = np.asarray(total_counts, dtype=np.float64)
+        if total.ndim != 1 or total.shape[0] != left.shape[1]:
+            raise SplitSelectionError(
+                f"total_counts shape {total.shape} incompatible with "
+                f"left_counts shape {left.shape}"
+            )
+        right = total[np.newaxis, :] - left
+        n = float(total.sum())
+        if n <= 0:
+            return np.zeros(left.shape[0], dtype=np.float64)
+        n_left = left.sum(axis=1)
+        n_right = right.sum(axis=1)
+        return (
+            n_left * self._node_impurity_rows(left)
+            + n_right * self._node_impurity_rows(right)
+        ) / n
+
+    def weighted_scalar(
+        self, left_counts: np.ndarray, total_counts: np.ndarray
+    ) -> float:
+        """Weighted impurity of one candidate split (scalar convenience)."""
+        return float(self.weighted(left_counts, total_counts)[0])
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class Gini(ImpurityMeasure):
+    """Gini index: ``1 - sum_i p_i^2`` (0 on pure nodes, concave)."""
+
+    name = "gini"
+
+    def _node_impurity_rows(self, counts: np.ndarray) -> np.ndarray:
+        totals = counts.sum(axis=1)
+        safe = np.where(totals > 0, totals, 1.0)
+        p = counts / safe[:, np.newaxis]
+        gini = 1.0 - np.square(p).sum(axis=1)
+        return np.where(totals > 0, gini, 0.0)
+
+
+class Entropy(ImpurityMeasure):
+    """Shannon entropy in nats: ``-sum_i p_i ln p_i``."""
+
+    name = "entropy"
+
+    def _node_impurity_rows(self, counts: np.ndarray) -> np.ndarray:
+        totals = counts.sum(axis=1)
+        safe = np.where(totals > 0, totals, 1.0)
+        p = counts / safe[:, np.newaxis]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            terms = np.where(p > 0, p * np.log(p), 0.0)
+        ent = -terms.sum(axis=1)
+        return np.where(totals > 0, ent, 0.0)
+
+
+class InterclassVariance(ImpurityMeasure):
+    """Negated interclass spread (index-of-correlation family, [MFM+98]).
+
+    Node impurity is the concave ``2 sum_i p_i (1 - p_i) / k`` variant:
+    zero on pure nodes, maximal when balanced.  Note that for exactly two
+    classes the 2/k scaling makes it coincide with Gini; the measures
+    diverge from three classes up.
+    """
+
+    name = "interclass_variance"
+
+    def _node_impurity_rows(self, counts: np.ndarray) -> np.ndarray:
+        totals = counts.sum(axis=1)
+        safe = np.where(totals > 0, totals, 1.0)
+        p = counts / safe[:, np.newaxis]
+        k = counts.shape[1]
+        value = 2.0 * (p * (1.0 - p)).sum(axis=1) / k
+        return np.where(totals > 0, value, 0.0)
+
+
+_REGISTRY: dict[str, ImpurityMeasure] = {
+    m.name: m for m in (Gini(), Entropy(), InterclassVariance())
+}
+
+
+def get_impurity(name: str | ImpurityMeasure) -> ImpurityMeasure:
+    """Look up an impurity measure by registry name (or pass one through)."""
+    if isinstance(name, ImpurityMeasure):
+        return name
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise SplitSelectionError(
+            f"unknown impurity {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_impurities() -> tuple[str, ...]:
+    """Names of all registered impurity measures."""
+    return tuple(sorted(_REGISTRY))

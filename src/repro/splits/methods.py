@@ -1,0 +1,106 @@
+"""Impurity-based split selection over whole families (the in-memory CL).
+
+This is the "traditional main-memory algorithm"'s split selection: examine
+every predictor attribute of the family, take each attribute's best
+admissible split, and keep the overall minimizer.  Deterministic global
+tie-break: strictly lower weighted impurity wins; on exact float equality
+the attribute appearing earlier in the schema wins, and within an
+attribute the candidate search orders already resolved ties.
+
+A node becomes a leaf (``None`` is returned) when the family is pure,
+smaller than ``min_samples_split``, has no admissible candidate, or when
+the best split has zero gain (weighted impurity not strictly below the
+node impurity) — a zero-gain split cannot change any leaf prediction and
+admitting it would make tree identity depend on degenerate candidates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import SplitConfig
+from ..exceptions import SplitSelectionError
+from ..storage import CLASS_COLUMN, Schema
+from .base import (
+    CategoricalSplit,
+    ImpurityBasedMethod,
+    NumericSplit,
+    Split,
+    SplitDecision,
+)
+from .categorical import best_categorical_split
+from .impurity import ImpurityMeasure, get_impurity
+from .numeric import best_numeric_split
+
+
+class ImpuritySplitSelection(ImpurityBasedMethod):
+    """CL instantiation for a concave impurity measure (gini, entropy, ...)."""
+
+    def __init__(self, impurity: str | ImpurityMeasure = "gini"):
+        self._impurity = get_impurity(impurity)
+
+    @property
+    def impurity(self) -> ImpurityMeasure:
+        return self._impurity
+
+    def choose_split(
+        self, family: np.ndarray, schema: Schema, config: SplitConfig
+    ) -> SplitDecision | None:
+        n = len(family)
+        if n < config.min_samples_split:
+            return None
+        counts = self.class_counts(family, schema.n_classes)
+        if np.count_nonzero(counts) <= 1:
+            return None
+        node_impurity = self._impurity.node_impurity(counts)
+        labels = family[CLASS_COLUMN]
+        best: tuple[float, Split] | None = None
+        for index, attr in enumerate(schema.attributes):
+            column = family[attr.name]
+            if attr.is_numerical:
+                found = best_numeric_split(
+                    column,
+                    labels,
+                    schema.n_classes,
+                    self._impurity,
+                    config.min_samples_leaf,
+                )
+                candidate: Split | None = (
+                    None if found is None else NumericSplit(index, found[1])
+                )
+            else:
+                found = best_categorical_split(
+                    column,
+                    labels,
+                    attr.domain_size,
+                    schema.n_classes,
+                    self._impurity,
+                    config.min_samples_leaf,
+                    config.max_categorical_exhaustive,
+                )
+                candidate = (
+                    None if found is None else CategoricalSplit(index, found[1])
+                )
+            if found is None:
+                continue
+            value = found[0]
+            if best is None or value < best[0]:
+                best = (value, candidate)
+        if best is None:
+            return None
+        if not best[0] < node_impurity:
+            return None
+        return SplitDecision(split=best[1], impurity=best[0])
+
+    def __repr__(self) -> str:
+        return f"ImpuritySplitSelection({self._impurity.name!r})"
+
+
+def get_method(name: str) -> ImpuritySplitSelection:
+    """Construct a split selection method from a registry name."""
+    try:
+        return ImpuritySplitSelection(get_impurity(name))
+    except SplitSelectionError:
+        raise SplitSelectionError(
+            f"unknown split selection method {name!r}"
+        ) from None

@@ -1,0 +1,42 @@
+"""Out-of-core storage substrate: schemas, tables, spills, sampling, I/O stats."""
+
+from .io_stats import IOStats
+from .sampling import (
+    bootstrap_resample,
+    reservoir_sample,
+    sample_known_size,
+    sample_table,
+    split_into_chunks,
+)
+from .schema import CLASS_COLUMN, Attribute, AttributeKind, Schema
+from .spill import SpillFile, TupleStore
+from .table import DiskTable, MemoryTable, Table, read_json_sidecar, write_json_sidecar
+from .csv_io import CategoryEncoder, infer_schema, read_csv, write_csv
+from .views import Dimension, StarJoinView, materialize_view
+
+__all__ = [
+    "Attribute",
+    "AttributeKind",
+    "CLASS_COLUMN",
+    "CategoryEncoder",
+    "Dimension",
+    "DiskTable",
+    "IOStats",
+    "MemoryTable",
+    "Schema",
+    "SpillFile",
+    "StarJoinView",
+    "Table",
+    "TupleStore",
+    "materialize_view",
+    "bootstrap_resample",
+    "infer_schema",
+    "read_csv",
+    "read_json_sidecar",
+    "reservoir_sample",
+    "sample_known_size",
+    "sample_table",
+    "split_into_chunks",
+    "write_csv",
+    "write_json_sidecar",
+]

@@ -1,0 +1,222 @@
+"""CSV import/export for training tables.
+
+Real deployments rarely start from binary tables; these helpers bridge
+CSV files to the library's schema'd tables.  Categorical columns may be
+arbitrary strings in the CSV — codes are assigned (or validated) through
+an explicit :class:`CategoryEncoder` so encodings survive round trips
+and train/serve skew is detectable.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..exceptions import SchemaError, StorageError
+from .schema import CLASS_COLUMN, Attribute, Schema
+from .table import Table
+
+
+@dataclass
+class CategoryEncoder:
+    """String-category to code mappings for one schema.
+
+    Attributes:
+        categories: per categorical attribute (and the class label), the
+            list of string values in code order.
+    """
+
+    categories: dict[str, list[str]] = field(default_factory=dict)
+
+    def encode(self, column: str, values: list[str], domain: int | None) -> np.ndarray:
+        mapping = self.categories.setdefault(column, [])
+        index = {v: i for i, v in enumerate(mapping)}
+        out = np.empty(len(values), dtype=np.int32)
+        for i, value in enumerate(values):
+            code = index.get(value)
+            if code is None:
+                if domain is not None and len(mapping) >= domain:
+                    raise StorageError(
+                        f"column {column!r}: category {value!r} exceeds the "
+                        f"declared domain of {domain}"
+                    )
+                code = len(mapping)
+                mapping.append(value)
+                index[value] = code
+            out[i] = code
+        return out
+
+    def decode(self, column: str, codes: np.ndarray) -> list[str]:
+        mapping = self.categories.get(column)
+        if mapping is None:
+            raise StorageError(f"no categories recorded for column {column!r}")
+        try:
+            return [mapping[int(c)] for c in codes]
+        except IndexError:
+            raise StorageError(
+                f"column {column!r}: code out of recorded range"
+            ) from None
+
+    def to_dict(self) -> dict:
+        return {"categories": self.categories}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CategoryEncoder":
+        return cls(categories={k: list(v) for k, v in data["categories"].items()})
+
+
+def read_csv(
+    path: str,
+    schema: Schema,
+    table: Table,
+    encoder: CategoryEncoder | None = None,
+    batch_rows: int = 8192,
+    label_column: str | None = None,
+) -> CategoryEncoder:
+    """Load a headered CSV file into ``table`` (appending).
+
+    Args:
+        path: the CSV file; its header must contain every schema
+            attribute plus the label column.
+        schema: the target training schema.
+        table: destination (must share the schema).
+        encoder: category mappings to extend/validate; a fresh one is
+            created when omitted.  Returned either way.
+        label_column: CSV header name of the class label (defaults to
+            the reserved ``class_label``).
+    """
+    if table.schema != schema:
+        raise SchemaError("table schema does not match the requested schema")
+    encoder = encoder or CategoryEncoder()
+    label_column = label_column or CLASS_COLUMN
+    with open(path, newline="", encoding="utf-8") as fh:
+        reader = csv.DictReader(fh)
+        missing = {a.name for a in schema.attributes} - set(reader.fieldnames or [])
+        if label_column not in (reader.fieldnames or []):
+            missing.add(label_column)
+        if missing:
+            raise StorageError(f"CSV {path}: missing columns {sorted(missing)}")
+        for rows in _chunks(reader, batch_rows):
+            batch = schema.empty(len(rows))
+            for attr in schema.attributes:
+                raw = [row[attr.name] for row in rows]
+                if attr.is_numerical:
+                    try:
+                        batch[attr.name] = [float(v) for v in raw]
+                    except ValueError as exc:
+                        raise StorageError(
+                            f"CSV {path}: non-numeric value in {attr.name!r}: {exc}"
+                        ) from exc
+                else:
+                    batch[attr.name] = encoder.encode(
+                        attr.name, raw, attr.domain_size
+                    )
+            batch[CLASS_COLUMN] = encoder.encode(
+                CLASS_COLUMN, [row[label_column] for row in rows], schema.n_classes
+            )
+            table.append(batch)
+    return encoder
+
+
+def write_csv(
+    path: str,
+    table: Table,
+    encoder: CategoryEncoder | None = None,
+    batch_rows: int = 8192,
+) -> None:
+    """Write a table to a headered CSV file.
+
+    With an ``encoder``, categorical codes are decoded back to their
+    strings; without one they are written as integers.
+    """
+    schema = table.schema
+    header = [a.name for a in schema.attributes] + [CLASS_COLUMN]
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        for batch in table.scan(batch_rows):
+            columns: list[list] = []
+            for attr in schema.attributes:
+                values = batch[attr.name]
+                if attr.is_numerical:
+                    columns.append([repr(float(v)) for v in values])
+                elif encoder is not None and attr.name in encoder.categories:
+                    columns.append(encoder.decode(attr.name, values))
+                else:
+                    columns.append([str(int(v)) for v in values])
+            labels = batch[CLASS_COLUMN]
+            if encoder is not None and CLASS_COLUMN in encoder.categories:
+                columns.append(encoder.decode(CLASS_COLUMN, labels))
+            else:
+                columns.append([str(int(v)) for v in labels])
+            writer.writerows(zip(*columns))
+
+
+def infer_schema(
+    path: str,
+    label_column: str,
+    max_categories: int = 32,
+    sample_rows: int = 10_000,
+) -> Schema:
+    """Guess a training schema from a CSV sample.
+
+    Columns whose sampled values all parse as floats become numerical;
+    the rest become categorical with the observed distinct-value count
+    (capped at ``max_categories``, beyond which loading fails loudly
+    rather than silently miscoding).
+    """
+    with open(path, newline="", encoding="utf-8") as fh:
+        reader = csv.DictReader(fh)
+        if not reader.fieldnames or label_column not in reader.fieldnames:
+            raise StorageError(
+                f"CSV {path}: label column {label_column!r} not found"
+            )
+        samples: dict[str, list[str]] = {name: [] for name in reader.fieldnames}
+        for i, row in enumerate(reader):
+            if i >= sample_rows:
+                break
+            for name, value in row.items():
+                samples[name].append(value)
+    attrs = []
+    for name in samples:
+        if name == label_column:
+            continue
+        values = samples[name]
+        if not values:
+            raise StorageError(f"CSV {path}: no data rows")
+        if _all_float(values):
+            attrs.append(Attribute.numerical(name))
+        else:
+            distinct = len(set(values))
+            if distinct > max_categories:
+                raise StorageError(
+                    f"CSV {path}: column {name!r} has {distinct} distinct "
+                    f"non-numeric values (> {max_categories}); not a "
+                    f"plausible categorical attribute"
+                )
+            attrs.append(Attribute.categorical(name, max(distinct, 2)))
+    n_classes = max(len(set(samples[label_column])), 2)
+    return Schema(attrs, n_classes=n_classes)
+
+
+def _all_float(values: Iterable[str]) -> bool:
+    for value in values:
+        try:
+            float(value)
+        except ValueError:
+            return False
+    return True
+
+
+def _chunks(reader: Iterator[dict], size: int) -> Iterator[list[dict]]:
+    chunk: list[dict] = []
+    for row in reader:
+        chunk.append(row)
+        if len(chunk) == size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk

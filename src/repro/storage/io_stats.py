@@ -1,0 +1,87 @@
+"""I/O accounting.
+
+The paper's headline claim — BOAT builds several tree levels in two scans
+while level-wise algorithms pay one scan per level — is a claim about I/O.
+Wall-clock time in a Python reproduction mixes in interpreter overhead, so
+every table and spill file charges its reads and writes to an
+:class:`IOStats` counter and benchmarks report both.
+
+A single :class:`IOStats` instance is shared by all storage objects that
+belong to one experiment; algorithms receive it via the table they scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IOStats:
+    """Mutable counters for one experiment run.
+
+    Attributes:
+        full_scans: completed sequential scans over a primary table.
+        tuples_read / tuples_written: record-level traffic, all files.
+        bytes_read / bytes_written: byte-level traffic, all files.
+        spill_files: temporary files created (S_n and family spills).
+    """
+
+    full_scans: int = 0
+    tuples_read: int = 0
+    tuples_written: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    spill_files: int = 0
+
+    def record_read(self, tuples: int, nbytes: int) -> None:
+        self.tuples_read += tuples
+        self.bytes_read += nbytes
+
+    def record_write(self, tuples: int, nbytes: int) -> None:
+        self.tuples_written += tuples
+        self.bytes_written += nbytes
+
+    def record_full_scan(self) -> None:
+        self.full_scans += 1
+
+    def record_spill_file(self) -> None:
+        self.spill_files += 1
+
+    def snapshot(self) -> "IOStats":
+        """An independent copy of the current counters."""
+        return IOStats(
+            full_scans=self.full_scans,
+            tuples_read=self.tuples_read,
+            tuples_written=self.tuples_written,
+            bytes_read=self.bytes_read,
+            bytes_written=self.bytes_written,
+            spill_files=self.spill_files,
+        )
+
+    def delta_since(self, earlier: "IOStats") -> "IOStats":
+        """Counters accumulated since ``earlier`` (a prior snapshot)."""
+        return IOStats(
+            full_scans=self.full_scans - earlier.full_scans,
+            tuples_read=self.tuples_read - earlier.tuples_read,
+            tuples_written=self.tuples_written - earlier.tuples_written,
+            bytes_read=self.bytes_read - earlier.bytes_read,
+            bytes_written=self.bytes_written - earlier.bytes_written,
+            spill_files=self.spill_files - earlier.spill_files,
+        )
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        self.full_scans = 0
+        self.tuples_read = 0
+        self.tuples_written = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.spill_files = 0
+
+    def __str__(self) -> str:
+        return (
+            f"scans={self.full_scans} "
+            f"read={self.tuples_read}t/{self.bytes_read}B "
+            f"written={self.tuples_written}t/{self.bytes_written}B "
+            f"spills={self.spill_files}"
+        )

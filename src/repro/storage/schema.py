@@ -1,0 +1,260 @@
+"""Schemas for training databases.
+
+A training database is a relation over *predictor attributes* plus one
+distinguished *class label* attribute.  Predictor attributes are either
+numerical (float64) or categorical (small integer category codes with a
+fixed domain size).  The class label is always a category code in
+``range(n_classes)``.
+
+The schema doubles as the binary record layout: it deterministically maps
+to a numpy structured dtype used by the paged on-disk tables, so a schema
+plus a file is a self-describing training database.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..exceptions import SchemaError
+
+#: Reserved column name for the class label in structured arrays.
+CLASS_COLUMN = "class_label"
+
+
+class AttributeKind(str, Enum):
+    """Kind of a predictor attribute."""
+
+    NUMERICAL = "numerical"
+    CATEGORICAL = "categorical"
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """One predictor attribute.
+
+    Attributes:
+        name: column name; must be a valid identifier and not the reserved
+            class-label column name.
+        kind: numerical or categorical.
+        domain_size: for categorical attributes, the number of categories;
+            values are codes in ``range(domain_size)``.  ``None`` for
+            numerical attributes.
+    """
+
+    name: str
+    kind: AttributeKind
+    domain_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise SchemaError(f"attribute name {self.name!r} is not an identifier")
+        if self.name == CLASS_COLUMN:
+            raise SchemaError(f"{CLASS_COLUMN!r} is reserved for the class label")
+        if self.kind is AttributeKind.CATEGORICAL:
+            if self.domain_size is None or self.domain_size < 2:
+                raise SchemaError(
+                    f"categorical attribute {self.name!r} needs domain_size >= 2"
+                )
+        elif self.domain_size is not None:
+            raise SchemaError(
+                f"numerical attribute {self.name!r} must not set domain_size"
+            )
+
+    @property
+    def is_numerical(self) -> bool:
+        return self.kind is AttributeKind.NUMERICAL
+
+    @property
+    def is_categorical(self) -> bool:
+        return self.kind is AttributeKind.CATEGORICAL
+
+    @staticmethod
+    def numerical(name: str) -> "Attribute":
+        """Shorthand constructor for a numerical attribute."""
+        return Attribute(name, AttributeKind.NUMERICAL)
+
+    @staticmethod
+    def categorical(name: str, domain_size: int) -> "Attribute":
+        """Shorthand constructor for a categorical attribute."""
+        return Attribute(name, AttributeKind.CATEGORICAL, domain_size)
+
+
+class Schema:
+    """Ordered predictor attributes plus the class label domain.
+
+    The attribute order is significant: it is the deterministic tie-break
+    order used by every split selection method, and it is the physical
+    column order of the binary record layout.
+    """
+
+    def __init__(self, attributes: Iterable[Attribute], n_classes: int):
+        self._attributes = tuple(attributes)
+        if not self._attributes:
+            raise SchemaError("schema needs at least one predictor attribute")
+        names = [a.name for a in self._attributes]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate attribute names in {names}")
+        if n_classes < 2:
+            raise SchemaError("n_classes must be >= 2")
+        self._n_classes = int(n_classes)
+        self._index = {a.name: i for i, a in enumerate(self._attributes)}
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        return self._attributes
+
+    @property
+    def n_classes(self) -> int:
+        return self._n_classes
+
+    @property
+    def n_attributes(self) -> int:
+        return len(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __getitem__(self, key: int | str) -> Attribute:
+        if isinstance(key, str):
+            return self._attributes[self.index_of(key)]
+        return self._attributes[key]
+
+    def index_of(self, name: str) -> int:
+        """Return the position of the attribute called ``name``."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(f"no attribute named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    @property
+    def numerical_attributes(self) -> tuple[Attribute, ...]:
+        return tuple(a for a in self._attributes if a.is_numerical)
+
+    @property
+    def categorical_attributes(self) -> tuple[Attribute, ...]:
+        return tuple(a for a in self._attributes if a.is_categorical)
+
+    # -- equality / hashing ------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return (
+            self._attributes == other._attributes
+            and self._n_classes == other._n_classes
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._attributes, self._n_classes))
+
+    def __repr__(self) -> str:
+        cols = ", ".join(
+            f"{a.name}:{'num' if a.is_numerical else f'cat({a.domain_size})'}"
+            for a in self._attributes
+        )
+        return f"Schema([{cols}], n_classes={self._n_classes})"
+
+    # -- binary layout -----------------------------------------------------
+
+    def dtype(self) -> np.dtype:
+        """The numpy structured dtype of one record.
+
+        Numerical attributes are float64, categorical attributes int32,
+        and the class label int32.  The layout is packed (align=False) so
+        record size is stable across platforms.
+        """
+        fields: list[tuple[str, str]] = []
+        for attr in self._attributes:
+            fields.append((attr.name, "<f8" if attr.is_numerical else "<i4"))
+        fields.append((CLASS_COLUMN, "<i4"))
+        return np.dtype(fields)
+
+    @property
+    def record_size(self) -> int:
+        """Bytes per record in the binary layout."""
+        return self.dtype().itemsize
+
+    def empty(self, n: int = 0) -> np.ndarray:
+        """Allocate an uninitialized structured array of ``n`` records."""
+        return np.empty(n, dtype=self.dtype())
+
+    def validate_batch(self, batch: np.ndarray) -> None:
+        """Raise :class:`SchemaError` unless ``batch`` matches this schema.
+
+        Checks the dtype, categorical code ranges, and class label range.
+        Intended for API boundaries (table append, generator output); inner
+        loops skip it.
+        """
+        if batch.dtype != self.dtype():
+            raise SchemaError(
+                f"batch dtype {batch.dtype} does not match schema dtype {self.dtype()}"
+            )
+        if batch.size == 0:
+            return
+        labels = batch[CLASS_COLUMN]
+        if labels.min() < 0 or labels.max() >= self._n_classes:
+            raise SchemaError(
+                f"class labels outside range(0, {self._n_classes}): "
+                f"[{labels.min()}, {labels.max()}]"
+            )
+        for attr in self._attributes:
+            if attr.is_categorical:
+                codes = batch[attr.name]
+                if codes.min() < 0 or codes.max() >= attr.domain_size:
+                    raise SchemaError(
+                        f"attribute {attr.name!r} has codes outside "
+                        f"range(0, {attr.domain_size})"
+                    )
+
+    # -- (de)serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-dict form, suitable for JSON headers."""
+        return {
+            "attributes": [
+                {
+                    "name": a.name,
+                    "kind": a.kind.value,
+                    "domain_size": a.domain_size,
+                }
+                for a in self._attributes
+            ],
+            "n_classes": self._n_classes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Schema":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            attrs = [
+                Attribute(
+                    a["name"], AttributeKind(a["kind"]), a.get("domain_size")
+                )
+                for a in data["attributes"]
+            ]
+            return cls(attrs, data["n_classes"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SchemaError(f"malformed schema dict: {exc}") from exc
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Schema":
+        try:
+            return cls.from_dict(json.loads(text))
+        except json.JSONDecodeError as exc:
+            raise SchemaError(f"malformed schema JSON: {exc}") from exc

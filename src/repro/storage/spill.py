@@ -1,0 +1,213 @@
+"""Spill files and the hybrid in-memory/on-disk tuple store.
+
+During BOAT's cleanup scan, tuples falling inside a node's confidence
+interval are held at that node (the paper's temporary file ``S_n``).
+Usually these sets are small and stay in RAM, but the paper notes that a
+truly scalable implementation writes them to temporary files.
+:class:`TupleStore` does both: it buffers in memory up to a limit and
+transparently spills to a :class:`SpillFile` beyond it.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Iterator
+
+import numpy as np
+
+from ..exceptions import StorageError
+from .io_stats import IOStats
+from .schema import Schema
+
+
+class SpillFile:
+    """A headerless temporary file of fixed-width records for one node.
+
+    Unlike :class:`~repro.storage.table.DiskTable` there is no header —
+    the schema is carried in memory because spill files never outlive the
+    process that created them.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        directory: str | os.PathLike | None = None,
+        io_stats: IOStats | None = None,
+    ):
+        self._schema = schema
+        self._io_stats = io_stats
+        fd, self._path = tempfile.mkstemp(
+            suffix=".spill", dir=None if directory is None else os.fspath(directory)
+        )
+        os.close(fd)
+        self._n_rows = 0
+        self._deleted = False
+        if io_stats is not None:
+            io_stats.record_spill_file()
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    def _check_live(self) -> None:
+        if self._deleted:
+            raise StorageError(f"spill file {self._path} already deleted")
+
+    def append(self, batch: np.ndarray) -> None:
+        self._check_live()
+        if batch.dtype != self._schema.dtype():
+            raise StorageError("spill append with mismatched dtype")
+        if batch.size == 0:
+            return
+        raw = np.ascontiguousarray(batch).tobytes()
+        with open(self._path, "ab") as fh:
+            fh.write(raw)
+        self._n_rows += len(batch)
+        if self._io_stats is not None:
+            self._io_stats.record_write(len(batch), len(raw))
+
+    def read_all(self) -> np.ndarray:
+        self._check_live()
+        dtype = self._schema.dtype()
+        with open(self._path, "rb") as fh:
+            raw = fh.read()
+        if len(raw) != self._n_rows * dtype.itemsize:
+            raise StorageError(
+                f"spill file {self._path}: expected {self._n_rows} records, "
+                f"found {len(raw)} bytes"
+            )
+        batch = np.frombuffer(raw, dtype=dtype)
+        if self._io_stats is not None:
+            self._io_stats.record_read(len(batch), len(raw))
+        return batch
+
+    def rewrite(self, batch: np.ndarray) -> None:
+        """Replace the file's contents (used when deleting tuples)."""
+        self._check_live()
+        if batch.dtype != self._schema.dtype():
+            raise StorageError("spill rewrite with mismatched dtype")
+        raw = np.ascontiguousarray(batch).tobytes()
+        with open(self._path, "wb") as fh:
+            fh.write(raw)
+        self._n_rows = len(batch)
+        if self._io_stats is not None:
+            self._io_stats.record_write(len(batch), len(raw))
+
+    def delete(self) -> None:
+        """Remove the backing file; further use raises."""
+        if not self._deleted:
+            self._deleted = True
+            try:
+                os.remove(self._path)
+            except FileNotFoundError:
+                pass
+
+    def __del__(self) -> None:  # best-effort cleanup
+        try:
+            self.delete()
+        except Exception:
+            pass
+
+
+class TupleStore:
+    """Held tuples for one node: RAM up to a budget, disk beyond it.
+
+    The store preserves append order.  ``read_all`` always returns the full
+    contents (memory + spilled); ``replace`` substitutes the contents, used
+    by incremental deletion.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        memory_budget_rows: int = 1 << 20,
+        directory: str | os.PathLike | None = None,
+        io_stats: IOStats | None = None,
+    ):
+        if memory_budget_rows < 0:
+            raise ValueError("memory_budget_rows must be >= 0")
+        self._schema = schema
+        self._budget = memory_budget_rows
+        self._directory = directory
+        self._io_stats = io_stats
+        self._chunks: list[np.ndarray] = []
+        self._mem_rows = 0
+        self._spill: SpillFile | None = None
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def spilled(self) -> bool:
+        return self._spill is not None
+
+    def __len__(self) -> int:
+        spilled = 0 if self._spill is None else len(self._spill)
+        return self._mem_rows + spilled
+
+    def append(self, batch: np.ndarray) -> None:
+        if batch.dtype != self._schema.dtype():
+            raise StorageError("TupleStore append with mismatched dtype")
+        if batch.size == 0:
+            return
+        if self._spill is None and self._mem_rows + len(batch) > self._budget:
+            self._spill_out()
+        if self._spill is not None:
+            self._spill.append(batch)
+        else:
+            self._chunks.append(np.ascontiguousarray(batch))
+            self._mem_rows += len(batch)
+
+    def _spill_out(self) -> None:
+        self._spill = SpillFile(self._schema, self._directory, self._io_stats)
+        for chunk in self._chunks:
+            self._spill.append(chunk)
+        self._chunks.clear()
+        self._mem_rows = 0
+
+    def read_all(self) -> np.ndarray:
+        parts: list[np.ndarray] = []
+        if self._spill is not None:
+            parts.append(self._spill.read_all())
+        parts.extend(self._chunks)
+        if not parts:
+            return self._schema.empty(0)
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+    def iter_batches(self, batch_rows: int) -> Iterator[np.ndarray]:
+        """Yield the contents re-batched to ``batch_rows``."""
+        data = self.read_all()
+        for start in range(0, len(data), batch_rows):
+            yield data[start : start + batch_rows]
+
+    def replace(self, batch: np.ndarray) -> None:
+        """Substitute the store's entire contents with ``batch``."""
+        if batch.dtype != self._schema.dtype():
+            raise StorageError("TupleStore replace with mismatched dtype")
+        if self._spill is not None and len(batch) <= self._budget:
+            self._spill.delete()
+            self._spill = None
+        if self._spill is not None:
+            self._spill.rewrite(batch)
+            self._chunks.clear()
+            self._mem_rows = 0
+        else:
+            self._chunks = [np.ascontiguousarray(batch)] if batch.size else []
+            self._mem_rows = len(batch)
+
+    def clear(self) -> None:
+        """Drop all contents and release any spill file."""
+        self._chunks.clear()
+        self._mem_rows = 0
+        if self._spill is not None:
+            self._spill.delete()
+            self._spill = None

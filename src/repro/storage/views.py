@@ -1,0 +1,134 @@
+"""Non-materialized training views (the paper's data-warehouse scenario).
+
+§1 and §7 emphasize that BOAT "offers the flexibility of computing the
+training database on demand instead of materializing it, as long as
+random samples from parts of the training database can be obtained" —
+e.g. mining a decision tree directly from a star-join query over a
+warehouse.  Level-wise algorithms are impractical here because every
+level re-executes the query; BOAT executes it exactly twice.
+
+:class:`StarJoinView` is a :class:`~repro.storage.table.Table` whose
+scan *computes* the training records on the fly: a selection over a fact
+table joined to dimension tables on foreign keys, projected onto a
+training schema.  Nothing is ever written; every scan re-runs the query,
+and the I/O charged is the fact-table traffic plus (once per scan) the
+dimension lookups — the honest cost of not materializing.
+
+Sampling uses reservoir sampling over the computed stream (the [Olk93]
+requirement), so :func:`repro.storage.sampling.reservoir_sample` applies
+unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping
+
+import numpy as np
+
+from ..exceptions import SchemaError, StorageError
+from .schema import CLASS_COLUMN, Schema
+from .table import DEFAULT_BATCH_ROWS, Table
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """One dimension table of the star schema.
+
+    Attributes:
+        name: dimension name (used as the output-column prefix default).
+        key_column: the fact-table column holding this dimension's key.
+        table: the dimension rows as a structured array indexed by
+            position — key k maps to ``table[k]``.
+    """
+
+    name: str
+    key_column: str
+    table: np.ndarray
+
+    def lookup(self, keys: np.ndarray) -> np.ndarray:
+        if keys.size and (keys.min() < 0 or keys.max() >= len(self.table)):
+            raise StorageError(
+                f"dimension {self.name!r}: foreign key out of range "
+                f"[{keys.min()}, {keys.max()}] vs {len(self.table)} rows"
+            )
+        return self.table[keys]
+
+
+#: Computes one output column from (fact batch, {dimension name: joined rows}).
+ColumnExpr = Callable[[np.ndarray, Mapping[str, np.ndarray]], np.ndarray]
+
+
+class StarJoinView(Table):
+    """A training 'table' computed by a star join, never materialized.
+
+    Args:
+        fact: the fact table (any :class:`Table`; its I/O stats are the
+            view's I/O stats).
+        dimensions: dimension tables joined on fact foreign-key columns.
+        schema: the *training* schema of the view's output.
+        columns: one expression per training column (class label
+            included), evaluated per scanned fact batch after the joins.
+    """
+
+    def __init__(
+        self,
+        fact: Table,
+        dimensions: list[Dimension],
+        schema: Schema,
+        columns: dict[str, ColumnExpr],
+    ):
+        super().__init__(schema, fact.io_stats)
+        expected = {a.name for a in schema.attributes} | {CLASS_COLUMN}
+        if set(columns) != expected:
+            missing = expected - set(columns)
+            extra = set(columns) - expected
+            raise SchemaError(
+                f"view columns mismatch: missing {sorted(missing)}, "
+                f"unexpected {sorted(extra)}"
+            )
+        names = [d.name for d in dimensions]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate dimension names: {names}")
+        self._fact = fact
+        self._dimensions = tuple(dimensions)
+        self._columns = columns
+
+    def __len__(self) -> int:
+        return len(self._fact)
+
+    def append(self, batch: np.ndarray) -> None:
+        raise StorageError(
+            "StarJoinView is read-only; append to the fact table instead"
+        )
+
+    def scan(self, batch_rows: int = DEFAULT_BATCH_ROWS) -> Iterator[np.ndarray]:
+        """Execute the query: scan facts, join dimensions, project.
+
+        The fact table's scan does the I/O charging (and a full-scan tick
+        at completion), so downstream algorithms see the honest cost of
+        recomputing the view.
+        """
+        for fact_batch in self._fact.scan(batch_rows):
+            yield self._compute(fact_batch)
+
+    def _compute(self, fact_batch: np.ndarray) -> np.ndarray:
+        joined: dict[str, np.ndarray] = {}
+        for dim in self._dimensions:
+            joined[dim.name] = dim.lookup(fact_batch[dim.key_column])
+        out = self._schema.empty(len(fact_batch))
+        for name, expr in self._columns.items():
+            values = expr(fact_batch, joined)
+            out[name] = values
+        return out
+
+
+def materialize_view(view: StarJoinView, target: Table, batch_rows: int = 65536) -> Table:
+    """Explicitly materialize a view into a target table (for comparisons).
+
+    This is exactly what the paper says previous algorithms need and BOAT
+    avoids; benchmarks use it to price the materialization alternative.
+    """
+    for batch in view.scan(batch_rows):
+        target.append(batch)
+    return target

@@ -1,0 +1,78 @@
+"""The reference greedy top-down tree builder (Figure 1 of the paper).
+
+``TDTree`` applied to an in-memory family: select a split with the given
+CL, partition, recurse.  This builder *defines* the target tree — BOAT's
+exactness guarantee is "produce exactly what this builder produces on the
+full database" — so it is deliberately simple, deterministic, and shares
+every candidate-evaluation code path with BOAT (see
+:mod:`repro.splits.impurity`).
+
+Construction order is preorder (node ids increase root → left subtree →
+right subtree), but tree equality never depends on ids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import SplitConfig
+from ..splits.base import SplitSelectionMethod
+from ..storage import CLASS_COLUMN, Schema
+from .model import DecisionTree, Node
+
+
+def class_counts(family: np.ndarray, n_classes: int) -> np.ndarray:
+    """Integer class-count vector of a family array."""
+    return np.bincount(family[CLASS_COLUMN], minlength=n_classes).astype(np.int64)
+
+
+def build_reference_tree(
+    family: np.ndarray,
+    schema: Schema,
+    method: SplitSelectionMethod,
+    config: SplitConfig | None = None,
+) -> DecisionTree:
+    """Grow the greedy tree for an in-memory family.
+
+    Args:
+        family: the full training data as one structured array.
+        schema: its schema.
+        method: the split selection method CL.
+        config: stopping rules (defaults to :class:`SplitConfig`()).
+    """
+    config = config or SplitConfig()
+    root = Node(0, 0, class_counts(family, schema.n_classes))
+    tree = DecisionTree(schema, root)
+    grow_subtree(tree, root, family, method, config)
+    return tree
+
+
+def grow_subtree(
+    tree: DecisionTree,
+    node: Node,
+    family: np.ndarray,
+    method: SplitSelectionMethod,
+    config: SplitConfig,
+) -> None:
+    """Recursively grow the subtree rooted at ``node`` from its family.
+
+    ``node.class_counts`` must already describe ``family``.  Also used by
+    BOAT to finish frontier nodes and rebuild discarded subtrees in place.
+    """
+    if config.max_depth is not None and node.depth >= config.max_depth:
+        return
+    decision = method.choose_split(family, tree.schema, config)
+    if decision is None:
+        return
+    go_left = decision.split.evaluate(family, tree.schema)
+    left_family = family[go_left]
+    right_family = family[~go_left]
+    left = tree.new_node(
+        node.depth + 1, class_counts(left_family, tree.schema.n_classes), node
+    )
+    right = tree.new_node(
+        node.depth + 1, class_counts(right_family, tree.schema.n_classes), node
+    )
+    node.make_internal(decision.split, left, right)
+    grow_subtree(tree, left, left_family, method, config)
+    grow_subtree(tree, right, right_family, method, config)

@@ -1,0 +1,121 @@
+"""Structural tree comparison.
+
+Tree equality is the paper's correctness criterion: BOAT (static or
+incremental) must produce *exactly* the tree the reference builder grows
+on the same data.  Two trees are equal iff their shapes coincide, every
+corresponding internal node carries the same split (attribute + predicate,
+with exact float equality for numeric split points — both sides compute
+them from identical integer counts through identical code, see
+:mod:`repro.splits.impurity`), and every corresponding leaf predicts the
+same label.
+
+:func:`tree_diff` reports the first difference found, for debugging and
+for the drift-analysis story of §4 (telling the analyst *where* the tree
+changed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .model import DecisionTree, Node
+
+
+@dataclass(frozen=True)
+class TreeDifference:
+    """The first structural difference between two trees.
+
+    ``path`` is the root-to-node path as a string of ``L``/``R`` moves;
+    the empty string denotes the root.
+    """
+
+    path: str
+    reason: str
+
+    def __str__(self) -> str:
+        where = f"at path {self.path!r}" if self.path else "at the root"
+        return f"{where}: {self.reason}"
+
+
+def tree_diff(a: DecisionTree, b: DecisionTree) -> TreeDifference | None:
+    """First difference between two trees, or ``None`` if equal."""
+    if a.schema != b.schema:
+        return TreeDifference("", "schemas differ")
+    return _diff_nodes(a.root, b.root, "")
+
+
+def _diff_nodes(a: Node, b: Node, path: str) -> TreeDifference | None:
+    if a.is_leaf != b.is_leaf:
+        kind_a = "leaf" if a.is_leaf else "internal"
+        kind_b = "leaf" if b.is_leaf else "internal"
+        return TreeDifference(path, f"node kinds differ ({kind_a} vs {kind_b})")
+    if a.is_leaf:
+        if a.label != b.label:
+            return TreeDifference(
+                path, f"leaf labels differ ({a.label} vs {b.label})"
+            )
+        return None
+    if a.split != b.split:
+        return TreeDifference(path, f"splits differ ({a.split} vs {b.split})")
+    left = _diff_nodes(a.left, b.left, path + "L")
+    if left is not None:
+        return left
+    return _diff_nodes(a.right, b.right, path + "R")
+
+
+def trees_equal(a: DecisionTree, b: DecisionTree) -> bool:
+    """Structural equality (see module docstring for the criterion)."""
+    return tree_diff(a, b) is None
+
+
+def trees_equivalent(
+    a: DecisionTree, b: DecisionTree, rel_tol: float = 1e-9
+) -> bool:
+    """Structural equality with numeric split points compared to tolerance.
+
+    The impurity-based algorithms are bit-exact and should use
+    :func:`trees_equal`; QUEST derives thresholds from floating-point
+    sums whose value depends on summation order, so its cross-algorithm
+    guarantee is equality up to a relative tolerance.
+    """
+    if a.schema != b.schema:
+        return False
+    return _equivalent(a.root, b.root, rel_tol)
+
+
+def _equivalent(a: Node, b: Node, rel_tol: float) -> bool:
+    if a.is_leaf != b.is_leaf:
+        return False
+    if a.is_leaf:
+        return a.label == b.label
+    sa, sb = a.split, b.split
+    if type(sa) is not type(sb) or sa.attribute_index != sb.attribute_index:
+        return False
+    if hasattr(sa, "subset"):
+        if sa.subset != sb.subset:
+            return False
+    else:
+        scale = max(abs(sa.value), abs(sb.value), 1.0)
+        if abs(sa.value - sb.value) > rel_tol * scale:
+            return False
+    return _equivalent(a.left, b.left, rel_tol) and _equivalent(
+        a.right, b.right, rel_tol
+    )
+
+
+def count_common_prefix_nodes(a: DecisionTree, b: DecisionTree) -> int:
+    """Number of corresponding nodes with identical splits/labels.
+
+    A similarity measure used by the instability experiment (Figure 12):
+    unstable datasets make bootstrap trees diverge early, so the common
+    prefix is small.
+    """
+    return _common_nodes(a.root, b.root)
+
+
+def _common_nodes(a: Node, b: Node) -> int:
+    if a.is_leaf or b.is_leaf:
+        return 1 if a.is_leaf == b.is_leaf and a.label == b.label else 0
+    if a.split != b.split:
+        return 0
+    return 1 + _common_nodes(a.left, b.left) + _common_nodes(a.right, b.right)

@@ -1,0 +1,90 @@
+"""Human-readable tree rendering."""
+
+from __future__ import annotations
+
+from .model import DecisionTree, Node
+
+
+def render_tree(tree: DecisionTree, max_depth: int | None = None) -> str:
+    """ASCII rendering of a tree, one node per line.
+
+    Internal nodes show their splitting criterion, leaves their label and
+    family class counts.  ``max_depth`` truncates deep subtrees with an
+    ellipsis line.
+    """
+    lines: list[str] = []
+    _render(tree, tree.root, "", "", lines, max_depth)
+    return "\n".join(lines)
+
+
+def _render(
+    tree: DecisionTree,
+    node: Node,
+    prefix: str,
+    child_prefix: str,
+    lines: list[str],
+    max_depth: int | None,
+) -> None:
+    if node.is_leaf:
+        counts = ",".join(str(int(c)) for c in node.class_counts)
+        lines.append(f"{prefix}leaf label={node.label} counts=[{counts}]")
+        return
+    if max_depth is not None and node.depth >= max_depth:
+        lines.append(f"{prefix}... ({_subtree_size(node)} more nodes)")
+        return
+    lines.append(f"{prefix}{node.split.describe(tree.schema)} (n={node.n_tuples})")
+    left, right = node.children()
+    _render(tree, left, child_prefix + "|-T ", child_prefix + "|   ", lines, max_depth)
+    _render(tree, right, child_prefix + "`-F ", child_prefix + "    ", lines, max_depth)
+
+
+def _subtree_size(node: Node) -> int:
+    if node.is_leaf:
+        return 1
+    return 1 + _subtree_size(node.left) + _subtree_size(node.right)
+
+
+def tree_summary(tree: DecisionTree) -> str:
+    """One-line summary: node/leaf counts and depth."""
+    return (
+        f"DecisionTree(nodes={tree.n_nodes}, leaves={tree.n_leaves}, "
+        f"depth={tree.depth}, n={tree.root.n_tuples})"
+    )
+
+
+def tree_to_dot(tree: DecisionTree, max_depth: int | None = None) -> str:
+    """Graphviz DOT rendering of a tree.
+
+    Internal nodes show their splitting criterion, leaves their label and
+    class counts; left edges are labeled "true".  ``max_depth`` truncates
+    deep subtrees into a summary node.
+    """
+    lines = ["digraph decision_tree {", '  node [shape=box, fontname="monospace"];']
+    _dot_node(tree, tree.root, lines, max_depth)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _dot_node(
+    tree: DecisionTree, node: Node, lines: list[str], max_depth: int | None
+) -> None:
+    if node.is_leaf:
+        counts = ",".join(str(int(c)) for c in node.class_counts)
+        lines.append(
+            f'  n{node.node_id} [label="label={node.label}\\n[{counts}]", '
+            f"style=filled, fillcolor=lightgray];"
+        )
+        return
+    if max_depth is not None and node.depth >= max_depth:
+        lines.append(
+            f'  n{node.node_id} [label="... {_subtree_size(node)} nodes", '
+            f"style=dashed];"
+        )
+        return
+    predicate = node.split.describe(tree.schema).replace('"', r"\"")
+    lines.append(f'  n{node.node_id} [label="{predicate}\\nn={node.n_tuples}"];')
+    left, right = node.children()
+    for child, tag in ((left, "true"), (right, "false")):
+        lines.append(f'  n{node.node_id} -> n{child.node_id} [label="{tag}"];')
+    _dot_node(tree, left, lines, max_depth)
+    _dot_node(tree, right, lines, max_depth)

@@ -1,0 +1,173 @@
+"""Pruning — the paper's "orthogonal issue", supplied for completeness.
+
+BOAT covers the growth phase; §2 notes that how the tree is pruned is
+orthogonal, and that the techniques also speed up cross-validation for
+large datasets.  This module provides the two classical pruning methods
+a downstream user expects:
+
+* :func:`reduced_error_prune` — bottom-up pruning against a validation
+  set: a subtree collapses to a leaf whenever the leaf misclassifies no
+  more validation tuples than the subtree does.
+* :func:`cost_complexity_path` / :func:`cost_complexity_prune` — CART's
+  minimal cost-complexity pruning [BFOS84]: the nested sequence of
+  subtrees indexed by the complexity parameter alpha, using the training
+  counts stored in the nodes.
+
+Both operate on copies; the input tree is never mutated.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..storage import CLASS_COLUMN, Schema
+from .model import DecisionTree, Node
+
+
+def _copy_tree(tree: DecisionTree) -> DecisionTree:
+    def copy_node(node: Node) -> Node:
+        clone = Node(node.node_id, node.depth, node.class_counts.copy())
+        if not node.is_leaf:
+            clone.make_internal(node.split, copy_node(node.left), copy_node(node.right))
+        return clone
+
+    return DecisionTree(tree.schema, copy_node(tree.root))
+
+
+# ---------------------------------------------------------------------------
+# Reduced-error pruning
+# ---------------------------------------------------------------------------
+
+
+def reduced_error_prune(
+    tree: DecisionTree, validation: np.ndarray
+) -> DecisionTree:
+    """Bottom-up pruning against a validation set.
+
+    Returns a new tree in which every subtree whose majority-label leaf
+    would misclassify no more validation tuples than the subtree does has
+    been collapsed.  Ties prune (prefer the smaller tree).
+    """
+    pruned = _copy_tree(tree)
+    labels = validation[CLASS_COLUMN]
+    _rep_node(pruned, pruned.root, validation, labels)
+    pruned.validate()
+    return pruned
+
+
+def _rep_node(
+    tree: DecisionTree, node: Node, rows: np.ndarray, labels: np.ndarray
+) -> int:
+    """Returns the subtree's validation error count, pruning as it goes."""
+    leaf_errors = int(np.sum(labels != node.label))
+    if node.is_leaf:
+        return leaf_errors
+    go_left = node.split.evaluate(rows, tree.schema)
+    subtree_errors = _rep_node(
+        tree, node.left, rows[go_left], labels[go_left]
+    ) + _rep_node(tree, node.right, rows[~go_left], labels[~go_left])
+    if leaf_errors <= subtree_errors:
+        node.make_leaf()
+        return leaf_errors
+    return subtree_errors
+
+
+# ---------------------------------------------------------------------------
+# Minimal cost-complexity pruning (CART)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PruningStep:
+    """One step of the cost-complexity path.
+
+    Attributes:
+        alpha: the complexity parameter at which this tree is optimal.
+        tree: the pruned tree.
+        n_leaves: leaf count of ``tree``.
+    """
+
+    alpha: float
+    tree: DecisionTree
+    n_leaves: int
+
+
+def _training_errors(node: Node) -> int:
+    """Training misclassifications of the node as a leaf."""
+    return int(node.class_counts.sum() - node.class_counts.max())
+
+
+def _subtree_stats(node: Node) -> tuple[int, int]:
+    """(subtree training errors, subtree leaf count)."""
+    if node.is_leaf:
+        return _training_errors(node), 1
+    le, ll = _subtree_stats(node.left)
+    re, rl = _subtree_stats(node.right)
+    return le + re, ll + rl
+
+
+def _weakest_link(node: Node) -> tuple[float, Node] | None:
+    """The internal node with minimal g(t) = (R(t) - R(T_t)) / (|T_t| - 1)."""
+    best: tuple[float, Node] | None = None
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if current.is_leaf:
+            continue
+        subtree_errors, leaves = _subtree_stats(current)
+        g = (_training_errors(current) - subtree_errors) / (leaves - 1)
+        if best is None or g < best[0]:
+            best = (g, current)
+        stack.append(current.left)
+        stack.append(current.right)
+    return best
+
+
+def cost_complexity_path(tree: DecisionTree) -> list[PruningStep]:
+    """The nested subtree sequence of minimal cost-complexity pruning.
+
+    The first step is the unpruned tree at alpha = 0; the last is the
+    root-leaf.  Alphas are normalized by the training-set size, matching
+    the usual presentation of R(T) as a misclassification *rate*.
+    """
+    n = max(tree.root.n_tuples, 1)
+    current = _copy_tree(tree)
+    steps = [PruningStep(0.0, _copy_tree(current), current.n_leaves)]
+    while not current.root.is_leaf:
+        weakest = _weakest_link(current.root)
+        assert weakest is not None
+        g, node = weakest
+        node.make_leaf()
+        steps.append(PruningStep(g / n, _copy_tree(current), current.n_leaves))
+    return steps
+
+
+def cost_complexity_prune(tree: DecisionTree, alpha: float) -> DecisionTree:
+    """The smallest subtree optimal at complexity parameter ``alpha``."""
+    if alpha < 0:
+        raise ValueError("alpha must be >= 0")
+    chosen = None
+    for step in cost_complexity_path(tree):
+        if step.alpha <= alpha or math.isclose(step.alpha, alpha):
+            chosen = step
+        else:
+            break
+    assert chosen is not None  # the alpha=0 step always qualifies
+    return chosen.tree
+
+
+def holdout_select_alpha(
+    tree: DecisionTree, validation: np.ndarray
+) -> PruningStep:
+    """Pick the path step with minimal validation error (ties -> smaller)."""
+    best: tuple[float, int, PruningStep] | None = None
+    for step in cost_complexity_path(tree):
+        error = step.tree.misclassification_rate(validation)
+        key = (error, step.n_leaves)
+        if best is None or key < (best[0], best[1]):
+            best = (error, step.n_leaves, step)
+    assert best is not None
+    return best[2]

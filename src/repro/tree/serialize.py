@@ -1,0 +1,105 @@
+"""Tree (de)serialization to plain dicts / JSON.
+
+Numeric split points are serialized through ``float.hex`` so a round trip
+preserves exact bit patterns — tree equality (which compares split points
+exactly) survives serialization.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from ..exceptions import SchemaError, TreeStructureError
+from ..splits.base import CategoricalSplit, NumericSplit
+from ..storage import Schema
+from .model import DecisionTree, Node
+
+
+def tree_to_dict(tree: DecisionTree) -> dict:
+    """Plain-dict form of a tree (schema included)."""
+    return {
+        "schema": tree.schema.to_dict(),
+        "root": _node_to_dict(tree.root),
+    }
+
+
+def _node_to_dict(node: Node) -> dict:
+    data: dict = {
+        "id": node.node_id,
+        "depth": node.depth,
+        "class_counts": [int(c) for c in node.class_counts],
+    }
+    if node.is_leaf:
+        data["leaf"] = True
+        return data
+    split = node.split
+    if isinstance(split, NumericSplit):
+        data["split"] = {
+            "kind": "numeric",
+            "attribute_index": split.attribute_index,
+            "value_hex": float(split.value).hex(),
+        }
+    elif isinstance(split, CategoricalSplit):
+        data["split"] = {
+            "kind": "categorical",
+            "attribute_index": split.attribute_index,
+            "subset": sorted(split.subset),
+        }
+    else:  # pragma: no cover - future split kinds
+        raise TreeStructureError(f"cannot serialize split {split!r}")
+    data["left"] = _node_to_dict(node.left)
+    data["right"] = _node_to_dict(node.right)
+    return data
+
+
+def tree_from_dict(data: dict) -> DecisionTree:
+    """Inverse of :func:`tree_to_dict`."""
+    try:
+        schema = Schema.from_dict(data["schema"])
+        root = _node_from_dict(data["root"], None)
+    except (KeyError, TypeError, ValueError, SchemaError) as exc:
+        raise TreeStructureError(f"malformed tree dict: {exc}") from exc
+    tree = DecisionTree(schema, root)
+    tree.validate()
+    return tree
+
+
+def _node_from_dict(data: dict, parent: Node | None) -> Node:
+    node = Node(
+        int(data["id"]),
+        int(data["depth"]),
+        np.asarray(data["class_counts"], dtype=np.int64),
+        parent,
+    )
+    if data.get("leaf"):
+        return node
+    split_data = data["split"]
+    if split_data["kind"] == "numeric":
+        split = NumericSplit(
+            int(split_data["attribute_index"]),
+            float.fromhex(split_data["value_hex"]),
+        )
+    elif split_data["kind"] == "categorical":
+        split = CategoricalSplit(
+            int(split_data["attribute_index"]),
+            frozenset(int(c) for c in split_data["subset"]),
+        )
+    else:
+        raise TreeStructureError(f"unknown split kind {split_data['kind']!r}")
+    left = _node_from_dict(data["left"], node)
+    right = _node_from_dict(data["right"], node)
+    node.make_internal(split, left, right)
+    return node
+
+
+def tree_to_json(tree: DecisionTree, indent: int | None = None) -> str:
+    return json.dumps(tree_to_dict(tree), indent=indent, sort_keys=True)
+
+
+def tree_from_json(text: str) -> DecisionTree:
+    try:
+        return tree_from_dict(json.loads(text))
+    except json.JSONDecodeError as exc:
+        raise TreeStructureError(f"malformed tree JSON: {exc}") from exc

@@ -1,0 +1,120 @@
+"""Descriptive statistics over fitted trees.
+
+Inspection helpers for notebooks, reports and the drift-analysis story:
+which attributes the tree actually uses, how deep its leaves sit, and
+how pure they are.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..storage import Schema
+from .model import DecisionTree
+
+
+@dataclass
+class TreeStatistics:
+    """Aggregate description of one tree.
+
+    Attributes:
+        n_nodes / n_leaves / depth: structural counts.
+        attribute_usage: splitting-attribute name -> number of internal
+            nodes splitting on it.
+        attribute_coverage: attribute name -> fraction of training tuples
+            that pass through a split on it (weighted usage).
+        leaf_depth_histogram: depth -> number of leaves at that depth.
+        mean_leaf_purity: tuple-weighted mean of max(class fraction) over
+            leaves.
+        label_distribution: per-class training-tuple counts at the root.
+    """
+
+    n_nodes: int
+    n_leaves: int
+    depth: int
+    attribute_usage: dict[str, int] = field(default_factory=dict)
+    attribute_coverage: dict[str, float] = field(default_factory=dict)
+    leaf_depth_histogram: dict[int, int] = field(default_factory=dict)
+    mean_leaf_purity: float = 0.0
+    label_distribution: tuple[int, ...] = ()
+
+    def format(self) -> str:
+        lines = [
+            f"nodes={self.n_nodes} leaves={self.n_leaves} depth={self.depth}",
+            f"mean leaf purity: {self.mean_leaf_purity:.3f}",
+            "attribute usage (splits / tuple coverage):",
+        ]
+        for name, count in sorted(
+            self.attribute_usage.items(), key=lambda kv: -kv[1]
+        ):
+            coverage = self.attribute_coverage.get(name, 0.0)
+            lines.append(f"  {name:<16} {count:>4}  {coverage:>6.1%}")
+        histogram = ", ".join(
+            f"{d}:{c}" for d, c in sorted(self.leaf_depth_histogram.items())
+        )
+        lines.append(f"leaf depths: {histogram}")
+        return "\n".join(lines)
+
+
+def tree_statistics(tree: DecisionTree) -> TreeStatistics:
+    """Compute :class:`TreeStatistics` for a fitted tree."""
+    schema: Schema = tree.schema
+    usage: Counter[str] = Counter()
+    coverage: Counter[str] = Counter()
+    leaf_depths: Counter[int] = Counter()
+    purity_weighted = 0.0
+    total = max(tree.root.n_tuples, 1)
+    for node in tree.nodes():
+        if node.is_leaf:
+            leaf_depths[node.depth] += 1
+            n = node.n_tuples
+            if n:
+                purity_weighted += n * (node.class_counts.max() / n)
+            continue
+        name = schema[node.split.attribute_index].name
+        usage[name] += 1
+        coverage[name] += node.n_tuples
+    return TreeStatistics(
+        n_nodes=tree.n_nodes,
+        n_leaves=tree.n_leaves,
+        depth=tree.depth,
+        attribute_usage=dict(usage),
+        attribute_coverage={k: v / total for k, v in coverage.items()},
+        leaf_depth_histogram=dict(leaf_depths),
+        mean_leaf_purity=purity_weighted / total,
+        label_distribution=tuple(int(c) for c in tree.root.class_counts),
+    )
+
+
+def attribute_importances(tree: DecisionTree) -> dict[str, float]:
+    """Impurity-decrease attribute importances (gini-style), normalized.
+
+    Importance of an attribute = sum over its splits of
+    ``n_node * imp(node) - n_left * imp(left) - n_right * imp(right)``
+    using the gini of the stored class counts, normalized to sum to 1
+    (all-zero when the tree is a single leaf).
+    """
+
+    def gini(counts: np.ndarray) -> float:
+        n = counts.sum()
+        if n == 0:
+            return 0.0
+        p = counts / n
+        return float(1.0 - (p * p).sum())
+
+    schema = tree.schema
+    scores: Counter[str] = Counter()
+    for node in tree.internal_nodes():
+        left, right = node.children()
+        decrease = node.n_tuples * gini(node.class_counts) - (
+            left.n_tuples * gini(left.class_counts)
+            + right.n_tuples * gini(right.class_counts)
+        )
+        scores[schema[node.split.attribute_index].name] += max(decrease, 0.0)
+    total = sum(scores.values())
+    if total <= 0:
+        return {}
+    return {name: value / total for name, value in scores.items()}

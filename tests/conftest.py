@@ -1,0 +1,107 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import BoatConfig, SplitConfig
+from repro.datagen import AgrawalConfig, AgrawalGenerator
+from repro.splits import ImpuritySplitSelection
+from repro.storage import CLASS_COLUMN, Attribute, IOStats, MemoryTable, Schema
+
+
+@pytest.fixture
+def small_schema() -> Schema:
+    """Two numeric + one categorical attribute, two classes."""
+    return Schema(
+        [
+            Attribute.numerical("x"),
+            Attribute.numerical("y"),
+            Attribute.categorical("color", 4),
+        ],
+        n_classes=2,
+    )
+
+
+@pytest.fixture
+def numeric_schema() -> Schema:
+    """A single numeric attribute, two classes."""
+    return Schema([Attribute.numerical("x")], n_classes=2)
+
+
+@pytest.fixture
+def agrawal_generator() -> AgrawalGenerator:
+    return AgrawalGenerator(AgrawalConfig(function_id=1, noise=0.05), seed=7)
+
+
+@pytest.fixture
+def agrawal_schema_fixture(agrawal_generator) -> Schema:
+    return agrawal_generator.schema
+
+
+@pytest.fixture
+def io_stats() -> IOStats:
+    return IOStats()
+
+
+@pytest.fixture
+def gini_method() -> ImpuritySplitSelection:
+    return ImpuritySplitSelection("gini")
+
+
+@pytest.fixture
+def default_split_config() -> SplitConfig:
+    return SplitConfig(min_samples_split=20, min_samples_leaf=5, max_depth=8)
+
+
+@pytest.fixture
+def small_boat_config() -> BoatConfig:
+    return BoatConfig(
+        sample_size=2000,
+        bootstrap_repetitions=8,
+        bootstrap_subsample=1000,
+        seed=3,
+    )
+
+
+def make_batch(schema: Schema, columns: dict[str, list]) -> np.ndarray:
+    """Build a structured batch from per-column lists."""
+    lengths = {len(v) for v in columns.values()}
+    assert len(lengths) == 1, "all columns must have equal length"
+    n = lengths.pop()
+    batch = schema.empty(n)
+    for name, values in columns.items():
+        batch[name] = values
+    return batch
+
+
+def simple_xy_data(
+    schema: Schema, n: int, seed: int = 0, rule: str = "x"
+) -> np.ndarray:
+    """Random data over the ``small_schema`` with a simple labeling rule."""
+    rng = np.random.default_rng(seed)
+    batch = schema.empty(n)
+    batch["x"] = rng.uniform(0, 100, n)
+    batch["y"] = rng.uniform(0, 100, n)
+    batch["color"] = rng.integers(0, 4, n, dtype=np.int32)
+    if rule == "x":
+        labels = (batch["x"] > 50).astype(np.int32)
+    elif rule == "xy":
+        labels = ((batch["x"] > 50) ^ (batch["y"] > 30)).astype(np.int32)
+    elif rule == "color":
+        labels = np.isin(batch["color"], [1, 3]).astype(np.int32)
+    else:
+        raise ValueError(rule)
+    batch[CLASS_COLUMN] = labels
+    return batch
+
+
+@pytest.fixture
+def xy_data(small_schema) -> np.ndarray:
+    return simple_xy_data(small_schema, 600, seed=1, rule="xy")
+
+
+@pytest.fixture
+def memory_table(small_schema, xy_data) -> MemoryTable:
+    return MemoryTable(small_schema, xy_data)

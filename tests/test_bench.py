@@ -1,0 +1,118 @@
+"""Tests for the benchmark harness utilities."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    RunResult,
+    WorkloadSpec,
+    append_results_json,
+    default_configs,
+    format_series,
+    format_table,
+    materialize,
+    run_boat,
+    run_reference,
+    run_rf_hybrid,
+    speedup_summary,
+)
+from repro.exceptions import BenchmarkError
+from repro.storage import IOStats
+from repro.tree import trees_equal
+
+
+class TestWorkloadSpec:
+    def test_describe(self):
+        spec = WorkloadSpec(function_id=6, n_tuples=5000, noise=0.1, extra_numeric=2)
+        text = spec.describe()
+        assert "F6" in text and "n=5000" in text and "10%" in text and "extra=2" in text
+
+    def test_generator_schema(self):
+        spec = WorkloadSpec(function_id=1, n_tuples=100, extra_numeric=1)
+        assert spec.generator().schema.n_attributes == 10
+
+
+class TestMaterialize:
+    def test_creates_table_and_resets_io(self, tmp_path):
+        io = IOStats()
+        spec = WorkloadSpec(function_id=1, n_tuples=2000, seed=1)
+        table = materialize(spec, str(tmp_path), io)
+        assert len(table) == 2000
+        assert io.tuples_written == 0  # construction not charged
+
+
+class TestRunners:
+    def test_boat_and_hybrid_agree(self, tmp_path):
+        io = IOStats()
+        spec = WorkloadSpec(function_id=1, n_tuples=6000, noise=0.05, seed=2)
+        table = materialize(spec, str(tmp_path), io)
+        split, boat, hybrid, _ = default_configs(len(table))
+        boat_run = run_boat(spec, table, _gini(), split, boat)
+        rf_run = run_rf_hybrid(spec, table, _gini(), split, hybrid)
+        assert boat_run.scans == 2
+        assert rf_run.scans >= 2
+        assert boat_run.tree_nodes == rf_run.tree_nodes
+
+    def test_reference_runner_returns_tree(self, tmp_path):
+        io = IOStats()
+        spec = WorkloadSpec(function_id=1, n_tuples=3000, seed=3)
+        table = materialize(spec, str(tmp_path), io)
+        split, _, _, _ = default_configs(len(table))
+        result, tree = run_reference(spec, table, _gini(), split)
+        assert result.tree_nodes == tree.n_nodes
+
+
+class TestReporting:
+    def _results(self):
+        return [
+            RunResult("BOAT", "F1 n=100", 100, 1.0, 2, 200, 7, 4),
+            RunResult("RF-Hybrid", "F1 n=100", 100, 3.0, 6, 600, 7, 4),
+            RunResult("BOAT", "F1 n=200", 200, 2.0, 2, 400, 9, 5),
+            RunResult("RF-Hybrid", "F1 n=200", 200, 6.0, 8, 1600, 9, 5),
+        ]
+
+    def test_format_table_aligned(self):
+        text = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1
+
+    def test_format_series_columns(self):
+        text = format_series(
+            "Fig X", "tuples", [100, 200], self._results(), metric="wall_seconds"
+        )
+        assert "BOAT" in text and "RF-Hybrid" in text
+        assert "1.00" in text and "6.00" in text
+
+    def test_speedup_summary(self):
+        text = speedup_summary(self._results())
+        assert "3.00x wall-clock" in text
+        assert "3.50x scans" in text  # (6/2 + 8/2) / 2
+
+    def test_append_results_json(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        append_results_json(path, "fig4", self._results()[:1])
+        record = json.loads(path.read_text().strip())
+        assert record["experiment"] == "fig4"
+        assert record["rows"][0]["algorithm"] == "BOAT"
+
+
+class TestScale:
+    def test_bad_scale_rejected(self, monkeypatch):
+        from repro.bench import bench_scale
+
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "abc")
+        with pytest.raises(BenchmarkError):
+            bench_scale()
+
+    def test_scale_applies(self, monkeypatch):
+        from repro.bench import scaled
+
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "2")
+        assert scaled(5000) == 10000
+
+
+def _gini():
+    from repro.splits import ImpuritySplitSelection
+
+    return ImpuritySplitSelection("gini")

@@ -1,0 +1,179 @@
+"""Tests for the reference greedy builder and tree comparison."""
+
+import numpy as np
+import pytest
+
+from repro.config import SplitConfig
+from repro.splits import ImpuritySplitSelection
+from repro.storage import CLASS_COLUMN
+from repro.tree import (
+    build_reference_tree,
+    count_common_prefix_nodes,
+    tree_diff,
+    trees_equal,
+    trees_equivalent,
+)
+
+from .conftest import simple_xy_data
+
+GINI = ImpuritySplitSelection("gini")
+
+
+class TestReferenceBuilder:
+    def test_perfectly_separable_tree(self, small_schema):
+        data = simple_xy_data(small_schema, 400, seed=1, rule="x")
+        tree = build_reference_tree(data, small_schema, GINI, SplitConfig())
+        tree.validate()
+        assert tree.misclassification_rate(data) == 0.0
+        assert tree.root.split.attribute_index == 0
+
+    def test_xor_rule_needs_two_levels(self, small_schema):
+        data = simple_xy_data(small_schema, 600, seed=2, rule="xy")
+        tree = build_reference_tree(data, small_schema, GINI, SplitConfig())
+        assert tree.depth >= 2
+        assert tree.misclassification_rate(data) == 0.0
+
+    def test_deterministic(self, small_schema):
+        data = simple_xy_data(small_schema, 500, seed=3)
+        a = build_reference_tree(data, small_schema, GINI, SplitConfig())
+        b = build_reference_tree(data, small_schema, GINI, SplitConfig())
+        assert trees_equal(a, b)
+
+    def test_row_order_invariance(self, small_schema):
+        """Shuffling the family must not change the tree (stable sorts +
+        integer counts make the search order-independent)."""
+        data = simple_xy_data(small_schema, 500, seed=4)
+        shuffled = data[np.random.default_rng(0).permutation(len(data))]
+        a = build_reference_tree(data, small_schema, GINI, SplitConfig())
+        b = build_reference_tree(shuffled, small_schema, GINI, SplitConfig())
+        assert trees_equal(a, b)
+
+    def test_max_depth_respected(self, small_schema):
+        data = simple_xy_data(small_schema, 600, seed=5, rule="xy")
+        tree = build_reference_tree(
+            data, small_schema, GINI, SplitConfig(max_depth=1)
+        )
+        assert tree.depth <= 1
+
+    def test_max_depth_zero_is_single_leaf(self, small_schema):
+        data = simple_xy_data(small_schema, 100, seed=6)
+        tree = build_reference_tree(
+            data, small_schema, GINI, SplitConfig(max_depth=0)
+        )
+        assert tree.n_nodes == 1
+
+    def test_min_samples_split(self, small_schema):
+        data = simple_xy_data(small_schema, 100, seed=7, rule="xy")
+        tree = build_reference_tree(
+            data, small_schema, GINI, SplitConfig(min_samples_split=1000)
+        )
+        assert tree.n_nodes == 1
+
+    def test_min_samples_leaf(self, small_schema):
+        data = simple_xy_data(small_schema, 200, seed=8, rule="x")
+        tree = build_reference_tree(
+            data, small_schema, GINI, SplitConfig(min_samples_leaf=30)
+        )
+        for leaf in tree.leaves():
+            assert leaf.n_tuples >= 30
+
+    def test_pure_data_single_leaf(self, small_schema):
+        data = simple_xy_data(small_schema, 100, seed=9)
+        data[CLASS_COLUMN] = 1
+        tree = build_reference_tree(data, small_schema, GINI, SplitConfig())
+        assert tree.n_nodes == 1
+        assert tree.root.label == 1
+
+    def test_class_counts_partition(self, small_schema):
+        data = simple_xy_data(small_schema, 300, seed=10)
+        tree = build_reference_tree(data, small_schema, GINI, SplitConfig())
+        for node in tree.internal_nodes():
+            left, right = node.children()
+            assert np.array_equal(
+                node.class_counts, left.class_counts + right.class_counts
+            )
+
+    def test_leaf_counts_match_routing(self, small_schema):
+        data = simple_xy_data(small_schema, 300, seed=11)
+        tree = build_reference_tree(data, small_schema, GINI, SplitConfig())
+        leaf_ids = tree.route(data)
+        for leaf in tree.leaves():
+            mask = leaf_ids == leaf.node_id
+            counts = np.bincount(data[CLASS_COLUMN][mask], minlength=2)
+            assert np.array_equal(counts, leaf.class_counts)
+
+    def test_empty_family(self, small_schema):
+        tree = build_reference_tree(
+            small_schema.empty(0), small_schema, GINI, SplitConfig()
+        )
+        assert tree.n_nodes == 1
+
+
+class TestComparison:
+    def test_equal_trees(self, small_schema):
+        data = simple_xy_data(small_schema, 300, seed=12)
+        a = build_reference_tree(data, small_schema, GINI, SplitConfig())
+        b = build_reference_tree(data, small_schema, GINI, SplitConfig())
+        assert tree_diff(a, b) is None
+
+    def test_diff_reports_path(self, small_schema):
+        data = simple_xy_data(small_schema, 300, seed=13, rule="xy")
+        a = build_reference_tree(data, small_schema, GINI, SplitConfig())
+        b = build_reference_tree(data, small_schema, GINI, SplitConfig())
+        # Perturb a left-child split.
+        node = b.root.left
+        while node.is_leaf:
+            node = b.root.right
+        from repro.splits import NumericSplit
+
+        node.split = NumericSplit(0, -1e9)
+        diff = tree_diff(a, b)
+        assert diff is not None
+        assert diff.path.startswith(("L", "R"))
+
+    def test_diff_on_leaf_label(self, small_schema):
+        data = simple_xy_data(small_schema, 300, seed=14)
+        a = build_reference_tree(data, small_schema, GINI, SplitConfig())
+        b = build_reference_tree(data, small_schema, GINI, SplitConfig())
+        leaf = next(iter(b.leaves()))
+        leaf.class_counts = leaf.class_counts[::-1].copy()
+        if a.misclassification_rate(data) == 0 and trees_equal(a, b):
+            pytest.skip("tie in counts made labels agree")
+        assert tree_diff(a, b) is not None
+
+    def test_equivalent_tolerates_ulp(self, small_schema):
+        data = simple_xy_data(small_schema, 300, seed=15, rule="x")
+        a = build_reference_tree(data, small_schema, GINI, SplitConfig())
+        b = build_reference_tree(data, small_schema, GINI, SplitConfig())
+        from repro.splits import NumericSplit
+
+        split = b.root.split
+        b.root.split = NumericSplit(
+            split.attribute_index, float(np.nextafter(split.value, np.inf))
+        )
+        assert not trees_equal(a, b)
+        assert trees_equivalent(a, b)
+
+    def test_equivalent_rejects_real_difference(self, small_schema):
+        data = simple_xy_data(small_schema, 300, seed=16, rule="x")
+        a = build_reference_tree(data, small_schema, GINI, SplitConfig())
+        b = build_reference_tree(data, small_schema, GINI, SplitConfig())
+        from repro.splits import NumericSplit
+
+        b.root.split = NumericSplit(b.root.split.attribute_index, -1000.0)
+        assert not trees_equivalent(a, b)
+
+    def test_common_prefix_full_on_equal(self, small_schema):
+        data = simple_xy_data(small_schema, 300, seed=17)
+        a = build_reference_tree(data, small_schema, GINI, SplitConfig())
+        b = build_reference_tree(data, small_schema, GINI, SplitConfig())
+        assert count_common_prefix_nodes(a, b) == a.n_nodes
+
+    def test_common_prefix_zero_on_different_root(self, small_schema):
+        data = simple_xy_data(small_schema, 300, seed=18, rule="x")
+        a = build_reference_tree(data, small_schema, GINI, SplitConfig())
+        b = build_reference_tree(data, small_schema, GINI, SplitConfig())
+        from repro.splits import NumericSplit
+
+        b.root.split = NumericSplit(1, 0.0)
+        assert count_common_prefix_nodes(a, b) == 0

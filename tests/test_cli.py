@@ -1,0 +1,106 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.storage import DiskTable
+from repro.tree import tree_from_json
+
+
+@pytest.fixture
+def generated_table(tmp_path):
+    path = str(tmp_path / "t.tbl")
+    code = main(
+        [
+            "generate", path,
+            "--n", "5000", "--function", "1", "--noise", "0.05", "--seed", "3",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_creates_table(self, generated_table):
+        table = DiskTable.open(generated_table)
+        assert len(table) == 5000
+
+    def test_output_message(self, tmp_path, capsys):
+        main(["generate", str(tmp_path / "g.tbl"), "--n", "1000"])
+        assert "wrote 1000 tuples" in capsys.readouterr().out
+
+
+class TestBuild:
+    def test_builds_and_saves_tree(self, generated_table, tmp_path, capsys):
+        out = str(tmp_path / "tree.json")
+        code = main(
+            [
+                "build", generated_table, out,
+                "--sample-size", "1000", "--bootstraps", "6",
+                "--min-split", "50", "--min-leaf", "10", "--max-depth", "5",
+            ]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "scans=2" in stdout
+        tree = tree_from_json(open(out).read())
+        assert tree.depth <= 5
+
+    def test_quest_method(self, generated_table, tmp_path):
+        out = str(tmp_path / "qtree.json")
+        code = main(
+            [
+                "build", generated_table, out,
+                "--method", "quest",
+                "--sample-size", "1000", "--bootstraps", "6",
+                "--min-split", "100", "--min-leaf", "25", "--max-depth", "4",
+            ]
+        )
+        assert code == 0
+        assert json.load(open(out))["root"]
+
+    def test_missing_table_errors(self, tmp_path, capsys):
+        code = main(["build", str(tmp_path / "nope.tbl"), str(tmp_path / "o.json")])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestEvaluateAndShow:
+    @pytest.fixture
+    def built_tree(self, generated_table, tmp_path):
+        out = str(tmp_path / "tree.json")
+        main(
+            [
+                "build", generated_table, out,
+                "--sample-size", "1000", "--bootstraps", "6",
+                "--min-split", "50", "--min-leaf", "10", "--max-depth", "5",
+            ]
+        )
+        return out
+
+    def test_evaluate(self, built_tree, generated_table, capsys):
+        code = main(["evaluate", built_tree, generated_table])
+        assert code == 0
+        assert "misclassification rate" in capsys.readouterr().out
+
+    def test_evaluate_schema_mismatch(self, built_tree, tmp_path, capsys):
+        other = str(tmp_path / "other.tbl")
+        main(["generate", other, "--n", "100", "--extra", "2"])
+        code = main(["evaluate", built_tree, other])
+        assert code == 2
+
+    def test_show_ascii(self, built_tree, capsys):
+        code = main(["show", built_tree, "--max-depth", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DecisionTree(" in out
+        assert "age" in out  # F1 splits on age
+
+    def test_show_dot(self, built_tree, capsys):
+        code = main(["show", built_tree, "--dot"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "->" in out

@@ -1,0 +1,83 @@
+"""Tests for shared-scan k-fold cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.config import BoatConfig, SplitConfig
+from repro.core import boat_cross_validate
+from repro.exceptions import SplitSelectionError
+from repro.splits import ImpuritySplitSelection
+from repro.storage import DiskTable, IOStats, MemoryTable
+from repro.tree import build_reference_tree, tree_diff
+
+from .conftest import simple_xy_data
+
+GINI = ImpuritySplitSelection("gini")
+SPLIT = SplitConfig(min_samples_split=60, min_samples_leaf=15, max_depth=6)
+BOAT = BoatConfig(sample_size=1000, bootstrap_repetitions=6, seed=4)
+
+
+class TestCrossValidate:
+    def test_three_scans_total(self, tmp_path, small_schema):
+        data = simple_xy_data(small_schema, 6000, seed=1, rule="xy")
+        io = IOStats()
+        table = DiskTable.create(tmp_path / "cv.tbl", small_schema, io)
+        table.append(data)
+        io.reset()
+        result = boat_cross_validate(table, 5, GINI, SPLIT, BOAT)
+        assert result.scans == 3
+        assert io.full_scans == 3
+        assert len(result.trees) == 5
+        assert len(result.fold_errors) == 5
+
+    def test_fold_trees_are_exact(self, small_schema):
+        """Each fold tree equals the reference tree of its partition."""
+        data = simple_xy_data(small_schema, 5000, seed=2, rule="xy")
+        table = MemoryTable(small_schema, data)
+        k = 4
+        result = boat_cross_validate(table, k, GINI, SPLIT, BOAT)
+        folds = np.arange(len(data)) % k
+        for fold in range(k):
+            reference = build_reference_tree(
+                data[folds != fold], small_schema, GINI, SPLIT
+            )
+            diff = tree_diff(result.trees[fold], reference)
+            assert diff is None, f"fold {fold}: {diff}"
+
+    def test_fold_errors_match_direct_evaluation(self, small_schema):
+        data = simple_xy_data(small_schema, 4000, seed=3, rule="x")
+        table = MemoryTable(small_schema, data)
+        k = 4
+        result = boat_cross_validate(table, k, GINI, SPLIT, BOAT)
+        folds = np.arange(len(data)) % k
+        for fold in range(k):
+            direct = result.trees[fold].misclassification_rate(data[folds == fold])
+            assert result.fold_errors[fold] == pytest.approx(direct)
+
+    def test_mean_error_sensible(self, small_schema):
+        data = simple_xy_data(small_schema, 4000, seed=4, rule="x")
+        table = MemoryTable(small_schema, data)
+        result = boat_cross_validate(table, 5, GINI, SPLIT, BOAT)
+        assert 0.0 <= result.mean_error < 0.1  # separable rule
+
+    def test_small_table_fallback(self, small_schema):
+        data = simple_xy_data(small_schema, 400, seed=5, rule="x")
+        table = MemoryTable(small_schema, data)
+        result = boat_cross_validate(
+            table, 4, GINI, SPLIT, BoatConfig(sample_size=10_000, seed=1)
+        )
+        folds = np.arange(len(data)) % 4
+        for fold in range(4):
+            reference = build_reference_tree(
+                data[folds != fold], small_schema, GINI, SPLIT
+            )
+            assert tree_diff(result.trees[fold], reference) is None
+
+    def test_k_validation(self, small_schema):
+        data = simple_xy_data(small_schema, 100, seed=6)
+        table = MemoryTable(small_schema, data)
+        with pytest.raises(SplitSelectionError):
+            boat_cross_validate(table, 1, GINI, SPLIT, BOAT)
+        tiny = MemoryTable(small_schema, data[:2])
+        with pytest.raises(SplitSelectionError):
+            boat_cross_validate(tiny, 5, GINI, SPLIT, BOAT)

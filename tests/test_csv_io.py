@@ -1,0 +1,184 @@
+"""Tests for CSV import/export and schema inference."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import StorageError
+from repro.storage import (
+    CLASS_COLUMN,
+    Attribute,
+    CategoryEncoder,
+    MemoryTable,
+    Schema,
+    infer_schema,
+    read_csv,
+    write_csv,
+)
+
+from .conftest import simple_xy_data
+
+CSV_TEXT = """x,y,color,class_label
+1.5,2.0,red,yes
+3.25,4.0,blue,no
+1.0,0.5,red,yes
+2.0,9.0,green,no
+"""
+
+
+@pytest.fixture
+def csv_file(tmp_path):
+    path = tmp_path / "data.csv"
+    path.write_text(CSV_TEXT)
+    return str(path)
+
+
+@pytest.fixture
+def csv_schema():
+    return Schema(
+        [
+            Attribute.numerical("x"),
+            Attribute.numerical("y"),
+            Attribute.categorical("color", 3),
+        ],
+        n_classes=2,
+    )
+
+
+class TestReadCsv:
+    def test_basic_load(self, csv_file, csv_schema):
+        table = MemoryTable(csv_schema)
+        encoder = read_csv(csv_file, csv_schema, table)
+        data = table.read_all()
+        assert len(data) == 4
+        assert data["x"].tolist() == [1.5, 3.25, 1.0, 2.0]
+        assert encoder.categories["color"] == ["red", "blue", "green"]
+        assert encoder.categories[CLASS_COLUMN] == ["yes", "no"]
+
+    def test_codes_assigned_in_first_seen_order(self, csv_file, csv_schema):
+        table = MemoryTable(csv_schema)
+        read_csv(csv_file, csv_schema, table)
+        data = table.read_all()
+        assert data["color"].tolist() == [0, 1, 0, 2]
+        assert data[CLASS_COLUMN].tolist() == [0, 1, 0, 1]
+
+    def test_existing_encoder_reused(self, csv_file, csv_schema):
+        encoder = CategoryEncoder(
+            categories={"color": ["green", "red", "blue"], CLASS_COLUMN: ["no", "yes"]}
+        )
+        table = MemoryTable(csv_schema)
+        read_csv(csv_file, csv_schema, table, encoder)
+        data = table.read_all()
+        assert data["color"].tolist() == [1, 2, 1, 0]
+        assert data[CLASS_COLUMN].tolist() == [1, 0, 1, 0]
+
+    def test_domain_overflow_rejected(self, tmp_path, csv_schema):
+        rows = "\n".join(f"1.0,1.0,c{i},yes" for i in range(5))
+        path = tmp_path / "overflow.csv"
+        path.write_text("x,y,color,class_label\n" + rows)
+        with pytest.raises(StorageError):
+            read_csv(str(path), csv_schema, MemoryTable(csv_schema))
+
+    def test_missing_column_rejected(self, tmp_path, csv_schema):
+        path = tmp_path / "missing.csv"
+        path.write_text("x,y,class_label\n1,2,yes\n")
+        with pytest.raises(StorageError):
+            read_csv(str(path), csv_schema, MemoryTable(csv_schema))
+
+    def test_non_numeric_value_rejected(self, tmp_path, csv_schema):
+        path = tmp_path / "bad.csv"
+        path.write_text("x,y,color,class_label\noops,2,red,yes\n")
+        with pytest.raises(StorageError):
+            read_csv(str(path), csv_schema, MemoryTable(csv_schema))
+
+    def test_custom_label_column(self, tmp_path, csv_schema):
+        path = tmp_path / "labeled.csv"
+        path.write_text("x,y,color,outcome\n1,2,red,yes\n3,4,blue,no\n")
+        table = MemoryTable(csv_schema)
+        read_csv(str(path), csv_schema, table, label_column="outcome")
+        assert len(table) == 2
+
+
+class TestWriteCsv:
+    def test_round_trip_with_encoder(self, csv_file, csv_schema, tmp_path):
+        table = MemoryTable(csv_schema)
+        encoder = read_csv(csv_file, csv_schema, table)
+        out = tmp_path / "out.csv"
+        write_csv(str(out), table, encoder)
+        table2 = MemoryTable(csv_schema)
+        read_csv(str(out), csv_schema, table2, encoder)
+        assert np.array_equal(table.read_all(), table2.read_all())
+
+    def test_float_precision_survives(self, small_schema, tmp_path):
+        data = simple_xy_data(small_schema, 50, seed=1)
+        table = MemoryTable(small_schema, data)
+        out = tmp_path / "precise.csv"
+        write_csv(str(out), table)
+        # repr() round-trips float64 exactly.
+        schema2 = small_schema
+        table2 = MemoryTable(schema2)
+        encoder = CategoryEncoder(
+            categories={
+                "color": [str(i) for i in range(4)],
+                CLASS_COLUMN: ["0", "1"],
+            }
+        )
+        read_csv(str(out), schema2, table2, encoder)
+        assert np.array_equal(table2.read_all()["x"], data["x"])
+
+    def test_without_encoder_writes_codes(self, csv_schema, tmp_path):
+        table = MemoryTable(csv_schema)
+        batch = csv_schema.empty(1)
+        batch["x"], batch["y"], batch["color"] = 1.0, 2.0, 2
+        batch[CLASS_COLUMN] = 1
+        table.append(batch)
+        out = tmp_path / "codes.csv"
+        write_csv(str(out), table)
+        assert "2,1" in out.read_text().splitlines()[1]
+
+
+class TestInferSchema:
+    def test_infers_kinds(self, csv_file):
+        schema = infer_schema(csv_file, label_column="class_label")
+        assert schema["x"].is_numerical
+        assert schema["y"].is_numerical
+        assert schema["color"].is_categorical
+        assert schema["color"].domain_size == 3
+        assert schema.n_classes == 2
+
+    def test_missing_label_rejected(self, csv_file):
+        with pytest.raises(StorageError):
+            infer_schema(csv_file, label_column="nope")
+
+    def test_too_many_categories_rejected(self, tmp_path):
+        rows = "\n".join(f"1.0,s{i},yes" for i in range(40))
+        path = tmp_path / "many.csv"
+        path.write_text("x,s,class_label\n" + rows)
+        with pytest.raises(StorageError):
+            infer_schema(str(path), label_column="class_label", max_categories=32)
+
+    def test_empty_csv_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("x,class_label\n")
+        with pytest.raises(StorageError):
+            infer_schema(str(path), label_column="class_label")
+
+
+class TestEncoder:
+    def test_decode_round_trip(self):
+        encoder = CategoryEncoder()
+        codes = encoder.encode("c", ["a", "b", "a"], 5)
+        assert encoder.decode("c", codes) == ["a", "b", "a"]
+
+    def test_decode_unknown_column(self):
+        with pytest.raises(StorageError):
+            CategoryEncoder().decode("c", np.array([0]))
+
+    def test_decode_out_of_range(self):
+        encoder = CategoryEncoder(categories={"c": ["a"]})
+        with pytest.raises(StorageError):
+            encoder.decode("c", np.array([5]))
+
+    def test_dict_round_trip(self):
+        encoder = CategoryEncoder(categories={"c": ["a", "b"]})
+        clone = CategoryEncoder.from_dict(encoder.to_dict())
+        assert clone.categories == encoder.categories

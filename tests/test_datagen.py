@@ -1,0 +1,243 @@
+"""Tests for repro.datagen (Agrawal generator, functions, streams)."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    BASE_ATTRIBUTE_NAMES,
+    AgrawalConfig,
+    AgrawalGenerator,
+    ChunkStream,
+    DriftSpec,
+    FUNCTIONS,
+    GROUP_A,
+    GROUP_B,
+    agrawal_schema,
+    drifted_function_1,
+    labels_for,
+)
+from repro.datagen.functions import disposable_7
+from repro.exceptions import DatagenError
+from repro.storage import CLASS_COLUMN, MemoryTable
+
+
+class TestSchema:
+    def test_base_attributes(self):
+        schema = agrawal_schema()
+        assert tuple(a.name for a in schema) == BASE_ATTRIBUTE_NAMES
+        assert schema.n_classes == 2
+
+    def test_attribute_kinds(self):
+        schema = agrawal_schema()
+        assert schema["salary"].is_numerical
+        assert schema["elevel"].is_categorical and schema["elevel"].domain_size == 5
+        assert schema["car"].domain_size == 20
+        assert schema["zipcode"].domain_size == 9
+
+    def test_extra_numeric(self):
+        schema = agrawal_schema(extra_numeric=3)
+        assert schema.n_attributes == 12
+        assert schema["extra_2"].is_numerical
+
+    def test_negative_extra_rejected(self):
+        with pytest.raises(DatagenError):
+            agrawal_schema(extra_numeric=-1)
+
+
+class TestAttributeDistributions:
+    @pytest.fixture(scope="class")
+    def batch(self):
+        return AgrawalGenerator(AgrawalConfig(function_id=1), seed=42).generate(20000)
+
+    def test_salary_range(self, batch):
+        assert batch["salary"].min() >= 20_000
+        assert batch["salary"].max() <= 150_000
+
+    def test_commission_zero_iff_high_salary(self, batch):
+        high = batch["salary"] >= 75_000
+        assert np.all(batch["commission"][high] == 0)
+        low = ~high
+        assert np.all(batch["commission"][low] >= 10_000)
+        assert np.all(batch["commission"][low] <= 75_000)
+
+    def test_age_integer_range(self, batch):
+        assert batch["age"].min() >= 20
+        assert batch["age"].max() <= 80
+        assert np.all(batch["age"] == np.floor(batch["age"]))
+
+    def test_categorical_ranges(self, batch):
+        assert set(np.unique(batch["elevel"])) <= set(range(5))
+        assert set(np.unique(batch["car"])) <= set(range(20))
+        assert set(np.unique(batch["zipcode"])) <= set(range(9))
+
+    def test_hvalue_tracks_zipcode(self, batch):
+        for z in (0, 8):
+            mask = batch["zipcode"] == z
+            k = z + 1
+            assert batch["hvalue"][mask].min() >= 50_000 * k
+            assert batch["hvalue"][mask].max() <= 150_000 * k
+
+    def test_loan_range(self, batch):
+        assert batch["loan"].min() >= 0
+        assert batch["loan"].max() <= 500_000
+
+    def test_hyears_range(self, batch):
+        assert batch["hyears"].min() >= 1
+        assert batch["hyears"].max() <= 30
+
+    def test_schema_valid(self, batch):
+        agrawal_schema().validate_batch(batch)
+
+
+class TestClassificationFunctions:
+    @pytest.fixture(scope="class")
+    def batch(self):
+        return AgrawalGenerator(AgrawalConfig(function_id=1), seed=1).generate(5000)
+
+    def test_function_1_semantics(self, batch):
+        labels = labels_for(batch, 1)
+        expected = np.where(
+            (batch["age"] < 40) | (batch["age"] >= 60), GROUP_A, GROUP_B
+        )
+        assert np.array_equal(labels, expected)
+
+    def test_function_6_uses_total_income(self, batch):
+        labels = labels_for(batch, 6)
+        total = batch["salary"] + batch["commission"]
+        young = batch["age"] < 40
+        expected_young = (50_000 <= total) & (total <= 100_000)
+        assert np.array_equal(labels[young] == GROUP_A, expected_young[young])
+
+    def test_function_7_linear(self, batch):
+        labels = labels_for(batch, 7)
+        assert np.array_equal(labels == GROUP_A, disposable_7(batch) > 0)
+
+    @pytest.mark.parametrize("fid", sorted(FUNCTIONS))
+    def test_all_functions_produce_both_classes(self, fid):
+        batch = AgrawalGenerator(AgrawalConfig(function_id=fid), seed=fid).generate(
+            8000
+        )
+        labels = batch[CLASS_COLUMN]
+        assert {GROUP_A, GROUP_B} == set(np.unique(labels))
+
+    def test_unknown_function_rejected(self, batch):
+        with pytest.raises(ValueError):
+            labels_for(batch, 11)
+
+    def test_config_rejects_unknown_function(self):
+        with pytest.raises(DatagenError):
+            AgrawalConfig(function_id=0)
+
+
+class TestGenerator:
+    def test_deterministic_by_seed(self):
+        a = AgrawalGenerator(AgrawalConfig(function_id=1), seed=5).generate(100)
+        b = AgrawalGenerator(AgrawalConfig(function_id=1), seed=5).generate(100)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = AgrawalGenerator(AgrawalConfig(function_id=1), seed=5).generate(100)
+        b = AgrawalGenerator(AgrawalConfig(function_id=1), seed=6).generate(100)
+        assert not np.array_equal(a, b)
+
+    def test_noise_flips_labels(self):
+        clean = AgrawalGenerator(AgrawalConfig(function_id=1, noise=0.0), seed=5)
+        noisy = AgrawalGenerator(AgrawalConfig(function_id=1, noise=0.3), seed=5)
+        a = clean.generate(5000)
+        b = noisy.generate(5000)
+        disagreement = np.mean(a[CLASS_COLUMN] != b[CLASS_COLUMN])
+        # 30% of labels are replaced by a uniform class (half stay equal).
+        assert 0.10 < disagreement < 0.20
+
+    def test_noise_bounds_validated(self):
+        with pytest.raises(DatagenError):
+            AgrawalConfig(function_id=1, noise=1.5)
+
+    def test_extra_attributes_are_uniform(self):
+        gen = AgrawalGenerator(AgrawalConfig(function_id=1, extra_numeric=2), seed=7)
+        batch = gen.generate(2000)
+        assert 0 <= batch["extra_0"].min() and batch["extra_1"].max() <= 1
+
+    def test_batches_cover_n(self):
+        gen = AgrawalGenerator(AgrawalConfig(function_id=1), seed=8)
+        sizes = [len(b) for b in gen.batches(250, batch_rows=100)]
+        assert sizes == [100, 100, 50]
+
+    def test_fill_table(self):
+        gen = AgrawalGenerator(AgrawalConfig(function_id=1), seed=9)
+        table = MemoryTable(gen.schema)
+        gen.fill_table(table, 300, batch_rows=128)
+        assert len(table) == 300
+
+    def test_fill_table_schema_mismatch(self, small_schema):
+        gen = AgrawalGenerator(AgrawalConfig(function_id=1), seed=9)
+        with pytest.raises(DatagenError):
+            gen.fill_table(MemoryTable(small_schema), 10)
+
+    def test_negative_n_rejected(self):
+        gen = AgrawalGenerator(AgrawalConfig(function_id=1), seed=9)
+        with pytest.raises(DatagenError):
+            gen.generate(-1)
+
+    def test_label_fn_override(self):
+        config = AgrawalConfig(function_id=1, label_fn=lambda b: b["age"] < 50)
+        batch = AgrawalGenerator(config, seed=10).generate(1000)
+        assert np.array_equal(
+            batch[CLASS_COLUMN] == GROUP_A, batch["age"] < 50
+        )
+
+
+class TestDriftedFunction:
+    def test_agrees_below_40(self):
+        batch = AgrawalGenerator(AgrawalConfig(function_id=1), seed=11).generate(3000)
+        drifted = drifted_function_1(70.0)(batch)
+        original = labels_for(batch, 1) == GROUP_A
+        young = batch["age"] < 40
+        assert np.array_equal(drifted[young], original[young])
+
+    def test_differs_in_60_to_70_band(self):
+        batch = AgrawalGenerator(AgrawalConfig(function_id=1), seed=11).generate(3000)
+        drifted = drifted_function_1(70.0)(batch)
+        band = (batch["age"] >= 60) & (batch["age"] < 70)
+        assert band.any()
+        assert not drifted[band].any()  # drifted: Group B in the band
+
+
+class TestChunkStream:
+    def test_deterministic_chunks(self):
+        stream = ChunkStream(AgrawalConfig(function_id=1), 500, seed=3)
+        assert np.array_equal(stream.chunk(2), stream.chunk(2))
+
+    def test_chunks_differ_by_index(self):
+        stream = ChunkStream(AgrawalConfig(function_id=1), 500, seed=3)
+        assert not np.array_equal(stream.chunk(0), stream.chunk(1))
+
+    def test_drift_switches_distribution(self):
+        drifted = AgrawalConfig(
+            function_id=1, label_fn=lambda b: np.zeros(len(b), dtype=bool)
+        )
+        stream = ChunkStream(
+            AgrawalConfig(function_id=1),
+            1000,
+            seed=4,
+            drift=DriftSpec(after_chunk=2, drifted_config=drifted),
+        )
+        before = stream.chunk(1)
+        after = stream.chunk(2)
+        assert set(np.unique(after[CLASS_COLUMN])) == {GROUP_B}
+        assert GROUP_A in before[CLASS_COLUMN]
+
+    def test_chunks_iterator(self):
+        stream = ChunkStream(AgrawalConfig(function_id=1), 100, seed=5)
+        chunks = list(stream.chunks(3))
+        assert len(chunks) == 3
+        assert all(len(c) == 100 for c in chunks)
+
+    def test_invalid_params(self):
+        with pytest.raises(DatagenError):
+            ChunkStream(AgrawalConfig(function_id=1), 0)
+        with pytest.raises(DatagenError):
+            DriftSpec(after_chunk=-1, drifted_config=AgrawalConfig(function_id=1))
+        stream = ChunkStream(AgrawalConfig(function_id=1), 10)
+        with pytest.raises(DatagenError):
+            stream.chunk(-1)

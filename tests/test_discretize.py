@@ -1,0 +1,140 @@
+"""Tests for repro.core.discretize."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    bucket_index,
+    build_discretization,
+    interval_bucket_range,
+    interval_forced_edges,
+)
+from repro.core.discretize import point_bucket_mask
+from repro.splits import Gini, numeric_profile
+
+GINI = Gini()
+
+
+def make_profile(values, labels, min_leaf=1):
+    return numeric_profile(
+        np.asarray(values, dtype=np.float64),
+        np.asarray(labels, dtype=np.int64),
+        2,
+        GINI,
+        min_leaf,
+    )
+
+
+class TestBucketIndex:
+    def test_semantics(self):
+        edges = np.array([1.0, 3.0, 5.0])
+        values = np.array([0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        assert bucket_index(edges, values).tolist() == [0, 0, 1, 1, 2, 2, 3]
+
+    def test_empty_edges_single_bucket(self):
+        assert bucket_index(np.empty(0), np.array([1.0, -5.0])).tolist() == [0, 0]
+
+
+class TestBuildDiscretization:
+    def test_few_candidates_all_become_edges(self):
+        profile = make_profile([1, 2, 3, 4], [0, 0, 1, 1])
+        edges = build_discretization(profile, 0.0, bucket_budget=16)
+        assert set(edges) >= {1.0, 2.0, 3.0, 4.0}
+
+    def test_budget_respected_roughly(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0, 1000, 5000)
+        labels = (values > 500).astype(np.int64)
+        profile = make_profile(values, labels)
+        edges = build_discretization(profile, 0.0, bucket_budget=32)
+        # budget + spike isolation head-room
+        assert len(edges) <= 3 * 32
+
+    def test_denser_near_minimum(self):
+        """Edges concentrate where the impurity profile is lowest."""
+        rng = np.random.default_rng(1)
+        values = rng.uniform(0, 1000, 8000)
+        labels = (values > 500).astype(np.int64)
+        profile = make_profile(values, labels)
+        best_value = profile.best()[1]
+        edges = build_discretization(profile, profile.best()[0], bucket_budget=40)
+        near = np.sum(np.abs(edges - best_value) < 100)
+        far = np.sum(np.abs(edges - best_value) >= 400)
+        assert near > far
+
+    def test_forced_edges_present(self):
+        profile = make_profile([1, 2, 3, 4, 5, 6], [0, 1, 0, 1, 0, 1])
+        forced = (2.5, 4.5)
+        edges = build_discretization(profile, 0.0, 4, forced_edges=forced)
+        assert 2.5 in edges and 4.5 in edges
+
+    def test_heavy_spike_isolated_as_point_bucket(self):
+        # Half the mass sits at value 0 (the commission pattern).
+        values = np.concatenate([np.zeros(500), np.linspace(10, 100, 500)])
+        labels = np.concatenate(
+            [np.zeros(500, dtype=np.int64), np.ones(500, dtype=np.int64)]
+        )
+        profile = make_profile(values, labels)
+        edges = build_discretization(profile, profile.best()[0], 8)
+        mask = point_bucket_mask(edges)
+        spike_bucket = bucket_index(edges, np.array([0.0]))[0]
+        assert mask[spike_bucket]
+
+    def test_exclude_interval_starves_inside(self):
+        rng = np.random.default_rng(2)
+        values = rng.uniform(0, 1000, 5000)
+        labels = (values > 500).astype(np.int64)
+        profile = make_profile(values, labels)
+        edges = build_discretization(
+            profile, profile.best()[0], 16, exclude_interval=(450.0, 550.0)
+        )
+        inside = np.sum((edges > 450.0) & (edges < 550.0))
+        assert inside <= 2  # only spike/forced stragglers allowed
+
+    def test_empty_profile(self):
+        profile = make_profile([], [])
+        edges = build_discretization(profile, 0.0, 8, forced_edges=(1.0,))
+        assert edges.tolist() == [1.0]
+
+
+class TestIntervalHelpers:
+    def test_forced_edges_isolate_interval(self):
+        low, high = 10.0, 20.0
+        e_lo, e_hi = interval_forced_edges(low, high)
+        assert e_lo < low and e_hi == high
+        assert np.nextafter(e_lo, np.inf) == low
+
+    def test_interval_bucket_range_classifies_values(self):
+        low, high = 10.0, 20.0
+        forced = interval_forced_edges(low, high)
+        edges = np.array(sorted({1.0, 5.0, *forced, 15.0, 30.0}))
+        first, last = interval_bucket_range(edges, low, high)
+        below = bucket_index(edges, np.array([9.999999]))[0]
+        inside_lo = bucket_index(edges, np.array([10.0]))[0]
+        inside_mid = bucket_index(edges, np.array([16.0]))[0]
+        inside_hi = bucket_index(edges, np.array([20.0]))[0]
+        above = bucket_index(edges, np.array([20.0000001]))[0]
+        assert below < first
+        assert first <= inside_lo < last
+        assert first <= inside_mid < last
+        assert first <= inside_hi < last
+        assert above >= last
+
+
+class TestPointBucketMask:
+    def test_detects_ulp_pairs(self):
+        value = 42.0
+        edges = np.array(sorted({1.0, np.nextafter(value, -np.inf), value, 100.0}))
+        mask = point_bucket_mask(edges)
+        point_bucket = bucket_index(edges, np.array([value]))[0]
+        assert mask[point_bucket]
+        assert not mask[0]
+        assert not mask[-1]
+
+    def test_no_point_buckets_in_spread_edges(self):
+        edges = np.array([1.0, 2.0, 3.0])
+        assert not point_bucket_mask(edges).any()
+
+    def test_short_edge_arrays(self):
+        assert point_bucket_mask(np.empty(0)).tolist() == [False]
+        assert point_bucket_mask(np.array([1.0])).tolist() == [False, False]

@@ -1,0 +1,114 @@
+"""Tests for the BoatClassifier estimator facade."""
+
+import numpy as np
+import pytest
+
+from repro import BoatClassifier, MemoryTable
+from repro.exceptions import ReproError, TreeStructureError
+from repro.splits import ImpuritySplitSelection
+from repro.config import SplitConfig
+from repro.tree import build_reference_tree, trees_equal
+
+from .conftest import simple_xy_data
+
+
+def make_classifier(schema, incremental=False, **kwargs):
+    defaults = dict(
+        min_samples_split=40,
+        min_samples_leaf=10,
+        max_depth=8,
+        sample_size=800,
+        bootstrap_repetitions=6,
+        seed=3,
+    )
+    defaults.update(kwargs)
+    return BoatClassifier(schema, incremental=incremental, **defaults)
+
+
+class TestFitPredict:
+    def test_fit_from_array(self, small_schema):
+        data = simple_xy_data(small_schema, 4000, seed=1, rule="x")
+        clf = make_classifier(small_schema).fit(data)
+        fresh = simple_xy_data(small_schema, 1000, seed=2, rule="x")
+        assert clf.score(fresh) > 0.98
+
+    def test_fit_from_table(self, small_schema):
+        data = simple_xy_data(small_schema, 4000, seed=3, rule="xy")
+        clf = make_classifier(small_schema).fit(MemoryTable(small_schema, data))
+        assert clf.tree_.n_nodes > 1
+
+    def test_fitted_tree_is_exact(self, small_schema):
+        data = simple_xy_data(small_schema, 4000, seed=4, rule="xy")
+        clf = make_classifier(small_schema).fit(data)
+        reference = build_reference_tree(
+            data,
+            small_schema,
+            ImpuritySplitSelection("gini"),
+            SplitConfig(min_samples_split=40, min_samples_leaf=10, max_depth=8),
+        )
+        assert trees_equal(clf.tree_, reference)
+
+    def test_predict_proba_shape(self, small_schema):
+        data = simple_xy_data(small_schema, 3000, seed=5, rule="x")
+        clf = make_classifier(small_schema).fit(data)
+        proba = clf.predict_proba(data[:50])
+        assert proba.shape == (50, 2)
+
+    def test_unfitted_raises(self, small_schema):
+        with pytest.raises(TreeStructureError):
+            make_classifier(small_schema).predict(small_schema.empty(1))
+
+    def test_dtype_mismatch_raises(self, small_schema):
+        with pytest.raises(ReproError):
+            make_classifier(small_schema).fit(np.zeros(10))
+
+    def test_fit_report(self, small_schema):
+        data = simple_xy_data(small_schema, 3000, seed=6, rule="x")
+        clf = make_classifier(small_schema).fit(data)
+        assert clf.last_report is not None
+        assert clf.last_report.mode in ("boat", "in-memory")
+
+
+class TestIncrementalFacade:
+    def test_partial_fit_exact(self, small_schema):
+        base = simple_xy_data(small_schema, 3000, seed=7, rule="xy")
+        chunk = simple_xy_data(small_schema, 1000, seed=8, rule="xy")
+        clf = make_classifier(small_schema, incremental=True).fit(base)
+        clf.partial_fit(chunk)
+        reference = build_reference_tree(
+            np.concatenate([base, chunk]),
+            small_schema,
+            ImpuritySplitSelection("gini"),
+            SplitConfig(min_samples_split=40, min_samples_leaf=10, max_depth=8),
+        )
+        assert trees_equal(clf.tree_, reference)
+
+    def test_forget_restores(self, small_schema):
+        base = simple_xy_data(small_schema, 3000, seed=9, rule="xy")
+        chunk = simple_xy_data(small_schema, 1000, seed=10, rule="xy")
+        clf = make_classifier(small_schema, incremental=True).fit(base)
+        before = clf.tree_
+        clf.partial_fit(chunk)
+        clf.forget(chunk)
+        assert trees_equal(clf.tree_, before)
+
+    def test_partial_fit_without_incremental_raises(self, small_schema):
+        data = simple_xy_data(small_schema, 2000, seed=11)
+        clf = make_classifier(small_schema).fit(data)
+        with pytest.raises(ReproError):
+            clf.partial_fit(data[:10])
+
+    def test_drift_log_accessible(self, small_schema):
+        data = simple_xy_data(small_schema, 2000, seed=12, rule="x")
+        clf = make_classifier(small_schema, incremental=True).fit(data)
+        assert clf.drift_log == []
+
+    def test_chained_calls(self, small_schema):
+        data = simple_xy_data(small_schema, 2000, seed=13, rule="x")
+        chunk = simple_xy_data(small_schema, 500, seed=14, rule="x")
+        clf = (
+            make_classifier(small_schema, incremental=True)
+            .fit(data)
+            .partial_fit(chunk)
+        )
+        assert clf.score(chunk) > 0.9

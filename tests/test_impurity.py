@@ -1,0 +1,163 @@
+"""Tests for repro.splits.impurity, including concavity property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SplitSelectionError
+from repro.splits import (
+    Entropy,
+    Gini,
+    ImpurityMeasure,
+    InterclassVariance,
+    available_impurities,
+    get_impurity,
+)
+
+ALL_MEASURES = [Gini(), Entropy(), InterclassVariance()]
+
+
+def counts_strategy(k=2, max_count=200):
+    return st.lists(
+        st.integers(min_value=0, max_value=max_count), min_size=k, max_size=k
+    ).map(lambda xs: np.array(xs, dtype=np.int64))
+
+
+class TestRegistry:
+    def test_available(self):
+        assert set(available_impurities()) == {
+            "gini",
+            "entropy",
+            "interclass_variance",
+        }
+
+    def test_lookup_by_name(self):
+        assert isinstance(get_impurity("gini"), Gini)
+
+    def test_passthrough(self):
+        measure = Entropy()
+        assert get_impurity(measure) is measure
+
+    def test_unknown_rejected(self):
+        with pytest.raises(SplitSelectionError):
+            get_impurity("misclassification")
+
+
+class TestNodeImpurity:
+    @pytest.mark.parametrize("measure", ALL_MEASURES, ids=lambda m: m.name)
+    def test_zero_on_pure(self, measure: ImpurityMeasure):
+        assert measure.node_impurity(np.array([10, 0])) == 0.0
+        assert measure.node_impurity(np.array([0, 7])) == 0.0
+
+    @pytest.mark.parametrize("measure", ALL_MEASURES, ids=lambda m: m.name)
+    def test_zero_on_empty(self, measure):
+        assert measure.node_impurity(np.array([0, 0])) == 0.0
+
+    @pytest.mark.parametrize("measure", ALL_MEASURES, ids=lambda m: m.name)
+    def test_symmetric_in_classes(self, measure):
+        assert measure.node_impurity(np.array([30, 10])) == pytest.approx(
+            measure.node_impurity(np.array([10, 30]))
+        )
+
+    @pytest.mark.parametrize("measure", ALL_MEASURES, ids=lambda m: m.name)
+    def test_maximal_when_balanced(self, measure):
+        balanced = measure.node_impurity(np.array([50, 50]))
+        for skew in ([60, 40], [80, 20], [99, 1]):
+            assert measure.node_impurity(np.array(skew)) < balanced
+
+    def test_gini_known_values(self):
+        assert Gini().node_impurity(np.array([50, 50])) == pytest.approx(0.5)
+        assert Gini().node_impurity(np.array([75, 25])) == pytest.approx(0.375)
+
+    def test_entropy_known_values(self):
+        assert Entropy().node_impurity(np.array([50, 50])) == pytest.approx(
+            np.log(2)
+        )
+
+    def test_three_classes(self):
+        assert Gini().node_impurity(np.array([10, 10, 10])) == pytest.approx(
+            1 - 3 * (1 / 3) ** 2
+        )
+
+
+class TestWeighted:
+    @pytest.mark.parametrize("measure", ALL_MEASURES, ids=lambda m: m.name)
+    def test_pure_split_is_zero(self, measure):
+        total = np.array([40, 60])
+        left = np.array([[40, 0]])
+        assert measure.weighted(left, total)[0] == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("measure", ALL_MEASURES, ids=lambda m: m.name)
+    def test_useless_split_equals_node_impurity(self, measure):
+        """A proportional split leaves the impurity unchanged."""
+        total = np.array([40, 60])
+        left = np.array([[20, 30]])
+        assert measure.weighted(left, total)[0] == pytest.approx(
+            measure.node_impurity(total)
+        )
+
+    @pytest.mark.parametrize("measure", ALL_MEASURES, ids=lambda m: m.name)
+    def test_empty_side_contributes_nothing(self, measure):
+        total = np.array([40, 60])
+        left = np.array([[0, 0]])
+        assert measure.weighted(left, total)[0] == pytest.approx(
+            measure.node_impurity(total)
+        )
+
+    def test_vectorized_matches_scalar(self):
+        gini = Gini()
+        total = np.array([30, 70])
+        lefts = np.array([[0, 10], [10, 20], [30, 0]])
+        batch = gini.weighted(lefts, total)
+        for i, left in enumerate(lefts):
+            assert batch[i] == gini.weighted_scalar(left, total)
+
+    def test_bitwise_determinism_across_shapes(self):
+        """The exactness guarantee's cornerstone: same integers, same float."""
+        gini = Gini()
+        total = np.array([137, 263])
+        left = np.array([45, 81])
+        alone = gini.weighted(left[np.newaxis, :], total)[0]
+        padded = np.vstack([left, [[1, 2]] * 7, left[np.newaxis, :]])
+        many = gini.weighted(padded, total)
+        assert many[0] == alone  # exact float equality, no tolerance
+        assert many[-1] == alone
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(SplitSelectionError):
+            Gini().weighted(np.array([[1, 2]]), np.array([1, 2, 3]))
+
+    def test_3d_rejected(self):
+        with pytest.raises(SplitSelectionError):
+            Gini().weighted(np.zeros((2, 2, 2)), np.array([1, 2]))
+
+    def test_empty_total(self):
+        assert Gini().weighted(np.array([[0, 0]]), np.array([0, 0]))[0] == 0.0
+
+
+class TestConcavity:
+    """Lemma 3.1 needs weighted impurity concave in the left-count vector."""
+
+    @pytest.mark.parametrize("measure", ALL_MEASURES, ids=lambda m: m.name)
+    @settings(max_examples=120, deadline=None)
+    @given(
+        a=counts_strategy(),
+        b=counts_strategy(),
+        extra=counts_strategy(),
+        lam_pct=st.integers(min_value=0, max_value=100),
+    )
+    def test_weighted_concave_along_segments(self, measure, a, b, extra, lam_pct):
+        total = a + b + extra + 1  # ensure componentwise >= any midpoint
+        lam = lam_pct / 100.0
+        mid = lam * a + (1 - lam) * b
+        f_mid = float(measure.weighted(mid[np.newaxis, :], total)[0])
+        f_a = float(measure.weighted(a[np.newaxis, :], total)[0])
+        f_b = float(measure.weighted(b[np.newaxis, :], total)[0])
+        assert f_mid >= lam * f_a + (1 - lam) * f_b - 1e-9
+
+    @pytest.mark.parametrize("measure", ALL_MEASURES, ids=lambda m: m.name)
+    @settings(max_examples=60, deadline=None)
+    @given(counts=counts_strategy(k=3, max_count=100))
+    def test_nonnegative(self, measure, counts):
+        assert measure.node_impurity(counts) >= 0.0

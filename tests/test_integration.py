@@ -1,0 +1,97 @@
+"""End-to-end integration tests across the public API."""
+
+import importlib.util
+import pathlib
+import sys
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    AgrawalConfig,
+    AgrawalGenerator,
+    BoatConfig,
+    DiskTable,
+    IOStats,
+    ImpuritySplitSelection,
+    SplitConfig,
+    boat_build,
+    build_reference_tree,
+    trees_equal,
+)
+from repro.tree import tree_from_json, tree_to_json
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestFullPipeline:
+    def test_disk_to_serialized_tree(self, tmp_path):
+        """Generate -> store -> BOAT -> serialize -> reload -> predict."""
+        generator = AgrawalGenerator(AgrawalConfig(function_id=6, noise=0.05), seed=1)
+        io = IOStats()
+        table = DiskTable.create(tmp_path / "d.tbl", generator.schema, io)
+        generator.fill_table(table, 15_000)
+        io.reset()
+        method = ImpuritySplitSelection("entropy")
+        split = SplitConfig(min_samples_split=150, min_samples_leaf=40, max_depth=7)
+        boat = BoatConfig(sample_size=3000, bootstrap_repetitions=8, seed=2)
+        result = boat_build(table, method, split, boat)
+        assert io.full_scans == 2
+        payload = tree_to_json(result.tree)
+        reloaded = tree_from_json(payload)
+        assert trees_equal(result.tree, reloaded)
+        fresh = generator.generate(2_000)
+        assert np.array_equal(result.tree.predict(fresh), reloaded.predict(fresh))
+        assert reloaded.misclassification_rate(fresh) < 0.25
+
+    def test_reopened_table_builds_same_tree(self, tmp_path):
+        generator = AgrawalGenerator(AgrawalConfig(function_id=1), seed=3)
+        path = tmp_path / "d.tbl"
+        table = DiskTable.create(path, generator.schema)
+        generator.fill_table(table, 8_000)
+        table.close()
+        reopened = DiskTable.open(path)
+        method = ImpuritySplitSelection("gini")
+        split = SplitConfig(min_samples_split=80, min_samples_leaf=20, max_depth=6)
+        boat = BoatConfig(sample_size=2000, bootstrap_repetitions=6, seed=4)
+        result = boat_build(reopened, method, split, boat)
+        reference = build_reference_tree(
+            reopened.read_all(), reopened.schema, method, split
+        )
+        assert trees_equal(result.tree, reference)
+
+    def test_public_api_surface(self):
+        """Everything advertised in __all__ resolves."""
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version(self):
+        assert repro.__version__
+
+
+class TestExamples:
+    def test_warehouse_scaleup_runs(self, capsys):
+        module = load_example("warehouse_scaleup")
+        module.main(n_tuples=8_000, io_mbps=0.0)
+        out = capsys.readouterr().out
+        assert "identical tree" in out
+
+    def test_instability_demo_runs(self, capsys):
+        module = load_example("instability_demo")
+        module.main()
+        out = capsys.readouterr().out
+        assert "exact tree reproduced" in out
+
+    def test_other_examples_compile(self):
+        for name in ("quickstart", "fraud_detection_stream"):
+            source = (EXAMPLES / f"{name}.py").read_text()
+            compile(source, f"{name}.py", "exec")

@@ -1,0 +1,56 @@
+"""Tests for repro.storage.io_stats."""
+
+from repro.storage import IOStats
+
+
+class TestIOStats:
+    def test_starts_at_zero(self):
+        io = IOStats()
+        assert io.full_scans == 0
+        assert io.tuples_read == 0
+        assert io.bytes_written == 0
+
+    def test_record_read_write(self):
+        io = IOStats()
+        io.record_read(10, 640)
+        io.record_write(5, 320)
+        assert (io.tuples_read, io.bytes_read) == (10, 640)
+        assert (io.tuples_written, io.bytes_written) == (5, 320)
+
+    def test_full_scans_and_spills(self):
+        io = IOStats()
+        io.record_full_scan()
+        io.record_full_scan()
+        io.record_spill_file()
+        assert io.full_scans == 2
+        assert io.spill_files == 1
+
+    def test_snapshot_is_independent(self):
+        io = IOStats()
+        io.record_read(1, 8)
+        snap = io.snapshot()
+        io.record_read(1, 8)
+        assert snap.tuples_read == 1
+        assert io.tuples_read == 2
+
+    def test_delta_since(self):
+        io = IOStats()
+        io.record_read(3, 24)
+        before = io.snapshot()
+        io.record_read(4, 32)
+        io.record_full_scan()
+        delta = io.delta_since(before)
+        assert delta.tuples_read == 4
+        assert delta.full_scans == 1
+
+    def test_reset(self):
+        io = IOStats()
+        io.record_read(3, 24)
+        io.reset()
+        assert io.tuples_read == 0
+        assert io.bytes_read == 0
+
+    def test_str_mentions_counts(self):
+        io = IOStats()
+        io.record_read(3, 24)
+        assert "3t" in str(io)

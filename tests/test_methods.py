@@ -1,0 +1,130 @@
+"""Tests for repro.splits.methods (ImpuritySplitSelection) and base types."""
+
+import numpy as np
+import pytest
+
+from repro.config import SplitConfig
+from repro.exceptions import SplitSelectionError
+from repro.splits import (
+    CategoricalSplit,
+    ImpuritySplitSelection,
+    NumericSplit,
+    get_method,
+    majority_label,
+)
+from repro.storage import CLASS_COLUMN
+
+from .conftest import simple_xy_data
+
+
+class TestSplitTypes:
+    def test_numeric_split_evaluate(self, small_schema):
+        data = simple_xy_data(small_schema, 50, seed=1)
+        split = NumericSplit(0, 50.0)
+        mask = split.evaluate(data, small_schema)
+        assert np.array_equal(mask, data["x"] <= 50.0)
+
+    def test_categorical_split_evaluate(self, small_schema):
+        data = simple_xy_data(small_schema, 50, seed=2)
+        split = CategoricalSplit(2, frozenset({1, 3}))
+        mask = split.evaluate(data, small_schema)
+        assert np.array_equal(mask, np.isin(data["color"], [1, 3]))
+
+    def test_describe(self, small_schema):
+        assert NumericSplit(0, 12.5).describe(small_schema) == "x <= 12.5"
+        assert (
+            CategoricalSplit(2, frozenset({3, 1})).describe(small_schema)
+            == "color in {1,3}"
+        )
+
+    def test_value_equality(self):
+        assert NumericSplit(0, 1.0) == NumericSplit(0, 1.0)
+        assert NumericSplit(0, 1.0) != NumericSplit(1, 1.0)
+        assert CategoricalSplit(2, frozenset({1})) == CategoricalSplit(
+            2, frozenset({1})
+        )
+
+    def test_majority_label_tie_break(self):
+        assert majority_label(np.array([5, 5])) == 0
+        assert majority_label(np.array([2, 7])) == 1
+
+
+class TestImpuritySplitSelection:
+    def test_finds_informative_numeric_attribute(self, small_schema):
+        data = simple_xy_data(small_schema, 400, seed=3, rule="x")
+        decision = ImpuritySplitSelection("gini").choose_split(
+            data, small_schema, SplitConfig()
+        )
+        assert isinstance(decision.split, NumericSplit)
+        assert decision.split.attribute_index == 0
+        assert 45 < decision.split.value < 55
+
+    def test_finds_informative_categorical_attribute(self, small_schema):
+        data = simple_xy_data(small_schema, 400, seed=4, rule="color")
+        decision = ImpuritySplitSelection("gini").choose_split(
+            data, small_schema, SplitConfig()
+        )
+        assert isinstance(decision.split, CategoricalSplit)
+        assert decision.split.attribute_index == 2
+        assert decision.split.subset == frozenset({0, 2})
+
+    def test_pure_family_is_leaf(self, small_schema):
+        data = simple_xy_data(small_schema, 100, seed=5, rule="x")
+        data[CLASS_COLUMN] = 1
+        assert (
+            ImpuritySplitSelection("gini").choose_split(
+                data, small_schema, SplitConfig()
+            )
+            is None
+        )
+
+    def test_min_samples_split_is_leaf(self, small_schema):
+        data = simple_xy_data(small_schema, 10, seed=6)
+        config = SplitConfig(min_samples_split=50)
+        assert (
+            ImpuritySplitSelection("gini").choose_split(data, small_schema, config)
+            is None
+        )
+
+    def test_zero_gain_is_leaf(self, small_schema):
+        """A family where every candidate is uninformative becomes a leaf."""
+        data = small_schema.empty(8)
+        data["x"] = [1, 1, 1, 1, 2, 2, 2, 2]
+        data["y"] = 0.0
+        data["color"] = [0, 0, 1, 1, 0, 0, 1, 1]
+        data[CLASS_COLUMN] = [0, 1, 0, 1, 0, 1, 0, 1]
+        assert (
+            ImpuritySplitSelection("gini").choose_split(
+                data, small_schema, SplitConfig()
+            )
+            is None
+        )
+
+    def test_attribute_tie_break_prefers_earlier(self, small_schema):
+        """x and y carry identical information -> x (index 0) wins."""
+        data = small_schema.empty(40)
+        values = np.arange(40, dtype=np.float64)
+        data["x"] = values
+        data["y"] = values  # identical column
+        data["color"] = 0
+        data[CLASS_COLUMN] = (values >= 20).astype(np.int32)
+        decision = ImpuritySplitSelection("gini").choose_split(
+            data, small_schema, SplitConfig()
+        )
+        assert decision.split.attribute_index == 0
+
+    def test_impurity_value_reported(self, small_schema):
+        data = simple_xy_data(small_schema, 200, seed=7, rule="x")
+        decision = ImpuritySplitSelection("gini").choose_split(
+            data, small_schema, SplitConfig()
+        )
+        assert 0.0 <= decision.impurity < 0.5
+
+    def test_get_method(self):
+        method = get_method("entropy")
+        assert method.impurity.name == "entropy"
+        with pytest.raises(SplitSelectionError):
+            get_method("unknown")
+
+    def test_repr(self):
+        assert "gini" in repr(ImpuritySplitSelection("gini"))

@@ -1,0 +1,142 @@
+"""Tests for repro.splits.numeric."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.splits import Gini, best_numeric_split, numeric_profile
+from repro.splits.numeric import cumulative_class_counts
+
+GINI = Gini()
+
+
+def brute_force_best(values, labels, min_leaf):
+    """O(n^2) reference implementation of the numeric split search."""
+    n = len(values)
+    best = None
+    for x in sorted(set(values)):
+        left = values <= x
+        n_left = int(left.sum())
+        if n_left < min_leaf or n - n_left < min_leaf:
+            continue
+        lc = np.bincount(labels[left], minlength=2)
+        imp = GINI.weighted(lc[np.newaxis, :], np.bincount(labels, minlength=2))[0]
+        if best is None or imp < best[0]:
+            best = (float(imp), float(x))
+    return best
+
+
+class TestCumulativeClassCounts:
+    def test_basic(self):
+        labels = np.array([0, 1, 1, 0, 1])
+        cum = cumulative_class_counts(labels, 2)
+        assert cum.tolist() == [[1, 0], [1, 1], [1, 2], [2, 2], [2, 3]]
+
+    def test_empty(self):
+        assert cumulative_class_counts(np.array([], dtype=np.int64), 2).shape == (
+            0,
+            2,
+        )
+
+
+class TestNumericProfile:
+    def test_candidates_are_distinct_sorted(self):
+        values = np.array([3.0, 1.0, 3.0, 2.0, 1.0])
+        labels = np.array([0, 1, 0, 1, 0])
+        profile = numeric_profile(values, labels, 2, GINI, 1)
+        assert profile.candidates.tolist() == [1.0, 2.0, 3.0]
+
+    def test_left_counts_cumulative(self):
+        values = np.array([1.0, 2.0, 2.0, 3.0])
+        labels = np.array([0, 1, 0, 1])
+        profile = numeric_profile(values, labels, 2, GINI, 1)
+        assert profile.left_counts.tolist() == [[1, 0], [2, 1], [2, 2]]
+
+    def test_max_value_inadmissible(self):
+        values = np.array([1.0, 2.0, 3.0])
+        labels = np.array([0, 1, 0])
+        profile = numeric_profile(values, labels, 2, GINI, 1)
+        assert not profile.admissible[-1]  # empty right child
+
+    def test_min_leaf_mask(self):
+        values = np.arange(10, dtype=np.float64)
+        labels = np.array([0, 1] * 5)
+        profile = numeric_profile(values, labels, 2, GINI, 3)
+        n_left = profile.left_counts.sum(axis=1)
+        expected = (n_left >= 3) & (10 - n_left >= 3)
+        assert np.array_equal(profile.admissible, expected)
+
+    def test_perfect_split_found(self):
+        values = np.concatenate([np.arange(50.0), 100 + np.arange(50.0)])
+        labels = np.array([0] * 50 + [1] * 50)
+        best = best_numeric_split(values, labels, 2, GINI, 1)
+        assert best is not None
+        assert best[0] == pytest.approx(0.0)
+        assert best[1] == 49.0
+
+    def test_tie_break_smallest_value(self):
+        # Symmetric data: splits at 0 and at 2 give equal impurity.
+        values = np.array([0.0, 1.0, 1.0, 2.0])
+        labels = np.array([0, 1, 1, 0])
+        best = best_numeric_split(values, labels, 2, GINI, 1)
+        assert best[1] == 0.0  # first minimum in ascending candidate order
+
+    def test_empty_input(self):
+        best = best_numeric_split(
+            np.empty(0), np.empty(0, dtype=np.int64), 2, GINI, 1
+        )
+        assert best is None
+
+    def test_single_distinct_value(self):
+        values = np.ones(10)
+        labels = np.array([0, 1] * 5)
+        assert best_numeric_split(values, labels, 2, GINI, 1) is None
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            numeric_profile(np.ones(3), np.zeros(2, dtype=np.int64), 2, GINI, 1)
+
+    def test_base_left_path_matches_full_search(self):
+        """BOAT's restricted profile must agree with the full profile."""
+        rng = np.random.default_rng(5)
+        values = rng.uniform(0, 100, 500)
+        labels = (values + rng.normal(0, 20, 500) > 50).astype(np.int64)
+        full = numeric_profile(values, labels, 2, GINI, 5)
+        low, high = 30.0, 70.0
+        inside = (values >= low) & (values <= high)
+        base_left = np.bincount(labels[values < low], minlength=2)
+        total = np.bincount(labels, minlength=2)
+        restricted = numeric_profile(
+            values[inside], labels[inside], 2, GINI, 5,
+            base_left=base_left, total_counts=total,
+        )
+        mask = (full.candidates >= low) & (full.candidates <= high)
+        assert np.array_equal(restricted.candidates, full.candidates[mask])
+        assert np.array_equal(restricted.left_counts, full.left_counts[mask])
+        # Bit-exact float equality — the exactness guarantee in miniature.
+        assert np.array_equal(restricted.impurities, full.impurities[mask])
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=20),
+                st.integers(min_value=0, max_value=1),
+            ),
+            min_size=2,
+            max_size=60,
+        ),
+        min_leaf=st.integers(min_value=1, max_value=4),
+    )
+    def test_matches_brute_force(self, data, min_leaf):
+        values = np.array([float(v) for v, _ in data])
+        labels = np.array([c for _, c in data], dtype=np.int64)
+        fast = best_numeric_split(values, labels, 2, GINI, min_leaf)
+        slow = brute_force_best(values, labels, min_leaf)
+        if slow is None:
+            assert fast is None
+        else:
+            assert fast is not None
+            assert fast[0] == pytest.approx(slow[0], abs=1e-12)
+            assert fast[1] == slow[1]

@@ -1,0 +1,116 @@
+"""Tests for projection scans and the simulated-device throttle."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.storage import CLASS_COLUMN, DiskTable, IOStats, MemoryTable
+
+from .conftest import simple_xy_data
+
+
+class TestScanColumns:
+    def test_projection_contents_match(self, tmp_path, small_schema):
+        data = simple_xy_data(small_schema, 500, seed=1)
+        table = DiskTable.create(tmp_path / "t.tbl", small_schema)
+        table.append(data)
+        merged = np.concatenate(list(table.scan_columns(["x"], batch_rows=128)))
+        assert np.array_equal(merged["x"], data["x"])
+        assert np.array_equal(merged[CLASS_COLUMN], data[CLASS_COLUMN])
+
+    def test_class_label_always_included(self, tmp_path, small_schema):
+        data = simple_xy_data(small_schema, 100, seed=2)
+        table = DiskTable.create(tmp_path / "t.tbl", small_schema)
+        table.append(data)
+        batch = next(table.scan_columns(["y"]))
+        assert CLASS_COLUMN in batch.dtype.names
+
+    def test_projected_bytes_charged(self, tmp_path, small_schema):
+        io = IOStats()
+        data = simple_xy_data(small_schema, 400, seed=3)
+        table = DiskTable.create(tmp_path / "t.tbl", small_schema, io)
+        table.append(data)
+        io.reset()
+        list(table.scan(batch_rows=100))
+        full_bytes = io.bytes_read
+        io.reset()
+        list(table.scan_columns(["x"], batch_rows=100))
+        projected = io.bytes_read
+        # x (8 bytes) + label (4) of a 24-byte record.
+        assert projected == 400 * 12
+        assert projected < full_bytes
+        assert io.full_scans == 1
+
+    def test_duplicate_columns_deduped(self, tmp_path, small_schema):
+        data = simple_xy_data(small_schema, 50, seed=4)
+        table = DiskTable.create(tmp_path / "t.tbl", small_schema)
+        table.append(data)
+        batch = next(table.scan_columns(["x", "x", CLASS_COLUMN]))
+        assert batch.dtype.names == ("x", CLASS_COLUMN)
+
+    def test_memory_table_projection(self, small_schema):
+        data = simple_xy_data(small_schema, 200, seed=5)
+        table = MemoryTable(small_schema, data)
+        merged = np.concatenate(list(table.scan_columns(["color"])))
+        assert np.array_equal(merged["color"], data["color"])
+
+
+class TestSimulatedThroughput:
+    def test_throttle_slows_scans(self, tmp_path, small_schema):
+        data = simple_xy_data(small_schema, 20_000, seed=6)  # ~480 KB
+        table = DiskTable.create(tmp_path / "t.tbl", small_schema)
+        table.append(data)
+        start = time.perf_counter()
+        list(table.scan())
+        fast = time.perf_counter() - start
+        table.set_simulated_throughput(2.0)  # 2 MB/s -> ~0.24 s
+        start = time.perf_counter()
+        list(table.scan())
+        slow = time.perf_counter() - start
+        assert slow > fast
+        assert slow > 0.15
+
+    def test_zero_and_none_disable(self, tmp_path, small_schema):
+        table = DiskTable.create(tmp_path / "t.tbl", small_schema)
+        table.set_simulated_throughput(0)
+        table.append(simple_xy_data(small_schema, 10, seed=7))
+        table.set_simulated_throughput(None)
+        list(table.scan())  # must not raise or sleep
+
+    def test_constructor_parameter(self, tmp_path, small_schema):
+        table = DiskTable(
+            tmp_path / "t.tbl", small_schema, simulated_mbps=5.0
+        )
+        assert table._simulated_mbps == 5.0
+
+    def test_projection_throttled_less(self, tmp_path, small_schema):
+        data = simple_xy_data(small_schema, 30_000, seed=8)
+        table = DiskTable.create(tmp_path / "t.tbl", small_schema)
+        table.append(data)
+        table.set_simulated_throughput(3.0)
+        start = time.perf_counter()
+        list(table.scan())
+        full = time.perf_counter() - start
+        start = time.perf_counter()
+        list(table.scan_columns(["x"]))
+        projected = time.perf_counter() - start
+        assert projected < full
+
+
+class TestBenchIOKnob:
+    def test_env_parsing(self, monkeypatch):
+        from repro.bench import simulated_io_mbps
+
+        monkeypatch.setenv("REPRO_SIMULATED_IO_MBPS", "25")
+        assert simulated_io_mbps() == 25.0
+        monkeypatch.setenv("REPRO_SIMULATED_IO_MBPS", "0")
+        assert simulated_io_mbps() is None
+
+    def test_env_rejects_garbage(self, monkeypatch):
+        from repro.bench import simulated_io_mbps
+        from repro.exceptions import BenchmarkError
+
+        monkeypatch.setenv("REPRO_SIMULATED_IO_MBPS", "fast")
+        with pytest.raises(BenchmarkError):
+            simulated_io_mbps()

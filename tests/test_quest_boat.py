@@ -1,0 +1,81 @@
+"""Tests for BOAT-QUEST (the non-impurity instantiation)."""
+
+import numpy as np
+import pytest
+
+from repro.config import BoatConfig, SplitConfig
+from repro.core import quest_boat_build
+from repro.datagen import AgrawalConfig, AgrawalGenerator
+from repro.exceptions import SplitSelectionError
+from repro.splits import ImpuritySplitSelection, QuestSplitSelection
+from repro.storage import DiskTable, IOStats, MemoryTable
+from repro.tree import build_reference_tree, trees_equal, trees_equivalent
+
+from .conftest import simple_xy_data
+
+SPLIT = SplitConfig(min_samples_split=100, min_samples_leaf=25, max_depth=6)
+BOAT = BoatConfig(
+    sample_size=1500, bootstrap_repetitions=8, bootstrap_subsample=800, seed=5
+)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("rule", ["x", "xy", "color"])
+    def test_matches_reference_up_to_float_order(self, small_schema, rule):
+        data = simple_xy_data(small_schema, 6000, seed=10, rule=rule)
+        table = MemoryTable(small_schema, data)
+        result = quest_boat_build(table, QuestSplitSelection(), SPLIT, BOAT)
+        reference = build_reference_tree(
+            data, small_schema, QuestSplitSelection(), SPLIT
+        )
+        assert trees_equivalent(result.tree, reference, rel_tol=1e-6)
+
+    @pytest.mark.parametrize("fid", [1, 6, 7])
+    def test_agrawal_workloads(self, fid):
+        gen = AgrawalGenerator(AgrawalConfig(function_id=fid, noise=0.05), seed=fid)
+        data = gen.generate(15000)
+        table = MemoryTable(gen.schema, data)
+        result = quest_boat_build(table, QuestSplitSelection(), SPLIT, BOAT)
+        reference = build_reference_tree(
+            data, gen.schema, QuestSplitSelection(), SPLIT
+        )
+        assert trees_equivalent(result.tree, reference, rel_tol=1e-6)
+
+    def test_two_scans(self, tmp_path):
+        gen = AgrawalGenerator(AgrawalConfig(function_id=1, noise=0.1), seed=9)
+        data = gen.generate(12000)
+        io = IOStats()
+        table = DiskTable.create(tmp_path / "q.tbl", gen.schema, io)
+        table.append(data)
+        io.reset()
+        quest_boat_build(table, QuestSplitSelection(), SPLIT, BOAT)
+        assert io.full_scans == 2
+
+
+class TestDegenerate:
+    def test_small_table_inmemory_switch(self, small_schema):
+        data = simple_xy_data(small_schema, 500, seed=11, rule="x")
+        table = MemoryTable(small_schema, data)
+        result = quest_boat_build(
+            table, QuestSplitSelection(), SPLIT, BoatConfig(sample_size=1000)
+        )
+        reference = build_reference_tree(
+            data, small_schema, QuestSplitSelection(), SPLIT
+        )
+        assert trees_equal(result.tree, reference)
+        assert "in_memory_build" in result.report.wall_seconds
+
+    def test_rejects_impurity_method(self, small_schema):
+        data = simple_xy_data(small_schema, 500, seed=12)
+        table = MemoryTable(small_schema, data)
+        with pytest.raises(SplitSelectionError):
+            quest_boat_build(table, ImpuritySplitSelection("gini"), SPLIT, BOAT)
+
+    def test_report_populated(self, small_schema):
+        data = simple_xy_data(small_schema, 5000, seed=13, rule="x")
+        table = MemoryTable(small_schema, data)
+        result = quest_boat_build(table, QuestSplitSelection(), SPLIT, BOAT)
+        report = result.report
+        assert report.table_size == 5000
+        assert report.skeleton_nodes >= 1
+        assert set(report.wall_seconds) == {"sampling", "cleanup_scan", "finalize"}

@@ -1,0 +1,80 @@
+"""Tests for the level-wise QUEST baseline."""
+
+import numpy as np
+import pytest
+
+from repro.config import SplitConfig
+from repro.rainforest import build_quest_levelwise
+from repro.splits import QuestSplitSelection
+from repro.storage import CLASS_COLUMN, DiskTable, IOStats, MemoryTable
+from repro.tree import build_reference_tree, trees_equivalent
+
+from .conftest import simple_xy_data
+
+SPLIT = SplitConfig(min_samples_split=60, min_samples_leaf=15, max_depth=6)
+
+
+class TestQuestLevelwise:
+    @pytest.mark.parametrize("rule", ["x", "color", "xy"])
+    def test_close_to_reference(self, small_schema, rule):
+        data = simple_xy_data(small_schema, 4000, seed=1, rule=rule)
+        table = MemoryTable(small_schema, data)
+        result = build_quest_levelwise(table, QuestSplitSelection(), SPLIT)
+        reference = build_reference_tree(
+            data, small_schema, QuestSplitSelection(), SPLIT
+        )
+        # Level-wise QUEST learns child sizes one scan late; apart from
+        # that retraction nuance the trees coincide.
+        assert trees_equivalent(result.tree, reference, rel_tol=1e-6)
+
+    def test_one_scan_per_level(self, tmp_path, small_schema):
+        data = simple_xy_data(small_schema, 4000, seed=2, rule="xy")
+        io = IOStats()
+        table = DiskTable.create(tmp_path / "q.tbl", small_schema, io)
+        table.append(data)
+        io.reset()
+        result = build_quest_levelwise(table, QuestSplitSelection(), SPLIT)
+        assert io.full_scans == result.report.levels
+        assert result.report.scans == result.report.levels
+
+    def test_class_counts_consistent(self, small_schema):
+        data = simple_xy_data(small_schema, 3000, seed=3, rule="x")
+        table = MemoryTable(small_schema, data)
+        result = build_quest_levelwise(table, QuestSplitSelection(), SPLIT)
+        assert result.tree.root.n_tuples == 3000
+        for node in result.tree.internal_nodes():
+            left, right = node.children()
+            assert np.array_equal(
+                node.class_counts, left.class_counts + right.class_counts
+            )
+
+    def test_pure_data_single_leaf(self, small_schema):
+        data = simple_xy_data(small_schema, 500, seed=4)
+        data[CLASS_COLUMN] = 1
+        table = MemoryTable(small_schema, data)
+        result = build_quest_levelwise(table, QuestSplitSelection(), SPLIT)
+        assert result.tree.n_nodes == 1
+        assert result.tree.root.label == 1
+
+    def test_max_depth_respected(self, small_schema):
+        data = simple_xy_data(small_schema, 4000, seed=5, rule="xy")
+        table = MemoryTable(small_schema, data)
+        config = SplitConfig(min_samples_split=60, min_samples_leaf=15, max_depth=2)
+        result = build_quest_levelwise(table, QuestSplitSelection(), config)
+        assert result.tree.depth <= 2
+
+    def test_min_samples_leaf_after_retraction(self, small_schema):
+        data = simple_xy_data(small_schema, 2000, seed=6, rule="x")
+        table = MemoryTable(small_schema, data)
+        config = SplitConfig(min_samples_split=60, min_samples_leaf=50, max_depth=6)
+        result = build_quest_levelwise(table, QuestSplitSelection(), config)
+        for node in result.tree.internal_nodes():
+            left, right = node.children()
+            if left.is_leaf and right.is_leaf:
+                assert left.n_tuples >= 50
+                assert right.n_tuples >= 50
+
+    def test_empty_table(self, small_schema):
+        table = MemoryTable(small_schema)
+        result = build_quest_levelwise(table, QuestSplitSelection(), SPLIT)
+        assert result.tree.n_nodes == 1

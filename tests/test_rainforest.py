@@ -1,0 +1,210 @@
+"""Tests for the RainForest baselines (AVC-sets, RF-Hybrid, RF-Vertical)."""
+
+import numpy as np
+import pytest
+
+from repro.config import RainForestConfig, SplitConfig
+from repro.rainforest import (
+    AVCGroup,
+    build_rf_hybrid,
+    build_rf_vertical,
+    categorical_avc_from_batch,
+    estimate_group_entries,
+    numeric_avc_from_batch,
+)
+from repro.splits import ImpuritySplitSelection
+from repro.storage import CLASS_COLUMN, DiskTable, IOStats, MemoryTable
+from repro.tree import build_reference_tree, trees_equal
+
+from .conftest import simple_xy_data
+
+GINI = ImpuritySplitSelection("gini")
+SPLIT = SplitConfig(min_samples_split=40, min_samples_leaf=10, max_depth=8)
+
+
+class TestNumericAVC:
+    def test_from_batch_distinct_sorted(self):
+        values = np.array([3.0, 1.0, 3.0, 2.0])
+        labels = np.array([0, 1, 1, 0], dtype=np.int64)
+        avc = numeric_avc_from_batch(values, labels, 2)
+        assert avc.values.tolist() == [1.0, 2.0, 3.0]
+        assert avc.counts.tolist() == [[0, 1], [1, 0], [1, 1]]
+
+    def test_merge_combines_counts(self):
+        a = numeric_avc_from_batch(
+            np.array([1.0, 2.0]), np.array([0, 0], dtype=np.int64), 2
+        )
+        b = numeric_avc_from_batch(
+            np.array([2.0, 3.0]), np.array([1, 1], dtype=np.int64), 2
+        )
+        merged = a.merge(b)
+        assert merged.values.tolist() == [1.0, 2.0, 3.0]
+        assert merged.counts.tolist() == [[1, 0], [1, 1], [0, 1]]
+
+    def test_empty_batch(self):
+        avc = numeric_avc_from_batch(
+            np.empty(0), np.empty(0, dtype=np.int64), 2
+        )
+        assert len(avc.values) == 0
+        assert avc.n_entries == 0
+
+    def test_n_entries_counts_nonzero(self):
+        avc = numeric_avc_from_batch(
+            np.array([1.0, 1.0]), np.array([0, 0], dtype=np.int64), 2
+        )
+        assert avc.n_entries == 1
+
+
+class TestCategoricalAVC:
+    def test_from_batch(self):
+        codes = np.array([0, 1, 1, 3], dtype=np.int64)
+        labels = np.array([0, 1, 1, 0], dtype=np.int64)
+        avc = categorical_avc_from_batch(codes, labels, 4, 2)
+        assert avc.counts.tolist() == [[1, 0], [0, 2], [0, 0], [1, 0]]
+        assert avc.n_entries == 3
+
+    def test_merge(self):
+        a = categorical_avc_from_batch(
+            np.array([0], dtype=np.int64), np.array([0], dtype=np.int64), 2, 2
+        )
+        b = categorical_avc_from_batch(
+            np.array([1], dtype=np.int64), np.array([1], dtype=np.int64), 2, 2
+        )
+        assert a.merge(b).counts.tolist() == [[1, 0], [0, 1]]
+
+
+class TestAVCGroup:
+    def test_update_matches_direct_counts(self, small_schema):
+        data = simple_xy_data(small_schema, 300, seed=1)
+        group = AVCGroup(small_schema)
+        for start in range(0, 300, 64):
+            group.update(data[start : start + 64])
+        assert group.n_tuples == 300
+        assert np.array_equal(
+            group.class_counts, np.bincount(data[CLASS_COLUMN], minlength=2)
+        )
+        numeric = group.avc_set(0)
+        assert numeric.counts.sum() == 300
+        categorical = group.avc_set(2)
+        assert categorical.counts.sum() == 300
+
+    def test_entry_estimate_upper_bounds_actual(self, small_schema):
+        data = simple_xy_data(small_schema, 300, seed=2)
+        group = AVCGroup(small_schema)
+        group.update(data)
+        assert group.n_entries <= estimate_group_entries(small_schema, 300)
+
+
+class TestLevelwiseEquality:
+    @pytest.mark.parametrize("rule", ["x", "xy", "color"])
+    def test_hybrid_exact(self, small_schema, rule):
+        data = simple_xy_data(small_schema, 4000, seed=3, rule=rule)
+        table = MemoryTable(small_schema, data)
+        result = build_rf_hybrid(table, GINI, SPLIT)
+        reference = build_reference_tree(data, small_schema, GINI, SPLIT)
+        assert trees_equal(result.tree, reference)
+
+    @pytest.mark.parametrize("rule", ["x", "xy", "color"])
+    def test_vertical_exact(self, small_schema, rule):
+        data = simple_xy_data(small_schema, 4000, seed=4, rule=rule)
+        table = MemoryTable(small_schema, data)
+        result = build_rf_vertical(
+            table, GINI, SPLIT, RainForestConfig(avc_buffer_entries=2000)
+        )
+        reference = build_reference_tree(data, small_schema, GINI, SPLIT)
+        assert trees_equal(result.tree, reference)
+
+    def test_hybrid_exact_with_tight_buffer(self, small_schema):
+        data = simple_xy_data(small_schema, 4000, seed=5, rule="xy")
+        table = MemoryTable(small_schema, data)
+        result = build_rf_hybrid(
+            table, GINI, SPLIT, RainForestConfig(avc_buffer_entries=500)
+        )
+        reference = build_reference_tree(data, small_schema, GINI, SPLIT)
+        assert trees_equal(result.tree, reference)
+
+    def test_inmemory_switch_exact(self, small_schema):
+        data = simple_xy_data(small_schema, 4000, seed=6, rule="xy")
+        table = MemoryTable(small_schema, data)
+        result = build_rf_hybrid(
+            table,
+            GINI,
+            SPLIT,
+            RainForestConfig(avc_buffer_entries=100_000, inmemory_threshold=800),
+        )
+        reference = build_reference_tree(data, small_schema, GINI, SPLIT)
+        assert trees_equal(result.tree, reference)
+
+    def test_empty_table(self, small_schema):
+        table = MemoryTable(small_schema)
+        result = build_rf_hybrid(table, GINI, SPLIT)
+        assert result.tree.n_nodes == 1
+
+
+class TestScanAccounting:
+    def _build_disk(self, tmp_path, small_schema, n=5000):
+        data = simple_xy_data(small_schema, n, seed=7, rule="xy")
+        io = IOStats()
+        table = DiskTable.create(tmp_path / "rf.tbl", small_schema, io)
+        table.append(data)
+        io.reset()
+        return table, io, data
+
+    def test_one_scan_per_level_with_big_buffer(self, tmp_path, small_schema):
+        table, io, _ = self._build_disk(tmp_path, small_schema)
+        result = build_rf_hybrid(
+            table, GINI, SPLIT, RainForestConfig(avc_buffer_entries=10**9)
+        )
+        levels = len(result.report.levels)
+        assert io.full_scans == levels
+        assert result.report.total_passes == levels
+
+    def test_small_buffer_multiplies_scans(self, tmp_path, small_schema):
+        table, io, _ = self._build_disk(tmp_path, small_schema)
+        big = build_rf_hybrid(
+            table, GINI, SPLIT, RainForestConfig(avc_buffer_entries=10**9)
+        )
+        scans_big = io.full_scans
+        io.reset()
+        small = build_rf_hybrid(
+            table, GINI, SPLIT, RainForestConfig(avc_buffer_entries=2000)
+        )
+        assert io.full_scans > scans_big
+        assert trees_equal(big.tree, small.tree)
+
+    def test_vertical_never_fewer_passes_than_hybrid(self, tmp_path, small_schema):
+        table, io, _ = self._build_disk(tmp_path, small_schema)
+        hybrid = build_rf_hybrid(
+            table, GINI, SPLIT, RainForestConfig(avc_buffer_entries=4000)
+        )
+        vertical = build_rf_vertical(
+            table, GINI, SPLIT, RainForestConfig(avc_buffer_entries=4000)
+        )
+        assert vertical.report.total_passes >= hybrid.report.total_passes
+
+    def test_report_wall_and_io(self, tmp_path, small_schema):
+        table, io, _ = self._build_disk(tmp_path, small_schema)
+        result = build_rf_hybrid(table, GINI, SPLIT)
+        assert result.report.wall_seconds > 0
+        assert result.report.io is not None
+        assert result.report.io.full_scans == result.report.total_passes
+
+    def test_boat_beats_rainforest_on_scans(self, tmp_path, small_schema):
+        """The paper's core claim in miniature: 2 scans vs one per level."""
+        from repro.config import BoatConfig
+        from repro.core import boat_build
+
+        table, io, data = self._build_disk(tmp_path, small_schema)
+        boat = boat_build(
+            table,
+            GINI,
+            SPLIT,
+            BoatConfig(sample_size=1000, bootstrap_repetitions=6, seed=1),
+        )
+        boat_scans = io.full_scans
+        io.reset()
+        rf = build_rf_hybrid(table, GINI, SPLIT)
+        rf_scans = io.full_scans
+        assert boat_scans == 2
+        assert rf_scans > boat_scans
+        assert trees_equal(boat.tree, rf.tree)

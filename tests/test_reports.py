@@ -1,0 +1,112 @@
+"""Tests for the diagnostic report objects across the library."""
+
+import numpy as np
+import pytest
+
+from repro.config import BoatConfig, SplitConfig
+from repro.core import IncrementalBoat, boat_build
+from repro.splits import ImpuritySplitSelection
+from repro.storage import DiskTable, IOStats, MemoryTable
+
+from .conftest import simple_xy_data
+
+GINI = ImpuritySplitSelection("gini")
+SPLIT = SplitConfig(min_samples_split=40, min_samples_leaf=10, max_depth=8)
+BOAT = BoatConfig(sample_size=800, bootstrap_repetitions=6, seed=5)
+
+
+class TestBoatReport:
+    @pytest.fixture
+    def result(self, tmp_path, small_schema):
+        data = simple_xy_data(small_schema, 5000, seed=1, rule="xy")
+        io = IOStats()
+        table = DiskTable.create(tmp_path / "r.tbl", small_schema, io)
+        table.append(data)
+        io.reset()
+        return boat_build(table, GINI, SPLIT, BOAT)
+
+    def test_mode_and_size(self, result):
+        assert result.report.mode == "boat"
+        assert result.report.table_size == 5000
+
+    def test_phase_timings_present(self, result):
+        assert set(result.report.wall_seconds) == {
+            "sampling",
+            "cleanup_scan",
+            "finalize",
+        }
+        assert result.report.total_seconds == pytest.approx(
+            sum(result.report.wall_seconds.values())
+        )
+
+    def test_phase_io_deltas(self, result):
+        io = result.report.io
+        assert io["sampling"].full_scans == 1
+        assert io["cleanup_scan"].full_scans == 1
+        assert io["sampling"].tuples_read == 5000
+        assert io["cleanup_scan"].tuples_read == 5000
+
+    def test_sampling_report_linked(self, result):
+        sampling = result.report.sampling
+        assert sampling is not None
+        assert sampling.sample_size == 800
+        assert sampling.bootstrap_repetitions == 6
+        assert sampling.skeleton_nodes >= 1
+
+    def test_finalize_report_consistency(self, result):
+        finalize = result.report.finalize
+        assert finalize is not None
+        assert finalize.rebuilds == len(finalize.rebuild_reasons)
+        assert finalize.confirmed_splits >= 0
+        assert finalize.held_candidates >= 0
+
+    def test_inmemory_mode_report(self, small_schema):
+        data = simple_xy_data(small_schema, 300, seed=2)
+        result = boat_build(
+            MemoryTable(small_schema, data),
+            GINI,
+            SPLIT,
+            BoatConfig(sample_size=1000, seed=1),
+        )
+        assert result.report.mode == "in-memory"
+        assert result.report.sampling is None
+        assert result.report.finalize is None
+        assert "in_memory_build" in result.report.wall_seconds
+
+
+class TestUpdateReports:
+    def test_sequence_and_fields(self, small_schema):
+        base = simple_xy_data(small_schema, 2500, seed=3, rule="xy")
+        inc = IncrementalBoat.build(
+            MemoryTable(small_schema, base), GINI, SPLIT, BOAT
+        )
+        inc.insert(simple_xy_data(small_schema, 600, seed=4, rule="xy"))
+        inc.delete(base[:100])
+        ops = [r.operation for r in inc.reports]
+        assert ops == ["build", "insert", "delete"]
+        for report in inc.reports:
+            assert report.wall_seconds >= 0
+            assert report.finalize is not None
+            assert report.drift == report.finalize.rebuild_reasons
+
+    def test_chunk_sizes_recorded(self, small_schema):
+        base = simple_xy_data(small_schema, 2000, seed=5)
+        inc = IncrementalBoat.build(
+            MemoryTable(small_schema, base), GINI, SPLIT, BOAT
+        )
+        inc.insert(simple_xy_data(small_schema, 123, seed=6))
+        assert inc.reports[-1].chunk_size == 123
+
+    def test_cache_hits_counted_on_untouched_subtrees(self, small_schema):
+        """A chunk confined to one half of the space leaves the other
+        half's subtree clean — it must come from the cache."""
+        base = simple_xy_data(small_schema, 4000, seed=7, rule="x")
+        inc = IncrementalBoat.build(
+            MemoryTable(small_schema, base), GINI, SPLIT, BOAT
+        )
+        if inc.skeleton.is_frontier:
+            pytest.skip("skeleton degenerated to a frontier root")
+        chunk = simple_xy_data(small_schema, 800, seed=8, rule="x")
+        chunk = chunk[chunk["x"] < 40.0]  # touches only the left region
+        report = inc.insert(chunk)
+        assert report.finalize.cache_hits >= 1

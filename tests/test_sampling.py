@@ -1,0 +1,127 @@
+"""Tests for repro.storage.sampling."""
+
+import numpy as np
+import pytest
+
+from repro.storage import (
+    CLASS_COLUMN,
+    MemoryTable,
+    bootstrap_resample,
+    reservoir_sample,
+    sample_known_size,
+    split_into_chunks,
+)
+
+from .conftest import simple_xy_data
+
+
+class TestSampleKnownSize:
+    def test_exact_size(self, small_schema):
+        data = simple_xy_data(small_schema, 500, seed=1)
+        table = MemoryTable(small_schema, data)
+        sample = sample_known_size(table, 50, np.random.default_rng(0))
+        assert len(sample) == 50
+
+    def test_sample_records_come_from_table(self, small_schema):
+        data = simple_xy_data(small_schema, 300, seed=2)
+        table = MemoryTable(small_schema, data)
+        sample = sample_known_size(table, 40, np.random.default_rng(1))
+        pool = {bytes(r.tobytes()) for r in data}
+        assert all(bytes(r.tobytes()) in pool for r in sample)
+
+    def test_no_duplicates_without_replacement(self, small_schema):
+        # All x values are distinct floats w.p. 1, so sampled x must be unique.
+        data = simple_xy_data(small_schema, 400, seed=3)
+        table = MemoryTable(small_schema, data)
+        sample = sample_known_size(table, 100, np.random.default_rng(2))
+        assert len(np.unique(sample["x"])) == 100
+
+    def test_k_larger_than_table_returns_all(self, small_schema):
+        data = simple_xy_data(small_schema, 30, seed=4)
+        table = MemoryTable(small_schema, data)
+        sample = sample_known_size(table, 100, np.random.default_rng(3))
+        assert np.array_equal(sample, data)
+
+    def test_k_zero(self, small_schema):
+        table = MemoryTable(small_schema, simple_xy_data(small_schema, 10, seed=5))
+        assert len(sample_known_size(table, 0, np.random.default_rng(0))) == 0
+
+    def test_roughly_uniform(self, small_schema):
+        """Chi-square smoke test on the sampled x-quartile distribution."""
+        data = simple_xy_data(small_schema, 4000, seed=6)
+        table = MemoryTable(small_schema, data)
+        sample = sample_known_size(table, 1000, np.random.default_rng(4))
+        counts, _ = np.histogram(sample["x"], bins=4, range=(0, 100))
+        expected = len(sample) / 4
+        chi2 = float(((counts - expected) ** 2 / expected).sum())
+        assert chi2 < 20  # df=3, p ~ 1.6e-4 — loose but catches bias bugs
+
+
+class TestReservoirSample:
+    def test_size_and_membership(self, small_schema):
+        data = simple_xy_data(small_schema, 800, seed=7)
+        batches = [data[i : i + 100] for i in range(0, 800, 100)]
+        sample = reservoir_sample(batches, 64, small_schema, np.random.default_rng(5))
+        assert len(sample) == 64
+        pool = {bytes(r.tobytes()) for r in data}
+        assert all(bytes(r.tobytes()) in pool for r in sample)
+
+    def test_short_stream_returns_everything(self, small_schema):
+        data = simple_xy_data(small_schema, 20, seed=8)
+        sample = reservoir_sample([data], 64, small_schema, np.random.default_rng(6))
+        assert len(sample) == 20
+
+    def test_empty_stream(self, small_schema):
+        assert (
+            len(reservoir_sample([], 10, small_schema, np.random.default_rng(0))) == 0
+        )
+
+    def test_k_zero(self, small_schema):
+        data = simple_xy_data(small_schema, 20, seed=9)
+        assert (
+            len(reservoir_sample([data], 0, small_schema, np.random.default_rng(0)))
+            == 0
+        )
+
+    def test_roughly_uniform_over_stream_position(self, small_schema):
+        """Late stream positions must be as likely as early ones."""
+        n, k, trials = 500, 50, 60
+        data = simple_xy_data(small_schema, n, seed=10)
+        data["y"] = np.arange(n, dtype=np.float64)  # position marker
+        batches = [data[i : i + 77] for i in range(0, n, 77)]
+        hits = np.zeros(2)
+        rng = np.random.default_rng(11)
+        for _ in range(trials):
+            sample = reservoir_sample(batches, k, small_schema, rng)
+            hits[0] += np.sum(sample["y"] < n / 2)
+            hits[1] += np.sum(sample["y"] >= n / 2)
+        ratio = hits[0] / hits[1]
+        assert 0.8 < ratio < 1.25
+
+
+class TestBootstrapResample:
+    def test_size(self, small_schema):
+        data = simple_xy_data(small_schema, 100, seed=12)
+        resample = bootstrap_resample(data, 250, np.random.default_rng(7))
+        assert len(resample) == 250
+
+    def test_contains_duplicates_with_high_probability(self, small_schema):
+        data = simple_xy_data(small_schema, 50, seed=13)
+        resample = bootstrap_resample(data, 200, np.random.default_rng(8))
+        assert len(np.unique(resample["x"])) < 200
+
+    def test_empty_rejected(self, small_schema):
+        with pytest.raises(ValueError):
+            bootstrap_resample(small_schema.empty(0), 10, np.random.default_rng(0))
+
+
+class TestSplitIntoChunks:
+    def test_partition(self, small_schema):
+        data = simple_xy_data(small_schema, 95, seed=14)
+        chunks = list(split_into_chunks(data, 30))
+        assert [len(c) for c in chunks] == [30, 30, 30, 5]
+        assert np.array_equal(np.concatenate(chunks), data)
+
+    def test_invalid_chunk_rows(self, small_schema):
+        with pytest.raises(ValueError):
+            list(split_into_chunks(small_schema.empty(5), 0))

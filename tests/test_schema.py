@@ -1,0 +1,160 @@
+"""Tests for repro.storage.schema."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.storage import CLASS_COLUMN, Attribute, AttributeKind, Schema
+
+
+class TestAttribute:
+    def test_numerical_shorthand(self):
+        attr = Attribute.numerical("salary")
+        assert attr.is_numerical and not attr.is_categorical
+        assert attr.domain_size is None
+
+    def test_categorical_shorthand(self):
+        attr = Attribute.categorical("color", 5)
+        assert attr.is_categorical and not attr.is_numerical
+        assert attr.domain_size == 5
+
+    def test_invalid_identifier_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute.numerical("not a name")
+
+    def test_reserved_class_column_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute.numerical(CLASS_COLUMN)
+
+    def test_categorical_needs_domain(self):
+        with pytest.raises(SchemaError):
+            Attribute("c", AttributeKind.CATEGORICAL)
+
+    def test_categorical_domain_too_small(self):
+        with pytest.raises(SchemaError):
+            Attribute.categorical("c", 1)
+
+    def test_numerical_must_not_set_domain(self):
+        with pytest.raises(SchemaError):
+            Attribute("x", AttributeKind.NUMERICAL, 3)
+
+    def test_frozen(self):
+        attr = Attribute.numerical("x")
+        with pytest.raises(AttributeError):
+            attr.name = "y"
+
+
+class TestSchema:
+    def test_basic_accessors(self, small_schema):
+        assert len(small_schema) == 3
+        assert small_schema.n_attributes == 3
+        assert small_schema.n_classes == 2
+        assert [a.name for a in small_schema] == ["x", "y", "color"]
+
+    def test_index_of(self, small_schema):
+        assert small_schema.index_of("color") == 2
+        with pytest.raises(SchemaError):
+            small_schema.index_of("missing")
+
+    def test_getitem_by_name_and_index(self, small_schema):
+        assert small_schema["y"] is small_schema[1]
+
+    def test_contains(self, small_schema):
+        assert "x" in small_schema
+        assert "z" not in small_schema
+
+    def test_numerical_and_categorical_partitions(self, small_schema):
+        assert [a.name for a in small_schema.numerical_attributes] == ["x", "y"]
+        assert [a.name for a in small_schema.categorical_attributes] == ["color"]
+
+    def test_needs_attributes(self):
+        with pytest.raises(SchemaError):
+            Schema([], n_classes=2)
+
+    def test_needs_two_classes(self):
+        with pytest.raises(SchemaError):
+            Schema([Attribute.numerical("x")], n_classes=1)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(
+                [Attribute.numerical("x"), Attribute.numerical("x")], n_classes=2
+            )
+
+    def test_equality_and_hash(self, small_schema):
+        clone = Schema(list(small_schema.attributes), small_schema.n_classes)
+        assert clone == small_schema
+        assert hash(clone) == hash(small_schema)
+
+    def test_inequality_on_classes(self, small_schema):
+        other = Schema(list(small_schema.attributes), 3)
+        assert other != small_schema
+
+    def test_repr_mentions_attributes(self, small_schema):
+        assert "color" in repr(small_schema)
+        assert "cat(4)" in repr(small_schema)
+
+
+class TestBinaryLayout:
+    def test_dtype_fields(self, small_schema):
+        dtype = small_schema.dtype()
+        assert dtype.names == ("x", "y", "color", CLASS_COLUMN)
+        assert dtype["x"] == np.dtype("<f8")
+        assert dtype["color"] == np.dtype("<i4")
+
+    def test_record_size(self, small_schema):
+        # 2 float64 + 1 int32 + 1 int32 label, packed.
+        assert small_schema.record_size == 2 * 8 + 4 + 4
+
+    def test_empty_allocation(self, small_schema):
+        batch = small_schema.empty(5)
+        assert batch.shape == (5,)
+        assert batch.dtype == small_schema.dtype()
+
+    def test_validate_batch_accepts_good(self, small_schema):
+        batch = small_schema.empty(2)
+        batch["x"] = [1.0, 2.0]
+        batch["y"] = [3.0, 4.0]
+        batch["color"] = [0, 3]
+        batch[CLASS_COLUMN] = [0, 1]
+        small_schema.validate_batch(batch)
+
+    def test_validate_batch_rejects_wrong_dtype(self, small_schema):
+        with pytest.raises(SchemaError):
+            small_schema.validate_batch(np.zeros(3))
+
+    def test_validate_batch_rejects_bad_label(self, small_schema):
+        batch = small_schema.empty(1)
+        batch["color"] = 0
+        batch[CLASS_COLUMN] = 9
+        with pytest.raises(SchemaError):
+            small_schema.validate_batch(batch)
+
+    def test_validate_batch_rejects_bad_category(self, small_schema):
+        batch = small_schema.empty(1)
+        batch["color"] = 4
+        batch[CLASS_COLUMN] = 0
+        with pytest.raises(SchemaError):
+            small_schema.validate_batch(batch)
+
+    def test_validate_batch_accepts_empty(self, small_schema):
+        small_schema.validate_batch(small_schema.empty(0))
+
+
+class TestSerialization:
+    def test_dict_round_trip(self, small_schema):
+        assert Schema.from_dict(small_schema.to_dict()) == small_schema
+
+    def test_json_round_trip(self, small_schema):
+        assert Schema.from_json(small_schema.to_json()) == small_schema
+
+    def test_malformed_dict(self):
+        with pytest.raises(SchemaError):
+            Schema.from_dict({"attributes": "nope"})
+
+    def test_malformed_json(self):
+        with pytest.raises(SchemaError):
+            Schema.from_json("{not json")
+
+    def test_json_is_deterministic(self, small_schema):
+        assert small_schema.to_json() == small_schema.to_json()

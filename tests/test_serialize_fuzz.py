@@ -1,0 +1,96 @@
+"""Property-based round-trip tests for serialization and storage."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SplitConfig
+from repro.splits import ImpuritySplitSelection
+from repro.storage import Attribute, DiskTable, MemoryTable, Schema
+from repro.storage.schema import CLASS_COLUMN
+from repro.tree import (
+    build_reference_tree,
+    tree_from_json,
+    tree_to_json,
+    trees_equal,
+)
+
+GINI = ImpuritySplitSelection("gini")
+
+
+def _schema():
+    return Schema(
+        [
+            Attribute.numerical("x"),
+            Attribute.numerical("y"),
+            Attribute.categorical("c", 5),
+        ],
+        n_classes=3,
+    )
+
+
+def _dataset(seed: int, n: int, rule: int) -> np.ndarray:
+    schema = _schema()
+    rng = np.random.default_rng(seed)
+    data = schema.empty(n)
+    data["x"] = rng.uniform(-1000, 1000, n)
+    data["y"] = rng.normal(0, 50, n)
+    data["c"] = rng.integers(0, 5, n, dtype=np.int32)
+    if rule == 0:
+        labels = (data["x"] > 0).astype(np.int32) + (data["y"] > 10)
+    elif rule == 1:
+        labels = data["c"] % 3
+    else:
+        labels = rng.integers(0, 3, n)
+    data[CLASS_COLUMN] = labels.astype(np.int32)
+    return data
+
+
+class TestTreeJsonFuzz:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=2, max_value=400),
+        rule=st.integers(min_value=0, max_value=2),
+    )
+    def test_round_trip_exact(self, seed, n, rule):
+        data = _dataset(seed, n, rule)
+        tree = build_reference_tree(
+            data, _schema(), GINI, SplitConfig(min_samples_split=5, max_depth=6)
+        )
+        clone = tree_from_json(tree_to_json(tree))
+        assert trees_equal(tree, clone)
+        # Predictions must coincide on arbitrary data, not just structure.
+        probe = _dataset(seed + 1, 100, rule)
+        assert np.array_equal(tree.predict(probe), clone.predict(probe))
+
+
+class TestStorageFuzz:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=0, max_value=1000),
+        batch_rows=st.integers(min_value=1, max_value=257),
+    )
+    def test_disk_round_trip_any_batching(self, tmp_path_factory, seed, n, batch_rows):
+        data = _dataset(seed, n, 0)
+        directory = tmp_path_factory.mktemp("fuzz")
+        table = DiskTable.create(directory / "t.tbl", _schema())
+        for start in range(0, n, 97):
+            table.append(data[start : start + 97])
+        back = np.concatenate(list(table.scan(batch_rows))) if n else _schema().empty(0)
+        assert np.array_equal(back, data)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=1, max_value=500),
+    )
+    def test_memory_scan_matches_disk_scan(self, tmp_path_factory, seed, n):
+        data = _dataset(seed, n, 1)
+        memory = MemoryTable(_schema(), data)
+        directory = tmp_path_factory.mktemp("fuzz2")
+        disk = DiskTable.create(directory / "t.tbl", _schema())
+        disk.append(data)
+        assert np.array_equal(memory.read_all(), disk.read_all())

@@ -1,0 +1,133 @@
+"""Tests for repro.storage.spill (SpillFile, TupleStore)."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.exceptions import StorageError
+from repro.storage import IOStats, SpillFile, TupleStore
+
+from .conftest import simple_xy_data
+
+
+class TestSpillFile:
+    def test_append_read_roundtrip(self, tmp_path, small_schema):
+        data = simple_xy_data(small_schema, 150, seed=2)
+        spill = SpillFile(small_schema, tmp_path)
+        spill.append(data[:70])
+        spill.append(data[70:])
+        assert len(spill) == 150
+        assert np.array_equal(spill.read_all(), data)
+        spill.delete()
+
+    def test_rewrite_replaces_contents(self, tmp_path, small_schema):
+        data = simple_xy_data(small_schema, 60, seed=3)
+        spill = SpillFile(small_schema, tmp_path)
+        spill.append(data)
+        spill.rewrite(data[:10])
+        assert len(spill) == 10
+        assert np.array_equal(spill.read_all(), data[:10])
+        spill.delete()
+
+    def test_mismatched_dtype_rejected(self, tmp_path, small_schema):
+        spill = SpillFile(small_schema, tmp_path)
+        with pytest.raises(StorageError):
+            spill.append(np.zeros(3))
+        spill.delete()
+
+    def test_use_after_delete_fails(self, tmp_path, small_schema):
+        spill = SpillFile(small_schema, tmp_path)
+        spill.delete()
+        with pytest.raises(StorageError):
+            spill.read_all()
+
+    def test_delete_removes_file(self, tmp_path, small_schema):
+        spill = SpillFile(small_schema, tmp_path)
+        path = spill.path
+        assert os.path.exists(path)
+        spill.delete()
+        assert not os.path.exists(path)
+
+    def test_io_charged(self, tmp_path, small_schema):
+        io = IOStats()
+        data = simple_xy_data(small_schema, 40, seed=4)
+        spill = SpillFile(small_schema, tmp_path, io)
+        assert io.spill_files == 1
+        spill.append(data)
+        assert io.tuples_written == 40
+        spill.read_all()
+        assert io.tuples_read == 40
+        spill.delete()
+
+
+class TestTupleStore:
+    def test_stays_in_memory_below_budget(self, tmp_path, small_schema):
+        data = simple_xy_data(small_schema, 100, seed=5)
+        store = TupleStore(small_schema, memory_budget_rows=1000, directory=tmp_path)
+        store.append(data)
+        assert not store.spilled
+        assert np.array_equal(store.read_all(), data)
+
+    def test_spills_beyond_budget(self, tmp_path, small_schema):
+        data = simple_xy_data(small_schema, 100, seed=5)
+        store = TupleStore(small_schema, memory_budget_rows=50, directory=tmp_path)
+        store.append(data[:30])
+        assert not store.spilled
+        store.append(data[30:])
+        assert store.spilled
+        assert np.array_equal(store.read_all(), data)
+
+    def test_order_preserved_across_spill(self, tmp_path, small_schema):
+        data = simple_xy_data(small_schema, 120, seed=6)
+        store = TupleStore(small_schema, memory_budget_rows=40, directory=tmp_path)
+        for start in range(0, 120, 25):
+            store.append(data[start : start + 25])
+        assert np.array_equal(store.read_all(), data)
+
+    def test_replace_smaller_unspills(self, tmp_path, small_schema):
+        data = simple_xy_data(small_schema, 100, seed=7)
+        store = TupleStore(small_schema, memory_budget_rows=50, directory=tmp_path)
+        store.append(data)
+        assert store.spilled
+        store.replace(data[:20])
+        assert not store.spilled
+        assert np.array_equal(store.read_all(), data[:20])
+
+    def test_replace_in_memory(self, tmp_path, small_schema):
+        data = simple_xy_data(small_schema, 30, seed=8)
+        store = TupleStore(small_schema, memory_budget_rows=100, directory=tmp_path)
+        store.append(data)
+        store.replace(data[5:10])
+        assert len(store) == 5
+
+    def test_clear(self, tmp_path, small_schema):
+        data = simple_xy_data(small_schema, 30, seed=8)
+        store = TupleStore(small_schema, memory_budget_rows=10, directory=tmp_path)
+        store.append(data)
+        store.clear()
+        assert len(store) == 0
+        assert not store.spilled
+        assert len(store.read_all()) == 0
+
+    def test_iter_batches(self, tmp_path, small_schema):
+        data = simple_xy_data(small_schema, 95, seed=9)
+        store = TupleStore(small_schema, directory=tmp_path)
+        store.append(data)
+        batches = list(store.iter_batches(30))
+        assert [len(b) for b in batches] == [30, 30, 30, 5]
+        assert np.array_equal(np.concatenate(batches), data)
+
+    def test_mismatched_dtype_rejected(self, tmp_path, small_schema):
+        store = TupleStore(small_schema, directory=tmp_path)
+        with pytest.raises(StorageError):
+            store.append(np.zeros(2))
+
+    def test_negative_budget_rejected(self, small_schema):
+        with pytest.raises(ValueError):
+            TupleStore(small_schema, memory_budget_rows=-1)
+
+    def test_empty_append_is_noop(self, tmp_path, small_schema):
+        store = TupleStore(small_schema, directory=tmp_path)
+        store.append(small_schema.empty(0))
+        assert len(store) == 0

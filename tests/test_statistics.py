@@ -1,0 +1,128 @@
+"""Tests for tree statistics and attribute importances."""
+
+import numpy as np
+import pytest
+
+from repro.config import SplitConfig
+from repro.splits import ImpuritySplitSelection
+from repro.storage import CLASS_COLUMN
+from repro.tree import (
+    attribute_importances,
+    build_reference_tree,
+    tree_statistics,
+    tree_to_dot,
+)
+
+from .conftest import simple_xy_data
+
+GINI = ImpuritySplitSelection("gini")
+
+
+class TestTreeStatistics:
+    def test_counts_match_tree(self, small_schema):
+        data = simple_xy_data(small_schema, 2000, seed=1, rule="xy")
+        tree = build_reference_tree(
+            data, small_schema, GINI, SplitConfig(min_samples_split=50)
+        )
+        stats = tree_statistics(tree)
+        assert stats.n_nodes == tree.n_nodes
+        assert stats.n_leaves == tree.n_leaves
+        assert stats.depth == tree.depth
+        assert sum(stats.leaf_depth_histogram.values()) == tree.n_leaves
+
+    def test_usage_counts_internal_nodes(self, small_schema):
+        data = simple_xy_data(small_schema, 2000, seed=2, rule="xy")
+        tree = build_reference_tree(
+            data, small_schema, GINI, SplitConfig(min_samples_split=50)
+        )
+        stats = tree_statistics(tree)
+        assert sum(stats.attribute_usage.values()) == tree.n_nodes - tree.n_leaves
+        assert set(stats.attribute_usage) >= {"x", "y"}
+
+    def test_coverage_root_attribute_is_full(self, small_schema):
+        data = simple_xy_data(small_schema, 2000, seed=3, rule="x")
+        tree = build_reference_tree(
+            data, small_schema, GINI, SplitConfig(min_samples_split=50)
+        )
+        stats = tree_statistics(tree)
+        root_attr = tree.schema[tree.root.split.attribute_index].name
+        assert stats.attribute_coverage[root_attr] >= 1.0
+
+    def test_purity_of_separable_tree_is_one(self, small_schema):
+        data = simple_xy_data(small_schema, 1500, seed=4, rule="x")
+        tree = build_reference_tree(data, small_schema, GINI, SplitConfig())
+        assert tree_statistics(tree).mean_leaf_purity == pytest.approx(1.0)
+
+    def test_label_distribution(self, small_schema):
+        data = simple_xy_data(small_schema, 1000, seed=5, rule="x")
+        tree = build_reference_tree(data, small_schema, GINI, SplitConfig())
+        stats = tree_statistics(tree)
+        expected = tuple(np.bincount(data[CLASS_COLUMN], minlength=2))
+        assert stats.label_distribution == expected
+
+    def test_format_readable(self, small_schema):
+        data = simple_xy_data(small_schema, 1000, seed=6, rule="xy")
+        tree = build_reference_tree(
+            data, small_schema, GINI, SplitConfig(min_samples_split=50)
+        )
+        text = tree_statistics(tree).format()
+        assert "attribute usage" in text
+        assert "leaf depths" in text
+
+    def test_single_leaf_tree(self, small_schema):
+        data = simple_xy_data(small_schema, 100, seed=7)
+        data[CLASS_COLUMN] = 0
+        tree = build_reference_tree(data, small_schema, GINI, SplitConfig())
+        stats = tree_statistics(tree)
+        assert stats.attribute_usage == {}
+        assert stats.mean_leaf_purity == pytest.approx(1.0)
+
+
+class TestAttributeImportances:
+    def test_sums_to_one(self, small_schema):
+        data = simple_xy_data(small_schema, 2000, seed=8, rule="xy")
+        tree = build_reference_tree(
+            data, small_schema, GINI, SplitConfig(min_samples_split=50)
+        )
+        importances = attribute_importances(tree)
+        assert sum(importances.values()) == pytest.approx(1.0)
+
+    def test_informative_attribute_dominates(self, small_schema):
+        data = simple_xy_data(small_schema, 2000, seed=9, rule="x")
+        tree = build_reference_tree(
+            data, small_schema, GINI, SplitConfig(min_samples_split=50)
+        )
+        importances = attribute_importances(tree)
+        assert importances.get("x", 0) > 0.9
+
+    def test_single_leaf_empty(self, small_schema):
+        data = simple_xy_data(small_schema, 100, seed=10)
+        data[CLASS_COLUMN] = 1
+        tree = build_reference_tree(data, small_schema, GINI, SplitConfig())
+        assert attribute_importances(tree) == {}
+
+
+class TestDotExport:
+    def test_valid_digraph(self, small_schema):
+        data = simple_xy_data(small_schema, 1000, seed=11, rule="xy")
+        tree = build_reference_tree(
+            data, small_schema, GINI, SplitConfig(min_samples_split=50)
+        )
+        dot = tree_to_dot(tree)
+        assert dot.startswith("digraph decision_tree {")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("->") == tree.n_nodes - 1
+
+    def test_leaf_styling(self, small_schema):
+        data = simple_xy_data(small_schema, 500, seed=12, rule="x")
+        tree = build_reference_tree(data, small_schema, GINI, SplitConfig())
+        dot = tree_to_dot(tree)
+        assert dot.count("fillcolor=lightgray") == tree.n_leaves
+
+    def test_max_depth_truncation(self, small_schema):
+        data = simple_xy_data(small_schema, 2000, seed=13, rule="xy")
+        tree = build_reference_tree(
+            data, small_schema, GINI, SplitConfig(min_samples_split=20)
+        )
+        dot = tree_to_dot(tree, max_depth=1)
+        assert "nodes" in dot  # summary node present

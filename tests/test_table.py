@@ -1,0 +1,197 @@
+"""Tests for repro.storage.table (DiskTable, MemoryTable, sidecars)."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SchemaError, StorageError, TableClosedError
+from repro.storage import (
+    CLASS_COLUMN,
+    DiskTable,
+    IOStats,
+    MemoryTable,
+    read_json_sidecar,
+    write_json_sidecar,
+)
+
+from .conftest import simple_xy_data
+
+
+class TestMemoryTable:
+    def test_roundtrip(self, small_schema, xy_data):
+        table = MemoryTable(small_schema, xy_data)
+        assert len(table) == len(xy_data)
+        assert np.array_equal(table.read_all(), xy_data)
+
+    def test_empty(self, small_schema):
+        table = MemoryTable(small_schema)
+        assert len(table) == 0
+        assert len(table.read_all()) == 0
+
+    def test_scan_batching(self, small_schema, xy_data):
+        table = MemoryTable(small_schema, xy_data)
+        batches = list(table.scan(batch_rows=100))
+        assert [len(b) for b in batches[:-1]] == [100] * (len(batches) - 1)
+        assert sum(len(b) for b in batches) == len(xy_data)
+        assert np.array_equal(np.concatenate(batches), xy_data)
+
+    def test_scan_rebatches_across_appends(self, small_schema, xy_data):
+        table = MemoryTable(small_schema)
+        for start in range(0, len(xy_data), 37):
+            table.append(xy_data[start : start + 37])
+        merged = np.concatenate(list(table.scan(batch_rows=250)))
+        assert np.array_equal(merged, xy_data)
+
+    def test_append_validates(self, small_schema):
+        table = MemoryTable(small_schema)
+        with pytest.raises(SchemaError):
+            table.append(np.zeros(3))
+
+    def test_append_empty_is_noop(self, small_schema):
+        table = MemoryTable(small_schema)
+        table.append(small_schema.empty(0))
+        assert len(table) == 0
+
+    def test_compact(self, small_schema, xy_data):
+        table = MemoryTable(small_schema)
+        table.append(xy_data[:100])
+        table.append(xy_data[100:])
+        merged = table.compact()
+        assert np.array_equal(merged, xy_data)
+
+    def test_closed_errors(self, small_schema, xy_data):
+        table = MemoryTable(small_schema, xy_data)
+        table.close()
+        with pytest.raises(TableClosedError):
+            table.append(xy_data[:1])
+        with pytest.raises(TableClosedError):
+            list(table.scan())
+
+    def test_no_io_charges_by_default(self, small_schema, xy_data):
+        table = MemoryTable(small_schema, xy_data)
+        list(table.scan())
+        assert table.io_stats is None
+
+    def test_optional_io_charges(self, small_schema, xy_data):
+        io = IOStats()
+        table = MemoryTable(small_schema, xy_data, io_stats=io)
+        list(table.scan())
+        assert io.full_scans == 1
+        assert io.tuples_read == len(xy_data)
+
+    def test_context_manager(self, small_schema):
+        with MemoryTable(small_schema) as table:
+            pass
+        with pytest.raises(TableClosedError):
+            table.append(small_schema.empty(0))
+
+    def test_bad_batch_rows(self, small_schema):
+        table = MemoryTable(small_schema)
+        with pytest.raises(ValueError):
+            list(table.scan(batch_rows=0))
+
+
+class TestDiskTable:
+    def test_create_append_scan(self, tmp_path, small_schema, xy_data):
+        path = tmp_path / "t.tbl"
+        table = DiskTable.create(path, small_schema)
+        table.append(xy_data)
+        assert len(table) == len(xy_data)
+        assert np.array_equal(table.read_all(), xy_data)
+
+    def test_reopen_reads_schema_from_header(self, tmp_path, small_schema, xy_data):
+        path = tmp_path / "t.tbl"
+        DiskTable.create(path, small_schema).append(xy_data)
+        reopened = DiskTable.open(path)
+        assert reopened.schema == small_schema
+        assert np.array_equal(reopened.read_all(), xy_data)
+
+    def test_append_after_reopen(self, tmp_path, small_schema, xy_data):
+        path = tmp_path / "t.tbl"
+        DiskTable.create(path, small_schema).append(xy_data[:100])
+        reopened = DiskTable.open(path)
+        reopened.append(xy_data[100:])
+        assert len(reopened) == len(xy_data)
+        assert np.array_equal(reopened.read_all(), xy_data)
+
+    def test_scan_counts_io(self, tmp_path, small_schema, xy_data):
+        io = IOStats()
+        table = DiskTable.create(tmp_path / "t.tbl", small_schema, io)
+        table.append(xy_data)
+        io.reset()
+        list(table.scan(batch_rows=128))
+        assert io.full_scans == 1
+        assert io.tuples_read == len(xy_data)
+        assert io.bytes_read == len(xy_data) * small_schema.record_size
+
+    def test_read_slice(self, tmp_path, small_schema, xy_data):
+        table = DiskTable.create(tmp_path / "t.tbl", small_schema)
+        table.append(xy_data)
+        part = table.read_slice(10, 25)
+        assert np.array_equal(part, xy_data[10:25])
+
+    def test_read_slice_bounds(self, tmp_path, small_schema, xy_data):
+        table = DiskTable.create(tmp_path / "t.tbl", small_schema)
+        table.append(xy_data)
+        with pytest.raises(IndexError):
+            table.read_slice(0, len(xy_data) + 1)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.tbl"
+        path.write_bytes(b"NOTATBL!" + b"\0" * 100)
+        with pytest.raises(StorageError):
+            DiskTable.open(path)
+
+    def test_torn_append_detected(self, tmp_path, small_schema, xy_data):
+        path = tmp_path / "t.tbl"
+        DiskTable.create(path, small_schema).append(xy_data)
+        with open(path, "ab") as fh:
+            fh.write(b"\x01\x02\x03")  # partial record
+        with pytest.raises(StorageError):
+            DiskTable.open(path)
+
+    def test_closed_errors(self, tmp_path, small_schema, xy_data):
+        table = DiskTable.create(tmp_path / "t.tbl", small_schema)
+        table.append(xy_data)
+        table.close()
+        with pytest.raises(TableClosedError):
+            list(table.scan())
+
+    def test_delete_file(self, tmp_path, small_schema):
+        table = DiskTable.create(tmp_path / "t.tbl", small_schema)
+        table.delete_file()
+        assert not os.path.exists(table.path)
+        table.delete_file()  # idempotent
+
+    def test_scan_snapshot_semantics(self, tmp_path, small_schema, xy_data):
+        """A scan sees the row count at its start, even across appends."""
+        table = DiskTable.create(tmp_path / "t.tbl", small_schema)
+        table.append(xy_data[:200])
+        scan = table.scan(batch_rows=50)
+        first = next(scan)
+        table.append(xy_data[200:])
+        rest = list(scan)
+        assert len(first) + sum(len(b) for b in rest) == 200
+
+    def test_empty_table_scan(self, tmp_path, small_schema):
+        table = DiskTable.create(tmp_path / "t.tbl", small_schema)
+        assert list(table.scan()) == []
+
+    def test_append_validates(self, tmp_path, small_schema):
+        table = DiskTable.create(tmp_path / "t.tbl", small_schema)
+        with pytest.raises(SchemaError):
+            table.append(np.zeros(3))
+
+    def test_large_batch_roundtrip(self, tmp_path, small_schema):
+        data = simple_xy_data(small_schema, 10_000, seed=9)
+        table = DiskTable.create(tmp_path / "big.tbl", small_schema)
+        table.append(data)
+        assert np.array_equal(table.read_all(batch_rows=777), data)
+
+
+class TestSidecar:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "t.tbl"
+        write_json_sidecar(path, {"function": 1, "noise": 0.1})
+        assert read_json_sidecar(path) == {"function": 1, "noise": 0.1}

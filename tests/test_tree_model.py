@@ -1,0 +1,188 @@
+"""Tests for repro.tree.model, printing and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TreeStructureError
+from repro.splits import CategoricalSplit, NumericSplit
+from repro.storage import CLASS_COLUMN
+from repro.tree import (
+    DecisionTree,
+    Node,
+    render_tree,
+    tree_from_dict,
+    tree_from_json,
+    tree_summary,
+    tree_to_dict,
+    tree_to_json,
+    trees_equal,
+)
+
+from .conftest import simple_xy_data
+
+
+def build_manual_tree(schema) -> DecisionTree:
+    """Root splits on x <= 50; left leaf 0, right splits on color in {1,3}."""
+    root = Node(0, 0, np.array([60, 40]))
+    left = Node(1, 1, np.array([50, 0]))
+    right = Node(2, 1, np.array([10, 40]))
+    root.make_internal(NumericSplit(0, 50.0), left, right)
+    rl = Node(3, 2, np.array([0, 30]))
+    rr = Node(4, 2, np.array([10, 10]))
+    right.make_internal(CategoricalSplit(2, frozenset({1, 3})), rl, rr)
+    return DecisionTree(schema, root)
+
+
+class TestNode:
+    def test_leaf_properties(self):
+        node = Node(0, 0, np.array([3, 7]))
+        assert node.is_leaf
+        assert node.n_tuples == 10
+        assert node.label == 1
+
+    def test_label_tie_break(self):
+        assert Node(0, 0, np.array([5, 5])).label == 0
+
+    def test_children_of_leaf_raises(self):
+        with pytest.raises(TreeStructureError):
+            Node(0, 0, np.array([1, 1])).children()
+
+    def test_make_internal_links_parents(self):
+        parent = Node(0, 0, np.array([2, 2]))
+        left, right = Node(1, 1, np.array([2, 0])), Node(2, 1, np.array([0, 2]))
+        parent.make_internal(NumericSplit(0, 1.0), left, right)
+        assert left.parent is parent and right.parent is parent
+        assert not parent.is_leaf
+
+    def test_make_leaf_drops_subtree(self):
+        parent = Node(0, 0, np.array([2, 2]))
+        parent.make_internal(
+            NumericSplit(0, 1.0),
+            Node(1, 1, np.array([2, 0])),
+            Node(2, 1, np.array([0, 2])),
+        )
+        parent.make_leaf()
+        assert parent.is_leaf and parent.left is None
+
+
+class TestDecisionTree:
+    def test_traversal_counts(self, small_schema):
+        tree = build_manual_tree(small_schema)
+        assert tree.n_nodes == 5
+        assert tree.n_leaves == 3
+        assert tree.depth == 2
+
+    def test_preorder_order(self, small_schema):
+        tree = build_manual_tree(small_schema)
+        assert [n.node_id for n in tree.nodes()] == [0, 1, 2, 3, 4]
+
+    def test_node_by_id(self, small_schema):
+        tree = build_manual_tree(small_schema)
+        assert tree.node_by_id(3).depth == 2
+        with pytest.raises(TreeStructureError):
+            tree.node_by_id(99)
+
+    def test_allocate_id_monotone(self, small_schema):
+        tree = build_manual_tree(small_schema)
+        assert tree.allocate_id() == 5
+        assert tree.allocate_id() == 6
+
+    def test_predict_routes_by_predicates(self, small_schema):
+        tree = build_manual_tree(small_schema)
+        batch = small_schema.empty(4)
+        batch["x"] = [10.0, 60.0, 60.0, 50.0]
+        batch["y"] = 0.0
+        batch["color"] = [0, 1, 0, 2]
+        batch[CLASS_COLUMN] = 0
+        # x<=50 -> leaf0(label 0); x>50,color in {1,3} -> rl(label 1);
+        # x>50,color not in -> rr(label 0, tie); x==50 goes left.
+        assert tree.predict(batch).tolist() == [0, 1, 0, 0]
+
+    def test_route_partition(self, small_schema):
+        tree = build_manual_tree(small_schema)
+        data = simple_xy_data(small_schema, 300, seed=3)
+        leaf_ids = tree.route(data)
+        leaf_set = {n.node_id for n in tree.leaves()}
+        assert set(np.unique(leaf_ids)) <= leaf_set
+
+    def test_misclassification_rate_bounds(self, small_schema):
+        tree = build_manual_tree(small_schema)
+        data = simple_xy_data(small_schema, 200, seed=4)
+        rate = tree.misclassification_rate(data)
+        assert 0.0 <= rate <= 1.0
+
+    def test_misclassification_rate_empty(self, small_schema):
+        tree = build_manual_tree(small_schema)
+        assert tree.misclassification_rate(small_schema.empty(0)) == 0.0
+
+    def test_validate_accepts_good_tree(self, small_schema):
+        build_manual_tree(small_schema).validate()
+
+    def test_validate_rejects_duplicate_ids(self, small_schema):
+        tree = build_manual_tree(small_schema)
+        tree.root.left.node_id = tree.root.right.node_id
+        with pytest.raises(TreeStructureError):
+            tree.validate()
+
+    def test_validate_rejects_bad_depth(self, small_schema):
+        tree = build_manual_tree(small_schema)
+        tree.root.left.depth = 7
+        with pytest.raises(TreeStructureError):
+            tree.validate()
+
+    def test_validate_rejects_bad_parent_link(self, small_schema):
+        tree = build_manual_tree(small_schema)
+        tree.root.left.parent = tree.root.right
+        with pytest.raises(TreeStructureError):
+            tree.validate()
+
+    def test_validate_rejects_bad_attribute(self, small_schema):
+        tree = build_manual_tree(small_schema)
+        tree.root.split = NumericSplit(9, 1.0)
+        with pytest.raises(TreeStructureError):
+            tree.validate()
+
+
+class TestPrinting:
+    def test_render_contains_predicates_and_leaves(self, small_schema):
+        tree = build_manual_tree(small_schema)
+        text = render_tree(tree)
+        assert "x <= 50" in text
+        assert "color in {1,3}" in text
+        assert "leaf label=" in text
+
+    def test_render_depth_truncation(self, small_schema):
+        tree = build_manual_tree(small_schema)
+        text = render_tree(tree, max_depth=1)
+        assert "more nodes" in text
+
+    def test_summary(self, small_schema):
+        assert "nodes=5" in tree_summary(build_manual_tree(small_schema))
+
+
+class TestSerialization:
+    def test_dict_round_trip(self, small_schema):
+        tree = build_manual_tree(small_schema)
+        clone = tree_from_dict(tree_to_dict(tree))
+        assert trees_equal(tree, clone)
+
+    def test_json_round_trip_preserves_float_bits(self, small_schema):
+        tree = build_manual_tree(small_schema)
+        # A value with no short decimal representation.
+        tree.root.split = NumericSplit(0, 0.1 + 0.2)
+        clone = tree_from_json(tree_to_json(tree))
+        assert clone.root.split.value == tree.root.split.value  # exact
+
+    def test_malformed_json(self):
+        with pytest.raises(TreeStructureError):
+            tree_from_json("{")
+
+    def test_malformed_dict(self):
+        with pytest.raises(TreeStructureError):
+            tree_from_dict({"schema": {}})
+
+    def test_unknown_split_kind(self, small_schema):
+        data = tree_to_dict(build_manual_tree(small_schema))
+        data["root"]["split"]["kind"] = "oblique"
+        with pytest.raises(TreeStructureError):
+            tree_from_dict(data)

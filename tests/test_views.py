@@ -1,0 +1,176 @@
+"""Tests for non-materialized star-join training views."""
+
+import numpy as np
+import pytest
+
+from repro.config import BoatConfig, SplitConfig
+from repro.core import boat_build
+from repro.exceptions import SchemaError, StorageError
+from repro.splits import ImpuritySplitSelection
+from repro.storage import (
+    CLASS_COLUMN,
+    Attribute,
+    Dimension,
+    IOStats,
+    MemoryTable,
+    Schema,
+    StarJoinView,
+    materialize_view,
+    reservoir_sample,
+)
+from repro.tree import build_reference_tree, trees_equal
+
+
+@pytest.fixture
+def warehouse():
+    rng = np.random.default_rng(1)
+    n_dim = 50
+    dim_rows = np.empty(n_dim, dtype=[("weight", "<f8"), ("group", "<i4")])
+    dim_rows["weight"] = rng.uniform(0, 10, n_dim)
+    dim_rows["group"] = rng.integers(0, 3, n_dim)
+    fact_schema = Schema(
+        [
+            Attribute.categorical("key", n_dim),
+            Attribute.numerical("amount"),
+        ],
+        n_classes=2,
+    )
+    io = IOStats()
+    fact = MemoryTable(fact_schema, io_stats=io)
+    rows = fact_schema.empty(2000)
+    rows["key"] = rng.integers(0, n_dim, 2000, dtype=np.int32)
+    rows["amount"] = rng.uniform(0, 100, 2000)
+    rows[CLASS_COLUMN] = 0
+    fact.append(rows)
+    io.reset()
+    training_schema = Schema(
+        [
+            Attribute.numerical("weight"),
+            Attribute.numerical("amount"),
+            Attribute.categorical("group", 3),
+        ],
+        n_classes=2,
+    )
+    view = StarJoinView(
+        fact,
+        [Dimension("d", "key", dim_rows)],
+        training_schema,
+        {
+            "weight": lambda f, j: j["d"]["weight"],
+            "amount": lambda f, j: f["amount"],
+            "group": lambda f, j: j["d"]["group"],
+            CLASS_COLUMN: lambda f, j: (
+                (j["d"]["weight"] * 10 + f["amount"] > 80)
+            ).astype(np.int32),
+        },
+    )
+    return view, fact, dim_rows, io
+
+
+class TestStarJoinView:
+    def test_scan_produces_training_schema(self, warehouse):
+        view, *_ = warehouse
+        batch = next(view.scan(batch_rows=100))
+        assert batch.dtype == view.schema.dtype()
+        assert len(view) == 2000
+
+    def test_join_semantics(self, warehouse):
+        view, fact, dim_rows, _ = warehouse
+        out = view.read_all()
+        keys = fact.read_all()["key"]
+        assert np.array_equal(out["weight"], dim_rows["weight"][keys])
+        assert np.array_equal(out["group"], dim_rows["group"][keys])
+
+    def test_label_expression(self, warehouse):
+        view, fact, dim_rows, _ = warehouse
+        out = view.read_all()
+        expected = (out["weight"] * 10 + out["amount"] > 80).astype(np.int32)
+        assert np.array_equal(out[CLASS_COLUMN], expected)
+
+    def test_rescan_is_deterministic(self, warehouse):
+        view, *_ = warehouse
+        assert np.array_equal(view.read_all(), view.read_all())
+
+    def test_each_scan_charges_fact_io(self, warehouse):
+        view, _, _, io = warehouse
+        list(view.scan())
+        assert io.full_scans == 1
+        list(view.scan())
+        assert io.full_scans == 2
+
+    def test_append_rejected(self, warehouse):
+        view, *_ = warehouse
+        with pytest.raises(StorageError):
+            view.append(view.schema.empty(0))
+
+    def test_bad_foreign_key_detected(self, warehouse):
+        view, fact, *_ = warehouse
+        bad = fact.schema.empty(1)
+        bad["key"] = 49
+        bad[CLASS_COLUMN] = 0
+        fact.append(bad)  # still fine
+        # Sneak an out-of-range key past schema validation by editing the
+        # dimension instead.
+        small_dim = np.empty(10, dtype=[("weight", "<f8"), ("group", "<i4")])
+        view2 = StarJoinView(
+            fact,
+            [Dimension("d", "key", small_dim)],
+            view.schema,
+            {
+                "weight": lambda f, j: j["d"]["weight"],
+                "amount": lambda f, j: f["amount"],
+                "group": lambda f, j: np.zeros(len(f), dtype=np.int32),
+                CLASS_COLUMN: lambda f, j: np.zeros(len(f), dtype=np.int32),
+            },
+        )
+        with pytest.raises(StorageError):
+            view2.read_all()
+
+    def test_column_mismatch_rejected(self, warehouse):
+        view, fact, dim_rows, _ = warehouse
+        with pytest.raises(SchemaError):
+            StarJoinView(
+                fact,
+                [Dimension("d", "key", dim_rows)],
+                view.schema,
+                {"weight": lambda f, j: j["d"]["weight"]},
+            )
+
+    def test_duplicate_dimension_names_rejected(self, warehouse):
+        view, fact, dim_rows, _ = warehouse
+        with pytest.raises(SchemaError):
+            StarJoinView(
+                fact,
+                [
+                    Dimension("d", "key", dim_rows),
+                    Dimension("d", "key", dim_rows),
+                ],
+                view.schema,
+                {},
+            )
+
+
+class TestMiningFromView:
+    def test_boat_on_view_two_query_executions(self, warehouse):
+        view, _, _, io = warehouse
+        method = ImpuritySplitSelection("gini")
+        split = SplitConfig(min_samples_split=40, min_samples_leaf=10, max_depth=5)
+        boat = BoatConfig(sample_size=500, bootstrap_repetitions=6, seed=2)
+        result = boat_build(view, method, split, boat)
+        assert io.full_scans == 2
+        reference = build_reference_tree(view.read_all(), view.schema, method, split)
+        assert trees_equal(result.tree, reference)
+
+    def test_materialize_view_matches_scan(self, warehouse):
+        view, *_ = warehouse
+        target = materialize_view(view, MemoryTable(view.schema))
+        assert np.array_equal(target.read_all(), view.read_all())
+
+    def test_reservoir_sampling_over_view(self, warehouse):
+        view, *_ = warehouse
+        sample = reservoir_sample(
+            view.scan(batch_rows=256), 100, view.schema, np.random.default_rng(0)
+        )
+        assert len(sample) == 100
+        pool = {bytes(r.tobytes()) for r in view.read_all()}
+        assert all(bytes(r.tobytes()) in pool for r in sample)
