@@ -1,0 +1,96 @@
+"""Sampling-phase speedup from the worker pool (Fig. 4 workload).
+
+Runs the Fig. 4 workload (Function 1, 10 % noise) with the bootstrap
+phase at 1 and 4 workers and reports the sampling-phase wall-clock
+speedup.  The output tree is asserted byte-identical across worker
+counts — parallelism may only change speed, never the result.
+
+The speedup itself is reported, not asserted: on a single-CPU runner a
+process pool cannot beat the serial path (there is nothing to run the
+extra workers on), and CI boxes vary.  Set ``REPRO_REQUIRE_SPEEDUP=1.3``
+(or any floor) on a machine with >= 4 free cores to enforce the
+acceptance threshold.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench import WorkloadSpec, default_configs, run_boat, scaled
+from repro.config import BoatConfig
+from repro.splits import ImpuritySplitSelection
+from repro.tree import tree_to_json
+
+N_TUPLES = scaled(40_000)
+WORKER_COUNTS = [1, 4]
+
+
+def _speedup_floor() -> float | None:
+    raw = os.environ.get("REPRO_REQUIRE_SPEEDUP")
+    return float(raw) if raw else None
+
+
+@pytest.mark.parametrize("n_workers", WORKER_COUNTS)
+def test_sampling_phase_workers(benchmark, n_workers, workloads, collector):
+    spec = WorkloadSpec(function_id=1, n_tuples=N_TUPLES, noise=0.1, seed=4)
+    table = workloads.table(spec)
+    split, boat_cfg, _, _ = default_configs(N_TUPLES)
+    boat_cfg = BoatConfig(
+        **{
+            **boat_cfg.__dict__,
+            "n_workers": n_workers,
+            "parallel_backend": "process" if n_workers > 1 else "serial",
+        }
+    )
+    method = ImpuritySplitSelection("gini")
+    holder = {}
+
+    def once():
+        holder["result"] = run_boat(spec, table, method, split, boat_cfg)
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    result = holder["result"]
+    assert result.workers == n_workers
+    collector.add(
+        "Sampling-phase speedup: F1 (noise 10%), 1 vs 4 workers",
+        "workers",
+        n_workers,
+        result,
+    )
+
+
+def test_parallel_tree_identical_and_speedup(workloads):
+    """1-worker and 4-worker builds emit byte-identical trees; report speedup."""
+    spec = WorkloadSpec(function_id=1, n_tuples=N_TUPLES, noise=0.1, seed=4)
+    split, base_cfg, _, _ = default_configs(N_TUPLES)
+    method = ImpuritySplitSelection("gini")
+    sampling_seconds = {}
+    serialized = {}
+    for n_workers in WORKER_COUNTS:
+        from repro.core import boat_build
+
+        table = workloads.table(spec)
+        cfg = BoatConfig(
+            **{
+                **base_cfg.__dict__,
+                "n_workers": n_workers,
+                "parallel_backend": "process" if n_workers > 1 else "serial",
+            }
+        )
+        result = boat_build(table, method, split, cfg)
+        sampling_seconds[n_workers] = result.report.wall_seconds["sampling"]
+        serialized[n_workers] = tree_to_json(result.tree)
+    assert serialized[1] == serialized[4], "worker count changed the tree"
+    speedup = sampling_seconds[1] / max(sampling_seconds[4], 1e-9)
+    print(
+        f"\nsampling phase: {sampling_seconds[1]:.3f}s @1 worker, "
+        f"{sampling_seconds[4]:.3f}s @4 workers -> {speedup:.2f}x "
+        f"({os.cpu_count()} CPUs visible)"
+    )
+    floor = _speedup_floor()
+    if floor is not None:
+        assert speedup >= floor, (
+            f"sampling-phase speedup {speedup:.2f}x below required {floor}x"
+        )

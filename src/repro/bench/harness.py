@@ -122,6 +122,7 @@ class RunResult:
     tuples_read: int
     tree_nodes: int
     tree_leaves: int
+    workers: int = 1
     extra: dict[str, float] = field(default_factory=dict)
 
     def as_row(self) -> dict:
@@ -133,6 +134,7 @@ class RunResult:
             "scans": self.scans,
             "tuples_read": self.tuples_read,
             "nodes": self.tree_nodes,
+            "workers": self.workers,
         }
         row.update({k: round(v, 3) for k, v in self.extra.items()})
         return row
@@ -170,14 +172,19 @@ def run_boat(
     split_config: SplitConfig,
     boat_config: BoatConfig,
 ) -> RunResult:
+    reports = {}
+
     def run():
         result = boat_build(table, method, split_config, boat_config)
+        reports["boat"] = result.report
         extra = {}
         if result.report.finalize is not None:
             extra["rebuilds"] = float(result.report.finalize.rebuilds)
         return result.tree, extra
 
-    return _measure("BOAT", spec, table, run)
+    measured = _measure("BOAT", spec, table, run)
+    measured.workers = reports["boat"].workers
+    return measured
 
 
 def run_rf_hybrid(

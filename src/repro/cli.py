@@ -16,7 +16,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .config import BoatConfig, SplitConfig
+from .config import PARALLEL_BACKENDS, BoatConfig, SplitConfig
 from .core import boat_build
 from .datagen import AgrawalConfig, AgrawalGenerator
 from .exceptions import ReproError
@@ -51,6 +51,8 @@ def _cmd_build(args: argparse.Namespace) -> int:
         sample_size=args.sample_size,
         bootstrap_repetitions=args.bootstraps,
         seed=args.seed,
+        n_workers=args.workers,
+        parallel_backend=args.parallel_backend,
     )
     if args.method == "quest":
         from .core import quest_boat_build
@@ -134,6 +136,19 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--min-leaf", type=int, default=1)
     build.add_argument("--max-depth", type=int, default=None)
     build.add_argument("--seed", type=int, default=42)
+    build.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker count for the sampling/cleanup phases (0 = all CPUs); "
+        "the output tree is identical at any setting",
+    )
+    build.add_argument(
+        "--parallel-backend",
+        default="auto",
+        choices=list(PARALLEL_BACKENDS),
+        help="execution backend; 'auto' picks a process pool when workers > 1",
+    )
     build.set_defaults(fn=_cmd_build)
 
     evaluate = sub.add_parser("evaluate", help="score a saved tree on a table")
@@ -154,7 +169,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.fn(args)
-    except (ReproError, OSError) as exc:
+    except (ReproError, OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

@@ -13,9 +13,13 @@ Two configuration objects flow through the system:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 DEFAULT_BATCH_ROWS = 65536
+
+#: Valid values for BoatConfig.parallel_backend (see :mod:`repro.parallel`).
+PARALLEL_BACKENDS = ("auto", "process", "thread", "serial")
 
 
 @dataclass(frozen=True)
@@ -83,6 +87,15 @@ class BoatConfig:
         seed: seed for the sampling phase RNG.  Changing it changes speed
             (which subtrees need rebuilding), never the output tree.
         batch_rows: scan batch granularity.
+        n_workers: worker count for the parallel phases (bootstrap tree
+            growing, cleanup scan, frontier prefetch).  ``1`` runs
+            everything serially; ``0`` uses one worker per CPU.  Like
+            every BOAT knob this affects speed only — the output tree is
+            bit-identical at any worker count.
+        parallel_backend: ``"auto"`` (process pool when ``n_workers`` > 1),
+            ``"process"``, ``"thread"``, or ``"serial"``.  Pools that fail
+            to start degrade to serial execution; see
+            :class:`repro.parallel.WorkerPool`.
     """
 
     sample_size: int = 20000
@@ -95,6 +108,8 @@ class BoatConfig:
     spill_threshold_rows: int = 1 << 20
     seed: int = 42
     batch_rows: int = DEFAULT_BATCH_ROWS
+    n_workers: int = 1
+    parallel_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.sample_size < 1:
@@ -115,6 +130,24 @@ class BoatConfig:
             raise ValueError("spill_threshold_rows must be >= 1")
         if self.batch_rows < 1:
             raise ValueError("batch_rows must be >= 1")
+        if self.n_workers < 0:
+            raise ValueError("n_workers must be >= 0 (0 = one per CPU)")
+        if self.parallel_backend not in PARALLEL_BACKENDS:
+            raise ValueError(
+                f"parallel_backend must be one of {PARALLEL_BACKENDS}, "
+                f"got {self.parallel_backend!r}"
+            )
+
+
+def config_at_depth(config: SplitConfig, depth: int) -> SplitConfig:
+    """Stopping rules for a subtree rooted ``depth`` levels down.
+
+    Only ``max_depth`` is depth-relative; a subtree built separately (a
+    frontier completion or a rebuild) must see its remaining budget.
+    """
+    if config.max_depth is None or depth == 0:
+        return config
+    return dataclasses.replace(config, max_depth=max(config.max_depth - depth, 0))
 
 
 @dataclass(frozen=True)

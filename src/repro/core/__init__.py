@@ -1,8 +1,14 @@
 """BOAT core: sampling phase, cleanup scan, finalization, incremental maintenance."""
 
-from .boat import BoatReport, BoatResult, boat_build
-from .bootstrap import SamplingReport, SamplingResult, sampling_phase
+from .boat import BoatReport, BoatResult, boat_build, make_build_pool
+from .bootstrap import (
+    SamplingReport,
+    SamplingResult,
+    build_bootstrap_trees,
+    sampling_phase,
+)
 from .bounds import admissible_bucket_mask, bucket_lower_bound, bucket_lower_bounds
+from .cleanup import cleanup_scan
 from .coarse import CoarseCategorical, CoarseCriterion, CoarseNumeric
 from .discretize import (
     bucket_index,
@@ -15,6 +21,7 @@ from .finalize import (
     Finalizer,
     config_at_depth,
     finalize_tree,
+    prefetch_frontier_subtrees,
     reference_rebuild,
 )
 from .crossval import CrossValidationResult, boat_cross_validate
@@ -23,7 +30,10 @@ from .quest_boat import QuestBoatReport, QuestBoatResult, quest_boat_build
 from .state import (
     BoatNode,
     EffectiveStats,
+    NodeDelta,
+    apply_batch_delta,
     collect_family,
+    compute_batch_delta,
     effective_stats,
     multiset_remove,
     stream_batch,
@@ -47,20 +57,27 @@ __all__ = [
     "quest_boat_build",
     "SamplingReport",
     "SamplingResult",
+    "NodeDelta",
     "admissible_bucket_mask",
+    "apply_batch_delta",
     "boat_build",
     "boat_cross_validate",
     "bucket_index",
     "bucket_lower_bound",
     "bucket_lower_bounds",
+    "build_bootstrap_trees",
     "build_discretization",
+    "cleanup_scan",
     "collect_family",
+    "compute_batch_delta",
     "config_at_depth",
     "effective_stats",
     "finalize_tree",
     "interval_bucket_range",
     "interval_forced_edges",
+    "make_build_pool",
     "multiset_remove",
+    "prefetch_frontier_subtrees",
     "reference_rebuild",
     "sampling_phase",
     "stream_batch",

@@ -17,12 +17,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..config import BoatConfig, SplitConfig
+from ..parallel import WorkerPool
 from ..splits.methods import ImpuritySplitSelection
-from ..storage import IOStats, Table, sample_table
+from ..storage import IOStats, Schema, Table, sample_table
 from ..tree import DecisionTree, build_reference_tree
 from .bootstrap import SamplingReport, sampling_phase
-from .finalize import FinalizeReport, finalize_tree
-from .state import stream_batch
+from .cleanup import cleanup_scan
+from .finalize import FinalizeReport, finalize_tree, prefetch_frontier_subtrees
+from .workers import init_build_context
 
 
 @dataclass
@@ -37,6 +39,8 @@ class BoatReport:
         sampling / finalize: phase diagnostics (None in in-memory mode).
         wall_seconds: per-phase wall-clock times.
         io: per-phase I/O deltas (only phases that touched storage).
+        workers: resolved worker count of the execution pool.
+        parallel_backend: resolved backend ("serial" when workers == 1).
     """
 
     mode: str
@@ -45,6 +49,8 @@ class BoatReport:
     finalize: FinalizeReport | None = None
     wall_seconds: dict[str, float] = field(default_factory=dict)
     io: dict[str, IOStats] = field(default_factory=dict)
+    workers: int = 1
+    parallel_backend: str = "serial"
 
     @property
     def total_seconds(self) -> float:
@@ -57,6 +63,29 @@ class BoatResult:
 
     tree: DecisionTree
     report: BoatReport
+
+
+def make_build_pool(
+    sample: np.ndarray,
+    schema: Schema,
+    method: ImpuritySplitSelection,
+    split_config: SplitConfig,
+    boat_config: BoatConfig,
+) -> WorkerPool:
+    """The worker pool for one BOAT build, carrying the shared build context.
+
+    Process workers receive (sample, schema, method, split config,
+    subsample size) once through the pool initializer; the thread and
+    serial backends run the same initializer in the parent.  Use as a
+    context manager so workers are reclaimed when the build ends.
+    """
+    subsample = boat_config.bootstrap_subsample or len(sample)
+    return WorkerPool(
+        boat_config.n_workers,
+        boat_config.parallel_backend,
+        initializer=init_build_context,
+        initargs=(sample, schema, method, split_config, subsample),
+    )
 
 
 def boat_build(
@@ -100,34 +129,42 @@ def boat_build(
         phase("in_memory_build", t0, io_before)
         report.mode = "in-memory"
         return BoatResult(tree=tree, report=report)
-    result = sampling_phase(
-        sample,
-        table.schema,
-        method,
-        split_config,
-        boat_config,
-        len(table),
-        rng,
-        spill_dir,
-        io,
-    )
-    report.sampling = result.report
-    phase("sampling", t0, io_before)
+    with make_build_pool(
+        sample, table.schema, method, split_config, boat_config
+    ) as pool:
+        result = sampling_phase(
+            sample,
+            table.schema,
+            method,
+            split_config,
+            boat_config,
+            len(table),
+            rng,
+            spill_dir,
+            io,
+            pool=pool,
+        )
+        report.sampling = result.report
+        phase("sampling", t0, io_before)
 
-    # -- cleanup scan -------------------------------------------------------------
-    t0 = time.perf_counter()
-    io_before = io.snapshot() if io is not None else None
-    for batch in table.scan(boat_config.batch_rows):
-        stream_batch(result.root, batch, table.schema, sign=1)
-    phase("cleanup_scan", t0, io_before)
+        # -- cleanup scan ---------------------------------------------------------
+        t0 = time.perf_counter()
+        io_before = io.snapshot() if io is not None else None
+        cleanup_scan(result.root, table, table.schema, boat_config.batch_rows, pool)
+        phase("cleanup_scan", t0, io_before)
 
-    # -- finalization ----------------------------------------------------------------
-    t0 = time.perf_counter()
-    io_before = io.snapshot() if io is not None else None
-    tree, finalize_report = finalize_tree(
-        result.root, table.schema, method, split_config
-    )
-    report.finalize = finalize_report
-    phase("finalize", t0, io_before)
+        # -- finalization ------------------------------------------------------------
+        t0 = time.perf_counter()
+        io_before = io.snapshot() if io is not None else None
+        prefetch = prefetch_frontier_subtrees(
+            result.root, table.schema, method, split_config, pool
+        )
+        tree, finalize_report = finalize_tree(
+            result.root, table.schema, method, split_config, prefetch=prefetch
+        )
+        report.finalize = finalize_report
+        phase("finalize", t0, io_before)
+        report.workers = pool.n_workers
+        report.parallel_backend = pool.backend
     result.root.release()
     return BoatResult(tree=tree, report=report)

@@ -26,15 +26,17 @@ import numpy as np
 
 from ..config import BoatConfig, SplitConfig
 from ..exceptions import SplitSelectionError
+from ..parallel import WorkerPool, chunked
 from ..splits.base import CategoricalSplit, NumericSplit
 from ..splits.categorical import best_categorical_split
 from ..splits.methods import ImpuritySplitSelection
 from ..splits.numeric import numeric_profile
-from ..storage import CLASS_COLUMN, IOStats, Schema, bootstrap_resample
-from ..tree import DecisionTree, Node, build_reference_tree
+from ..storage import CLASS_COLUMN, IOStats, Schema
+from ..tree import DecisionTree, Node, tree_from_dict
 from .coarse import CoarseCategorical, CoarseNumeric
 from .discretize import build_discretization, interval_forced_edges
 from .state import BoatNode
+from .workers import bootstrap_trees_task, init_build_context
 
 
 @dataclass
@@ -296,6 +298,43 @@ class _SkeletonBuilder:
         return edges
 
 
+def build_bootstrap_trees(
+    sample: np.ndarray,
+    schema: Schema,
+    method: ImpuritySplitSelection,
+    split_config: SplitConfig,
+    boat_config: BoatConfig,
+    rng: np.random.Generator,
+    pool: WorkerPool | None = None,
+) -> list[DecisionTree]:
+    """Grow the ``b`` bootstrap trees, optionally on a worker pool.
+
+    One entropy value is drawn from ``rng`` and expanded into ``b``
+    :class:`~numpy.random.SeedSequence` children, one per repetition, so
+    every repetition's resample is a pure function of (sample, child).
+    The serial path and every pool backend therefore produce bit-identical
+    trees; a pool merely changes where the work runs.
+
+    ``pool``, when parallel, must have been created with
+    :func:`repro.core.workers.init_build_context` as its initializer and
+    this call's (sample, schema, method, split_config, subsample) as the
+    init args — :func:`repro.core.boat.make_build_pool` does exactly that.
+    """
+    subsample = boat_config.bootstrap_subsample or len(sample)
+    repetitions = boat_config.bootstrap_repetitions
+    entropy = int(rng.integers(0, np.iinfo(np.int64).max))
+    children = np.random.SeedSequence(entropy).spawn(repetitions)
+    if pool is not None and pool.is_parallel:
+        # ~2 chunks per worker balances load against per-task overhead.
+        chunk_size = max(1, -(-repetitions // (pool.n_workers * 2)))
+        parts = pool.map(bootstrap_trees_task, chunked(children, chunk_size))
+        tree_dicts = [d for part in parts for d in part]
+    else:
+        init_build_context(sample, schema, method, split_config, subsample)
+        tree_dicts = bootstrap_trees_task(children)
+    return [tree_from_dict(d) for d in tree_dicts]
+
+
 def sampling_phase(
     sample: np.ndarray,
     schema: Schema,
@@ -306,6 +345,7 @@ def sampling_phase(
     rng: np.random.Generator,
     spill_dir: str | None = None,
     io_stats: IOStats | None = None,
+    pool: WorkerPool | None = None,
 ) -> SamplingResult:
     """Run the sampling phase: bootstrap trees → skeleton with coarse criteria.
 
@@ -313,7 +353,11 @@ def sampling_phase(
         sample: the in-memory sample D'.
         table_size: |D|, used to estimate family sizes for the in-memory
             switch.
-        rng: drives the bootstrap resampling only.
+        rng: drives the bootstrap seeding only.
+        pool: optional worker pool for growing the bootstrap trees
+            concurrently (see :func:`build_bootstrap_trees` for the
+            initializer contract).  The output is identical with or
+            without it.
     """
     if not isinstance(method, ImpuritySplitSelection):
         raise SplitSelectionError(
@@ -321,11 +365,9 @@ def sampling_phase(
         )
     if len(sample) == 0:
         raise SplitSelectionError("cannot run the sampling phase on an empty sample")
-    subsample = boat_config.bootstrap_subsample or len(sample)
-    trees: list[DecisionTree] = []
-    for _ in range(boat_config.bootstrap_repetitions):
-        resample = bootstrap_resample(sample, subsample, rng)
-        trees.append(build_reference_tree(resample, schema, method, split_config))
+    trees = build_bootstrap_trees(
+        sample, schema, method, split_config, boat_config, rng, pool
+    )
     builder = _SkeletonBuilder(
         schema,
         method,

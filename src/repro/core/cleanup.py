@@ -1,0 +1,82 @@
+"""The cleanup scan (§3.3): serial streaming or parallel batch routing.
+
+The scan is a pure accumulation: every table batch is routed down the
+read-only skeleton and per-node statistics are incremented.  Increments
+commute, but held/family store *row order* must match the serial scan for
+byte-identical spill files — so the parallel path computes per-batch
+:class:`~repro.core.state.NodeDelta` lists on worker threads (the numpy
+routing kernels release the GIL) and applies them in the parent in scan
+order.  The result is bit-identical to the serial scan at any worker
+count.
+
+Worker threads are used even when the configured backend is ``process``:
+the skeleton's statistics live in the parent's heap, and shipping them
+across process boundaries would cost more than the routing it saves.
+
+For a :class:`~repro.storage.DiskTable` the batches themselves are read
+inside the workers (``read_slice`` opens a private file handle per call),
+each charging a private :class:`~repro.storage.IOStats` that is merged
+into the experiment's shared instance in deterministic batch order.
+"""
+
+from __future__ import annotations
+
+from ..config import DEFAULT_BATCH_ROWS
+from ..parallel import WorkerPool
+from ..storage import DiskTable, IOStats, Schema, Table
+from .state import BoatNode, apply_batch_delta, compute_batch_delta, stream_batch
+
+
+def cleanup_scan(
+    root: BoatNode,
+    table: Table,
+    schema: Schema,
+    batch_rows: int = DEFAULT_BATCH_ROWS,
+    pool: WorkerPool | None = None,
+) -> None:
+    """Stream the whole table down the skeleton, in parallel when possible."""
+    if pool is None or not pool.is_parallel:
+        for batch in table.scan(batch_rows):
+            stream_batch(root, batch, schema, sign=1)
+        return
+    if pool.backend == "thread":
+        _parallel_scan(root, table, schema, batch_rows, pool)
+    else:
+        with WorkerPool(pool.n_workers, "thread") as thread_pool:
+            _parallel_scan(root, table, schema, batch_rows, thread_pool)
+
+
+def _parallel_scan(
+    root: BoatNode,
+    table: Table,
+    schema: Schema,
+    batch_rows: int,
+    pool: WorkerPool,
+) -> None:
+    io = table.io_stats
+    if isinstance(table, DiskTable):
+        n = len(table)
+        ranges = [
+            (start, min(start + batch_rows, n)) for start in range(0, n, batch_rows)
+        ]
+
+        def scan_range(bounds: tuple[int, int]) -> tuple[list, IOStats]:
+            worker_io = IOStats()
+            batch = table.read_slice(bounds[0], bounds[1], io_stats=worker_io)
+            return compute_batch_delta(root, batch, schema), worker_io
+
+        for deltas, worker_io in pool.imap(scan_range, ranges):
+            apply_batch_delta(deltas)
+            if io is not None:
+                io.merge(worker_io)
+        if io is not None:
+            io.record_full_scan()
+        return
+
+    # Generic tables (e.g. MemoryTable): the parent iterates the scan —
+    # which keeps the table's own charging semantics — and workers route.
+    def route(batch) -> list:
+        return compute_batch_delta(root, batch, schema)
+
+    for deltas in pool.imap(route, table.scan(batch_rows)):
+        apply_batch_delta(deltas)

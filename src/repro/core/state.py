@@ -205,21 +205,126 @@ def stream_batch(
     stream_batch(right, batch[above], schema, sign)
 
 
-def _accumulate_counts(
-    node: BoatNode, batch: np.ndarray, schema: Schema, sign: int
-) -> None:
+def _count_deltas(
+    node: BoatNode, batch: np.ndarray, schema: Schema
+) -> tuple[np.ndarray, dict[int, np.ndarray], dict[int, np.ndarray]]:
+    """Per-node count increments for a batch, computed without mutation."""
     labels = batch[CLASS_COLUMN]
     k = schema.n_classes
-    node.class_counts += sign * np.bincount(labels, minlength=k)
-    for index, matrix in node.cat_counts.items():
-        matrix += sign * category_class_counts(
+    class_delta = np.bincount(labels, minlength=k)
+    cat_deltas = {
+        index: category_class_counts(
             batch[schema[index].name], labels, matrix.shape[0], k
         )
+        for index, matrix in node.cat_counts.items()
+    }
+    bucket_deltas = {}
     for index, counts in node.bucket_counts.items():
         edges = node.bucket_edges[index]
         buckets = bucket_index(edges, batch[schema[index].name])
         flat = np.bincount(buckets * k + labels, minlength=counts.size)
-        counts += sign * flat.reshape(counts.shape)
+        bucket_deltas[index] = flat.reshape(counts.shape)
+    return class_delta, cat_deltas, bucket_deltas
+
+
+def _accumulate_counts(
+    node: BoatNode, batch: np.ndarray, schema: Schema, sign: int
+) -> None:
+    class_delta, cat_deltas, bucket_deltas = _count_deltas(node, batch, schema)
+    node.class_counts += sign * class_delta
+    for index, delta in cat_deltas.items():
+        node.cat_counts[index] += sign * delta
+    for index, delta in bucket_deltas.items():
+        node.bucket_counts[index] += sign * delta
+
+
+@dataclass
+class NodeDelta:
+    """One node's pending statistics update for one scanned batch.
+
+    Produced by :func:`compute_batch_delta` (thread-safe, no mutation)
+    and consumed by :func:`apply_batch_delta` (parent-only mutation).
+    The row arrays are views into the scanned batch.
+    """
+
+    node: BoatNode
+    class_counts: np.ndarray
+    cat_counts: dict[int, np.ndarray]
+    bucket_counts: dict[int, np.ndarray]
+    below_counts: np.ndarray | None = None
+    above_counts: np.ndarray | None = None
+    held_rows: np.ndarray | None = None
+    family_rows: np.ndarray | None = None
+
+
+def compute_batch_delta(
+    root: BoatNode, batch: np.ndarray, schema: Schema
+) -> list[NodeDelta]:
+    """Route a batch down the skeleton, collecting deltas instead of mutating.
+
+    This is the read-only half of :func:`stream_batch` (insertion only):
+    it touches only immutable node state (criteria, bucket edges), so any
+    number of batches can be processed concurrently.  Deltas come back in
+    the same preorder the serial scan mutates in, so applying them batch
+    by batch reproduces the serial scan bit for bit — including the row
+    order of held and family stores.
+    """
+    deltas: list[NodeDelta] = []
+    _collect_deltas(root, batch, schema, deltas)
+    return deltas
+
+
+def _collect_deltas(
+    node: BoatNode, batch: np.ndarray, schema: Schema, out: list[NodeDelta]
+) -> None:
+    if batch.size == 0:
+        return
+    class_delta, cat_deltas, bucket_deltas = _count_deltas(node, batch, schema)
+    delta = NodeDelta(node, class_delta, cat_deltas, bucket_deltas)
+    out.append(delta)
+    if node.criterion is None:
+        delta.family_rows = batch
+        return
+    if isinstance(node.criterion, CoarseCategorical):
+        go_left = node.criterion.go_left(batch, schema)
+        left, right = node.children()
+        _collect_deltas(left, batch[go_left], schema, out)
+        _collect_deltas(right, batch[~go_left], schema, out)
+        return
+    below, held, above = node.criterion.masks(batch, schema)
+    labels = batch[CLASS_COLUMN]
+    k = schema.n_classes
+    delta.below_counts = np.bincount(labels[below], minlength=k)
+    delta.above_counts = np.bincount(labels[above], minlength=k)
+    held_batch = batch[held]
+    if held_batch.size:
+        delta.held_rows = held_batch
+    left, right = node.children()
+    _collect_deltas(left, batch[below], schema, out)
+    _collect_deltas(right, batch[above], schema, out)
+
+
+def apply_batch_delta(deltas: list[NodeDelta]) -> None:
+    """Apply one batch's deltas to the skeleton (insertion only).
+
+    Must run in the parent thread; callers preserve scan order by
+    applying whole batches in the order they were scanned.
+    """
+    for delta in deltas:
+        node = delta.node
+        node.dirty = True
+        node.class_counts += delta.class_counts
+        for index, matrix in delta.cat_counts.items():
+            node.cat_counts[index] += matrix
+        for index, matrix in delta.bucket_counts.items():
+            node.bucket_counts[index] += matrix
+        if delta.below_counts is not None:
+            node.below_counts += delta.below_counts
+            node.above_counts += delta.above_counts
+        if delta.held_rows is not None:
+            node.held.append(delta.held_rows)
+        if delta.family_rows is not None:
+            node.family_store.append(delta.family_rows)
 
 
 def _remove_from_store(store: TupleStore, records: np.ndarray) -> None:

@@ -379,8 +379,16 @@ class DiskTable(Table):
         if self._io_stats is not None:
             self._io_stats.record_full_scan()
 
-    def read_slice(self, start: int, stop: int) -> np.ndarray:
-        """Read records ``[start, stop)`` by offset (charged as reads)."""
+    def read_slice(
+        self, start: int, stop: int, io_stats: IOStats | None = None
+    ) -> np.ndarray:
+        """Read records ``[start, stop)`` by offset (charged as reads).
+
+        ``io_stats`` redirects the charge away from the table's shared
+        instance — parallel scan workers each charge a private counter
+        and merge it back in deterministic order.  Each call opens its
+        own file handle, so concurrent slice reads are safe.
+        """
         self._check_open()
         if not 0 <= start <= stop <= self._n_rows:
             raise IndexError(f"slice [{start}, {stop}) out of range 0..{self._n_rows}")
@@ -392,8 +400,10 @@ class DiskTable(Table):
         if len(raw) != (stop - start) * rec:
             raise StorageError(f"{self._path}: short read in read_slice")
         batch = np.frombuffer(raw, dtype=dtype)
-        if self._io_stats is not None:
-            self._io_stats.record_read(len(batch), len(raw))
+        self._throttle(len(raw))
+        charge = io_stats if io_stats is not None else self._io_stats
+        if charge is not None:
+            charge.record_read(len(batch), len(raw))
         return batch
 
     def close(self) -> None:

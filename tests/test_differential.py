@@ -1,0 +1,168 @@
+"""Differential correctness: BOAT output == reference greedy builder.
+
+The paper's central guarantee (§3) is that BOAT produces *exactly* the
+tree the in-memory reference builder grows on the full data — and the
+worker-pool layer must preserve that bit-for-bit at every worker count
+and backend.  Each case here builds the reference tree and a BOAT tree
+and compares them node by node.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import BoatConfig, SplitConfig
+from repro.core import boat_build
+from repro.datagen import AgrawalConfig, AgrawalGenerator
+from repro.splits import ImpuritySplitSelection
+from repro.storage import CLASS_COLUMN, Attribute, AttributeKind, MemoryTable, Schema
+from repro.tree import build_reference_tree, tree_diff, tree_to_json, trees_equal
+
+N_TUPLES = 1600
+SPLIT_CONFIG = SplitConfig(min_samples_split=20, min_samples_leaf=5, max_depth=6)
+
+# 5 Agrawal functions x 2 seeds = 10 differential cases.
+CASES = [
+    (function_id, seed) for function_id in (1, 2, 3, 5, 7) for seed in (0, 1)
+]
+
+
+def _workload(function_id: int, seed: int) -> tuple[np.ndarray, Schema]:
+    generator = AgrawalGenerator(
+        AgrawalConfig(function_id=function_id, noise=0.1), seed=seed
+    )
+    data = generator.generate(N_TUPLES)
+    return data, generator.schema
+
+
+def _boat_config(seed: int, n_workers: int = 1, backend: str = "auto") -> BoatConfig:
+    return BoatConfig(
+        sample_size=400,
+        bootstrap_repetitions=5,
+        bootstrap_subsample=300,
+        seed=seed + 100,
+        n_workers=n_workers,
+        parallel_backend=backend,
+    )
+
+
+def _assert_same_tree(boat_tree, reference) -> None:
+    assert trees_equal(boat_tree, reference), tree_diff(boat_tree, reference)
+
+
+class TestDifferentialSerial:
+    @pytest.mark.parametrize("function_id,seed", CASES)
+    def test_boat_equals_reference(self, function_id, seed, gini_method):
+        data, schema = _workload(function_id, seed)
+        reference = build_reference_tree(data, schema, gini_method, SPLIT_CONFIG)
+        result = boat_build(
+            MemoryTable(schema, data), gini_method, SPLIT_CONFIG, _boat_config(seed)
+        )
+        assert result.report.mode == "boat"
+        _assert_same_tree(result.tree, reference)
+
+
+class TestDifferentialParallel:
+    @pytest.mark.parametrize("function_id,seed", CASES)
+    @pytest.mark.parametrize("n_workers", [2, 4])
+    def test_parallel_boat_equals_reference(
+        self, function_id, seed, n_workers, gini_method
+    ):
+        data, schema = _workload(function_id, seed)
+        reference = build_reference_tree(data, schema, gini_method, SPLIT_CONFIG)
+        result = boat_build(
+            MemoryTable(schema, data),
+            gini_method,
+            SPLIT_CONFIG,
+            _boat_config(seed, n_workers=n_workers, backend="thread"),
+        )
+        assert result.report.workers == n_workers
+        assert result.report.parallel_backend == "thread"
+        _assert_same_tree(result.tree, reference)
+
+
+class TestBackendDeterminism:
+    """Same seed + workload -> byte-identical serialized tree everywhere."""
+
+    @pytest.mark.parametrize("function_id,seed", [(1, 0), (5, 1)])
+    def test_all_backends_byte_identical(self, function_id, seed, gini_method):
+        data, schema = _workload(function_id, seed)
+        table = MemoryTable(schema, data)
+        serialized = {}
+        for backend, n_workers in [
+            ("serial", 1),
+            ("thread", 2),
+            ("thread", 4),
+            ("process", 2),
+        ]:
+            result = boat_build(
+                table,
+                gini_method,
+                SPLIT_CONFIG,
+                _boat_config(seed, n_workers=n_workers, backend=backend),
+            )
+            serialized[(backend, n_workers)] = tree_to_json(result.tree)
+        baseline = serialized[("serial", 1)]
+        for key, payload in serialized.items():
+            assert payload == baseline, f"{key} diverged from the serial build"
+
+
+class TestFrontierPrefetch:
+    """A decisive categorical root holds no tuples, so the speculative
+    frontier completions built before the finalize pass are consumed."""
+
+    def _separable_table(self) -> tuple[np.ndarray, Schema]:
+        rng = np.random.default_rng(0)
+        n = 4000
+        schema = Schema(
+            [
+                Attribute("group", AttributeKind.CATEGORICAL, domain_size=2),
+                Attribute("x", AttributeKind.NUMERICAL),
+            ],
+            n_classes=2,
+        )
+        data = schema.empty(n)
+        group = rng.integers(0, 2, n)
+        x = rng.normal(size=n)
+        # group is decisive (every bootstrap picks it exactly); x flips the
+        # label in the tail so the frontier families still need real splits.
+        data["group"] = group
+        data["x"] = x
+        data[CLASS_COLUMN] = group ^ (x > 1.2).astype(np.int64)
+        return data, schema
+
+    def test_prefetch_hits_and_tree_unchanged(self, gini_method):
+        data, schema = self._separable_table()
+        config = SplitConfig(min_samples_split=10, min_samples_leaf=3, max_depth=8)
+        reference = build_reference_tree(data, schema, gini_method, config)
+        boat_config = BoatConfig(
+            sample_size=600,
+            bootstrap_repetitions=8,
+            bootstrap_subsample=400,
+            seed=5,
+            inmemory_threshold=2500,
+            n_workers=4,
+            parallel_backend="thread",
+        )
+        result = boat_build(MemoryTable(schema, data), gini_method, config, boat_config)
+        report = result.report.finalize
+        assert report.frontier_prefetch_hits == report.frontier_completions > 0
+        _assert_same_tree(result.tree, reference)
+
+    def test_serial_build_never_prefetches(self, gini_method):
+        data, schema = self._separable_table()
+        config = SplitConfig(min_samples_split=10, min_samples_leaf=3, max_depth=8)
+        result = boat_build(
+            MemoryTable(schema, data),
+            gini_method,
+            config,
+            BoatConfig(
+                sample_size=600,
+                bootstrap_repetitions=8,
+                bootstrap_subsample=400,
+                seed=5,
+                inmemory_threshold=2500,
+            ),
+        )
+        assert result.report.finalize.frontier_prefetch_hits == 0

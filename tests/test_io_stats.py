@@ -1,5 +1,11 @@
 """Tests for repro.storage.io_stats."""
 
+import pickle
+import sys
+import threading
+
+import pytest
+
 from repro.storage import IOStats
 
 
@@ -54,3 +60,103 @@ class TestIOStats:
         io = IOStats()
         io.record_read(3, 24)
         assert "3t" in str(io)
+
+
+class TestIOStatsMerge:
+    def test_merge_adds_all_counters(self):
+        io = IOStats()
+        io.record_read(1, 8)
+        other = IOStats()
+        other.record_read(2, 16)
+        other.record_write(3, 24)
+        other.record_full_scan()
+        other.record_spill_file()
+        io.merge(other)
+        assert (io.tuples_read, io.bytes_read) == (3, 24)
+        assert (io.tuples_written, io.bytes_written) == (3, 24)
+        assert io.full_scans == 1
+        assert io.spill_files == 1
+
+    def test_merge_leaves_source_untouched(self):
+        io, other = IOStats(), IOStats()
+        other.record_read(5, 40)
+        io.merge(other)
+        assert other.tuples_read == 5
+
+    def test_merge_with_self_rejected(self):
+        io = IOStats()
+        with pytest.raises(ValueError):
+            io.merge(io)
+
+
+class TestIOStatsThreadSafety:
+    def test_concurrent_increments_are_exact(self):
+        """Regression: the counters were plain ``+=`` read-modify-write,
+        so concurrent workers could lose updates.  Hammer one instance
+        from 8 threads and demand exact totals."""
+        io = IOStats()
+        threads = 8
+        per_thread = 2000
+        barrier = threading.Barrier(threads)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(per_thread):
+                io.record_read(1, 8)
+                io.record_write(1, 4)
+                io.record_full_scan()
+                io.record_spill_file()
+
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-6)  # provoke preemption mid-increment
+        try:
+            workers = [threading.Thread(target=hammer) for _ in range(threads)]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join()
+        finally:
+            sys.setswitchinterval(old_interval)
+        total = threads * per_thread
+        assert io.tuples_read == total
+        assert io.bytes_read == total * 8
+        assert io.tuples_written == total
+        assert io.bytes_written == total * 4
+        assert io.full_scans == total
+        assert io.spill_files == total
+
+    def test_concurrent_merge_is_exact(self):
+        parent = IOStats()
+        threads = 8
+        merges_per_thread = 200
+        part = IOStats()
+        part.record_read(1, 8)
+        barrier = threading.Barrier(threads)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(merges_per_thread):
+                parent.merge(part)
+
+        workers = [threading.Thread(target=hammer) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert parent.tuples_read == threads * merges_per_thread
+
+
+class TestIOStatsPickle:
+    def test_round_trip_preserves_counters(self):
+        io = IOStats()
+        io.record_read(7, 56)
+        io.record_full_scan()
+        clone = pickle.loads(pickle.dumps(io))
+        assert clone.tuples_read == 7
+        assert clone.full_scans == 1
+
+    def test_unpickled_instance_is_usable(self):
+        clone = pickle.loads(pickle.dumps(IOStats()))
+        clone.record_read(1, 8)  # the lock must have been recreated
+        clone.merge(IOStats())
+        assert clone.tuples_read == 1

@@ -1,0 +1,228 @@
+"""Property-based tests for the discretizer and the numeric split search.
+
+Two layers: hypothesis-driven properties (skipped cleanly where hypothesis
+is unavailable) and seeded-random loops that always run, so the invariants
+are exercised on every CI configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.discretize import (
+    bucket_index,
+    build_discretization,
+    interval_bucket_range,
+    interval_forced_edges,
+)
+from repro.splits import Gini, numeric_profile
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - exercised only without hypothesis
+    HAVE_HYPOTHESIS = False
+
+    def given(*args, **kwargs):  # type: ignore[misc]
+        return pytest.mark.skip(reason="hypothesis not installed")
+
+    def settings(*args, **kwargs):  # type: ignore[misc]
+        return lambda fn: fn
+
+    class _NullStrategy:
+        def map(self, fn):
+            return self
+
+    class _NullStrategies:
+        def __getattr__(self, name):
+            return lambda *a, **k: _NullStrategy()
+
+    st = _NullStrategies()  # type: ignore[assignment]
+
+GINI = Gini()
+
+
+def make_profile(values, labels, n_classes=2, min_samples_leaf=1):
+    return numeric_profile(
+        np.asarray(values, dtype=np.float64),
+        np.asarray(labels, dtype=np.int64),
+        n_classes,
+        GINI,
+        min_samples_leaf,
+    )
+
+
+families = st.lists(
+    st.tuples(
+        st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False, width=32),
+        st.integers(0, 1),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestNumericProfileProperties:
+    @given(families)
+    @settings(max_examples=60, deadline=None)
+    def test_candidates_ascending_distinct(self, rows):
+        values, labels = zip(*rows)
+        profile = make_profile(values, labels)
+        assert np.all(np.diff(profile.candidates) > 0)
+        assert set(profile.candidates) == set(np.float64(v) for v in values)
+
+    @given(families)
+    @settings(max_examples=60, deadline=None)
+    def test_left_counts_monotone_to_totals(self, rows):
+        values, labels = zip(*rows)
+        profile = make_profile(values, labels)
+        assert np.all(np.diff(profile.left_counts, axis=0) >= 0)
+        totals = np.bincount(np.asarray(labels), minlength=2)
+        assert np.array_equal(profile.left_counts[-1], totals)
+
+    @given(families, st.integers(1, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_best_is_admissible_minimum(self, rows, min_leaf):
+        values, labels = zip(*rows)
+        profile = make_profile(values, labels, min_samples_leaf=min_leaf)
+        best = profile.best()
+        if best is None:
+            assert not profile.admissible.any()
+            return
+        impurity, split_value = best
+        admissible = profile.impurities[profile.admissible]
+        assert impurity == admissible.min()
+        idx = int(np.flatnonzero(profile.candidates == split_value)[0])
+        assert profile.admissible[idx]
+        # Ties resolve to the smallest split value.
+        earlier = profile.admissible[:idx]
+        assert not np.any(profile.impurities[:idx][earlier] <= impurity)
+
+    def test_constant_column_has_one_inadmissible_candidate(self):
+        profile = make_profile([4.2] * 30, [0, 1] * 15)
+        assert profile.n_candidates == 1
+        assert profile.best() is None  # right child would be empty
+
+    def test_single_row(self):
+        profile = make_profile([1.0], [0])
+        assert profile.n_candidates == 1
+        assert profile.best() is None
+
+    def test_all_one_class(self):
+        profile = make_profile([1.0, 2.0, 3.0, 4.0], [1, 1, 1, 1])
+        best = profile.best()
+        assert best is not None
+        assert best[0] == 0.0  # already pure: impurity is zero everywhere
+
+    def test_empty_family(self):
+        profile = make_profile([], [])
+        assert profile.n_candidates == 0
+        assert profile.best() is None
+
+
+class TestDiscretizationProperties:
+    @given(families, st.integers(1, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_edges_sorted_strictly_increasing(self, rows, budget):
+        values, labels = zip(*rows)
+        profile = make_profile(values, labels)
+        edges = build_discretization(profile, float(profile.impurities.min()), budget)
+        assert np.all(np.diff(edges) > 0)
+
+    @given(families, st.integers(1, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_every_row_in_exactly_one_bucket(self, rows, budget):
+        values, labels = zip(*rows)
+        profile = make_profile(values, labels)
+        edges = build_discretization(profile, float(profile.impurities.min()), budget)
+        buckets = bucket_index(edges, np.asarray(values, dtype=np.float64))
+        assert buckets.shape == (len(values),)
+        assert np.all((buckets >= 0) & (buckets <= len(edges)))
+
+    @given(families, st.integers(1, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_bucket_index_monotone_in_value(self, rows, budget):
+        values, labels = zip(*rows)
+        profile = make_profile(values, labels)
+        edges = build_discretization(profile, float(profile.impurities.min()), budget)
+        ordered = np.sort(np.asarray(values, dtype=np.float64))
+        assert np.all(np.diff(bucket_index(edges, ordered)) >= 0)
+
+    @given(
+        families,
+        st.integers(1, 12),
+        st.tuples(st.floats(-100, 100), st.floats(-100, 100)).map(sorted),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_forced_edges_always_present(self, rows, budget, interval):
+        values, labels = zip(*rows)
+        low, high = interval
+        profile = make_profile(values, labels)
+        forced = interval_forced_edges(low, high)
+        edges = build_discretization(
+            profile, float(profile.impurities.min()), budget, forced_edges=forced
+        )
+        assert set(forced) <= set(edges)
+
+    def test_empty_profile_yields_forced_edges_only(self):
+        profile = make_profile([], [])
+        edges = build_discretization(profile, 0.0, 8, forced_edges=(1.0, -1.0))
+        assert list(edges) == [-1.0, 1.0]
+
+    def test_interval_bucket_range_covers_only_interval(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0, 100, 300)
+        labels = (values > 50).astype(np.int64)
+        profile = make_profile(values, labels)
+        low, high = 30.0, 60.0
+        edges = build_discretization(
+            profile,
+            float(profile.impurities.min()),
+            10,
+            forced_edges=interval_forced_edges(low, high),
+        )
+        first, last = interval_bucket_range(edges, low, high)
+        buckets = bucket_index(edges, values)
+        inside = (buckets >= first) & (buckets < last)
+        assert np.all((values[inside] >= low) & (values[inside] <= high))
+        # and everything in [low, high] lands in the range
+        in_interval = (values >= low) & (values <= high)
+        assert np.all(inside[in_interval])
+
+
+class TestSeededRandomLoops:
+    """Always-run fallback sweeps (no hypothesis dependency in the logic)."""
+
+    def test_profile_invariants_random_sweep(self):
+        rng = np.random.default_rng(1234)
+        for trial in range(50):
+            n = int(rng.integers(1, 120))
+            values = rng.choice([-3.0, 0.0, 1.5, 2.0, 7.25], size=n)
+            values += rng.normal(0, 1e-3, n) * rng.integers(0, 2)
+            labels = rng.integers(0, 3, n)
+            profile = make_profile(values, labels, n_classes=3)
+            assert np.all(np.diff(profile.candidates) > 0)
+            assert profile.left_counts[-1].sum() == n
+            assert np.all(np.diff(profile.left_counts.sum(axis=1)) > 0)
+            assert len(profile.impurities) == profile.n_candidates
+            assert np.all(np.isfinite(profile.impurities))
+
+    def test_discretization_invariants_random_sweep(self):
+        rng = np.random.default_rng(987)
+        for trial in range(50):
+            n = int(rng.integers(1, 200))
+            values = rng.normal(0, 10, n).round(int(rng.integers(0, 3)))
+            labels = (values + rng.normal(0, 5, n) > 0).astype(np.int64)
+            profile = make_profile(values, labels)
+            budget = int(rng.integers(1, 16))
+            edges = build_discretization(
+                profile, float(profile.impurities.min()), budget
+            )
+            assert np.all(np.diff(edges) > 0)
+            buckets = bucket_index(edges, values)
+            assert np.all((buckets >= 0) & (buckets <= len(edges)))
+            ordered = np.sort(values)
+            assert np.all(np.diff(bucket_index(edges, ordered)) >= 0)
