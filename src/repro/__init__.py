@@ -25,6 +25,7 @@ from .core import BoatReport, BoatResult, boat_build
 from .datagen import AgrawalConfig, AgrawalGenerator, agrawal_schema
 from .estimator import BoatClassifier, FitReport
 from .exceptions import ReproError
+from .observability import TraceReport, Tracer, format_trace, read_jsonl, write_jsonl
 from .splits import (
     ImpuritySplitSelection,
     QuestSplitSelection,
@@ -64,14 +65,19 @@ __all__ = [
     "Schema",
     "SplitConfig",
     "Table",
+    "TraceReport",
+    "Tracer",
     "agrawal_schema",
     "available_impurities",
     "boat_build",
     "build_reference_tree",
+    "format_trace",
     "get_impurity",
     "get_method",
+    "read_jsonl",
     "render_tree",
     "tree_diff",
     "tree_summary",
     "trees_equal",
+    "write_jsonl",
 ]

@@ -21,6 +21,7 @@ from ..config import BoatConfig, RainForestConfig, SplitConfig
 from ..core import boat_build
 from ..datagen import AgrawalConfig, AgrawalGenerator
 from ..exceptions import BenchmarkError
+from ..observability import Tracer
 from ..rainforest import build_rf_hybrid, build_rf_vertical
 from ..splits import ImpuritySplitSelection
 from ..storage import DiskTable, IOStats, Table
@@ -124,6 +125,9 @@ class RunResult:
     tree_leaves: int
     workers: int = 1
     extra: dict[str, float] = field(default_factory=dict)
+    #: Per-phase trace summary (:meth:`TraceReport.phase_summary`), when
+    #: the adapter ran with tracing.
+    trace: dict | None = None
 
     def as_row(self) -> dict:
         row = {
@@ -137,6 +141,8 @@ class RunResult:
             "workers": self.workers,
         }
         row.update({k: round(v, 3) for k, v in self.extra.items()})
+        if self.trace is not None:
+            row["trace"] = self.trace
         return row
 
 
@@ -173,9 +179,10 @@ def run_boat(
     boat_config: BoatConfig,
 ) -> RunResult:
     reports = {}
+    tracer = Tracer(table.io_stats)
 
     def run():
-        result = boat_build(table, method, split_config, boat_config)
+        result = boat_build(table, method, split_config, boat_config, tracer=tracer)
         reports["boat"] = result.report
         extra = {}
         if result.report.finalize is not None:
@@ -184,6 +191,7 @@ def run_boat(
 
     measured = _measure("BOAT", spec, table, run)
     measured.workers = reports["boat"].workers
+    measured.trace = tracer.report().phase_summary()
     return measured
 
 
@@ -194,11 +202,15 @@ def run_rf_hybrid(
     split_config: SplitConfig,
     rf_config: RainForestConfig,
 ) -> RunResult:
+    tracer = Tracer(table.io_stats)
+
     def run():
-        result = build_rf_hybrid(table, method, split_config, rf_config)
+        result = build_rf_hybrid(table, method, split_config, rf_config, tracer)
         return result.tree, {"passes": float(result.report.total_passes)}
 
-    return _measure("RF-Hybrid", spec, table, run)
+    measured = _measure("RF-Hybrid", spec, table, run)
+    measured.trace = tracer.report().phase_summary()
+    return measured
 
 
 def run_rf_vertical(
@@ -208,11 +220,15 @@ def run_rf_vertical(
     split_config: SplitConfig,
     rf_config: RainForestConfig,
 ) -> RunResult:
+    tracer = Tracer(table.io_stats)
+
     def run():
-        result = build_rf_vertical(table, method, split_config, rf_config)
+        result = build_rf_vertical(table, method, split_config, rf_config, tracer)
         return result.tree, {"passes": float(result.report.total_passes)}
 
-    return _measure("RF-Vertical", spec, table, run)
+    measured = _measure("RF-Vertical", spec, table, run)
+    measured.trace = tracer.report().phase_summary()
+    return measured
 
 
 def run_reference(
@@ -223,14 +239,21 @@ def run_reference(
 ) -> tuple[RunResult, DecisionTree]:
     """In-memory reference build (loads the table; one scan charged)."""
     holder: dict[str, DecisionTree] = {}
+    tracer = Tracer(table.io_stats)
 
     def run():
-        family = table.read_all()
-        tree = build_reference_tree(family, table.schema, method, split_config)
+        with tracer.span("reference"):
+            with tracer.span("load"):
+                family = table.read_all()
+            with tracer.span("grow"):
+                tree = build_reference_tree(
+                    family, table.schema, method, split_config
+                )
         holder["tree"] = tree
         return tree, {}
 
     result = _measure("Reference", spec, table, run)
+    result.trace = tracer.report().phase_summary()
     return result, holder["tree"]
 
 

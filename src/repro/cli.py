@@ -20,6 +20,7 @@ from .config import PARALLEL_BACKENDS, BoatConfig, SplitConfig
 from .core import boat_build
 from .datagen import AgrawalConfig, AgrawalGenerator
 from .exceptions import ReproError
+from .observability import NULL_TRACER, Tracer, format_trace, write_jsonl
 from .splits import ImpuritySplitSelection, QuestSplitSelection
 from .storage import DiskTable, IOStats
 from .tree import render_tree, tree_from_json, tree_summary, tree_to_dot, tree_to_json
@@ -54,16 +55,24 @@ def _cmd_build(args: argparse.Namespace) -> int:
         n_workers=args.workers,
         parallel_backend=args.parallel_backend,
     )
+    tracer = Tracer(io) if args.trace is not None else NULL_TRACER
     if args.method == "quest":
         from .core import quest_boat_build
 
-        result = quest_boat_build(
-            table, QuestSplitSelection(), split_config, boat_config
-        )
+        # The QUEST driver is not phase-instrumented yet; one umbrella
+        # span still captures the run's totals.
+        with tracer.span("build", method="quest"):
+            result = quest_boat_build(
+                table, QuestSplitSelection(), split_config, boat_config
+            )
         tree = result.tree
     else:
         result = boat_build(
-            table, ImpuritySplitSelection(args.method), split_config, boat_config
+            table,
+            ImpuritySplitSelection(args.method),
+            split_config,
+            boat_config,
+            tracer=tracer,
         )
         tree = result.tree
     with open(args.out, "w", encoding="utf-8") as fh:
@@ -71,6 +80,14 @@ def _cmd_build(args: argparse.Namespace) -> int:
     print(tree_summary(tree))
     print(f"I/O: {io}")
     print(f"tree written to {args.out}")
+    if args.trace is not None:
+        report = tracer.report()
+        if args.trace == "-":
+            print(format_trace(report))
+        else:
+            write_jsonl(report, args.trace)
+            print(f"trace ({report.total('full_scans')} full scans) "
+                  f"written to {args.trace}")
     return 0
 
 
@@ -148,6 +165,15 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         choices=list(PARALLEL_BACKENDS),
         help="execution backend; 'auto' picks a process pool when workers > 1",
+    )
+    build.add_argument(
+        "--trace",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="record a phase trace; with PATH write spans as JSONL, "
+        "without print the span tree to stdout",
     )
     build.set_defaults(fn=_cmd_build)
 

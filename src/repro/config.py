@@ -96,6 +96,12 @@ class BoatConfig:
             ``"process"``, ``"thread"``, or ``"serial"``.  Pools that fail
             to start degrade to serial execution; see
             :class:`repro.parallel.WorkerPool`.
+        trace: record a phase-scoped trace of the build.  When no tracer
+            is passed to :func:`repro.core.boat_build` explicitly, this
+            makes the driver create one and return its
+            :class:`~repro.observability.TraceReport` on the build report.
+            Off by default: the disabled path is a no-op object with no
+            measurable cost on the scan path.
     """
 
     sample_size: int = 20000
@@ -110,6 +116,7 @@ class BoatConfig:
     batch_rows: int = DEFAULT_BATCH_ROWS
     n_workers: int = 1
     parallel_backend: str = "auto"
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.sample_size < 1:

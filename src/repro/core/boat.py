@@ -6,7 +6,16 @@ the tree the reference builder would grow on the full data — in two scans
 when a coarse criterion is refuted.
 
 The returned :class:`BoatReport` carries per-phase wall-clock times and
-I/O-counter deltas so benchmarks can report both views of cost.
+I/O-counter deltas so benchmarks can report both views of cost.  Pass a
+:class:`~repro.observability.Tracer` (or set ``BoatConfig.trace``) to
+additionally record a structured span tree — ``sample`` → ``bootstrap``
+→ ``coarse`` → ``cleanup`` → ``finalize`` — whose counters make the
+two-scan claim machine-checkable (see ``docs/OBSERVABILITY.md``).
+
+Failure hygiene: any error escaping the build (including injected I/O
+faults mid-scan) releases every held/family store the skeleton created,
+so no spill files survive a failed construction, and raw :class:`OSError`
+from the storage layer surfaces as a :class:`~repro.exceptions.StorageError`.
 """
 
 from __future__ import annotations
@@ -17,6 +26,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..config import BoatConfig, SplitConfig
+from ..exceptions import ReproError, StorageError
+from ..observability import NULL_TRACER, NullTracer, TraceReport, Tracer
 from ..parallel import WorkerPool
 from ..splits.methods import ImpuritySplitSelection
 from ..storage import IOStats, Schema, Table, sample_table
@@ -41,6 +52,7 @@ class BoatReport:
         io: per-phase I/O deltas (only phases that touched storage).
         workers: resolved worker count of the execution pool.
         parallel_backend: resolved backend ("serial" when workers == 1).
+        trace: the phase-span trace, when tracing was enabled.
     """
 
     mode: str
@@ -51,6 +63,7 @@ class BoatReport:
     io: dict[str, IOStats] = field(default_factory=dict)
     workers: int = 1
     parallel_backend: str = "serial"
+    trace: TraceReport | None = None
 
     @property
     def total_seconds(self) -> float:
@@ -71,6 +84,7 @@ def make_build_pool(
     method: ImpuritySplitSelection,
     split_config: SplitConfig,
     boat_config: BoatConfig,
+    tracer: Tracer | NullTracer | None = None,
 ) -> WorkerPool:
     """The worker pool for one BOAT build, carrying the shared build context.
 
@@ -85,7 +99,18 @@ def make_build_pool(
         boat_config.parallel_backend,
         initializer=init_build_context,
         initargs=(sample, schema, method, split_config, subsample),
+        tracer=tracer,
     )
+
+
+def _resolve_tracer(
+    tracer: Tracer | NullTracer | None, boat_config: BoatConfig, io: IOStats | None
+) -> Tracer | NullTracer:
+    if tracer is not None:
+        return tracer
+    if boat_config.trace:
+        return Tracer(io)
+    return NULL_TRACER
 
 
 def boat_build(
@@ -94,6 +119,7 @@ def boat_build(
     split_config: SplitConfig | None = None,
     boat_config: BoatConfig | None = None,
     spill_dir: str | None = None,
+    tracer: Tracer | NullTracer | None = None,
 ) -> BoatResult:
     """Build the exact reference tree for ``table`` with the BOAT algorithm.
 
@@ -106,11 +132,15 @@ def boat_build(
         boat_config: BOAT knobs (sample size, bootstraps, buckets...) —
             affect speed and rebuild frequency, never the output.
         spill_dir: directory for temporary held/family spill files.
+        tracer: phase tracer; defaults to a fresh one over the table's
+            I/O stats when ``boat_config.trace`` is set, else disabled.
+            Tracing never changes the output tree.
     """
     split_config = split_config or SplitConfig()
     boat_config = boat_config or BoatConfig()
     rng = np.random.default_rng(boat_config.seed)
     io = table.io_stats
+    tracer = _resolve_tracer(tracer, boat_config, io)
     report = BoatReport(mode="boat", table_size=len(table))
 
     def phase(name: str, start: float, io_before: IOStats | None) -> None:
@@ -118,53 +148,98 @@ def boat_build(
         if io is not None and io_before is not None:
             report.io[name] = io.delta_since(io_before)
 
-    # -- sampling phase ------------------------------------------------------
-    t0 = time.perf_counter()
-    io_before = io.snapshot() if io is not None else None
-    sample = sample_table(table, boat_config.sample_size, rng, boat_config.batch_rows)
-    if len(sample) >= len(table):
-        # D fits in the sample: the paper's in-memory switch applies at the
-        # root; run the reference builder directly.
-        tree = build_reference_tree(sample, table.schema, method, split_config)
-        phase("in_memory_build", t0, io_before)
-        report.mode = "in-memory"
-        return BoatResult(tree=tree, report=report)
-    with make_build_pool(
-        sample, table.schema, method, split_config, boat_config
-    ) as pool:
-        result = sampling_phase(
-            sample,
-            table.schema,
-            method,
-            split_config,
-            boat_config,
-            len(table),
-            rng,
-            spill_dir,
-            io,
-            pool=pool,
-        )
-        report.sampling = result.report
-        phase("sampling", t0, io_before)
+    result = None
+    try:
+        with tracer.span("boat_build", table_size=len(table)):
+            # -- sampling phase ----------------------------------------------
+            t0 = time.perf_counter()
+            io_before = io.snapshot() if io is not None else None
+            with tracer.span(
+                "sample", requested_rows=boat_config.sample_size
+            ) as sample_span:
+                sample = sample_table(
+                    table, boat_config.sample_size, rng, boat_config.batch_rows
+                )
+                sample_span.set(sample_rows=len(sample))
+            if len(sample) >= len(table):
+                # D fits in the sample: the paper's in-memory switch applies
+                # at the root; run the reference builder directly.
+                with tracer.span("in_memory_build"):
+                    tree = build_reference_tree(
+                        sample, table.schema, method, split_config
+                    )
+                phase("in_memory_build", t0, io_before)
+                report.mode = "in-memory"
+                if tracer.enabled:
+                    report.trace = tracer.report()
+                return BoatResult(tree=tree, report=report)
+            with make_build_pool(
+                sample, table.schema, method, split_config, boat_config, tracer
+            ) as pool:
+                result = sampling_phase(
+                    sample,
+                    table.schema,
+                    method,
+                    split_config,
+                    boat_config,
+                    len(table),
+                    rng,
+                    spill_dir,
+                    io,
+                    pool=pool,
+                    tracer=tracer,
+                )
+                report.sampling = result.report
+                phase("sampling", t0, io_before)
 
-        # -- cleanup scan ---------------------------------------------------------
-        t0 = time.perf_counter()
-        io_before = io.snapshot() if io is not None else None
-        cleanup_scan(result.root, table, table.schema, boat_config.batch_rows, pool)
-        phase("cleanup_scan", t0, io_before)
+                # -- cleanup scan --------------------------------------------
+                t0 = time.perf_counter()
+                io_before = io.snapshot() if io is not None else None
+                cleanup_scan(
+                    result.root,
+                    table,
+                    table.schema,
+                    boat_config.batch_rows,
+                    pool,
+                    tracer=tracer,
+                )
+                phase("cleanup_scan", t0, io_before)
 
-        # -- finalization ------------------------------------------------------------
-        t0 = time.perf_counter()
-        io_before = io.snapshot() if io is not None else None
-        prefetch = prefetch_frontier_subtrees(
-            result.root, table.schema, method, split_config, pool
-        )
-        tree, finalize_report = finalize_tree(
-            result.root, table.schema, method, split_config, prefetch=prefetch
-        )
-        report.finalize = finalize_report
-        phase("finalize", t0, io_before)
-        report.workers = pool.n_workers
-        report.parallel_backend = pool.backend
-    result.root.release()
+                # -- finalization --------------------------------------------
+                t0 = time.perf_counter()
+                io_before = io.snapshot() if io is not None else None
+                with tracer.span("finalize") as finalize_span:
+                    prefetch = prefetch_frontier_subtrees(
+                        result.root, table.schema, method, split_config, pool
+                    )
+                    tree, finalize_report = finalize_tree(
+                        result.root,
+                        table.schema,
+                        method,
+                        split_config,
+                        prefetch=prefetch,
+                    )
+                    finalize_span.set(
+                        confirmed_splits=finalize_report.confirmed_splits,
+                        frontier_completions=finalize_report.frontier_completions,
+                        rebuilds=finalize_report.rebuilds,
+                        tree_nodes=tree.n_nodes,
+                    )
+                report.finalize = finalize_report
+                phase("finalize", t0, io_before)
+                report.workers = pool.n_workers
+                report.parallel_backend = pool.backend
+    except ReproError:
+        raise
+    except OSError as exc:
+        # A device/file error mid-build must not surface as a raw OSError
+        # with a half-built skeleton behind it.
+        raise StorageError(f"I/O failure during BOAT construction: {exc}") from exc
+    finally:
+        # Success or failure, the skeleton's held/family stores (and any
+        # spill files they own) are torn down before we return.
+        if result is not None:
+            result.root.release()
+    if tracer.enabled:
+        report.trace = tracer.report()
     return BoatResult(tree=tree, report=report)

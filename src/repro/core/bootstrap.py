@@ -26,6 +26,7 @@ import numpy as np
 
 from ..config import BoatConfig, SplitConfig
 from ..exceptions import SplitSelectionError
+from ..observability import NULL_TRACER, NullTracer, Tracer
 from ..parallel import WorkerPool, chunked
 from ..splits.base import CategoricalSplit, NumericSplit
 from ..splits.categorical import best_categorical_split
@@ -346,6 +347,7 @@ def sampling_phase(
     spill_dir: str | None = None,
     io_stats: IOStats | None = None,
     pool: WorkerPool | None = None,
+    tracer: Tracer | NullTracer = NULL_TRACER,
 ) -> SamplingResult:
     """Run the sampling phase: bootstrap trees → skeleton with coarse criteria.
 
@@ -358,6 +360,8 @@ def sampling_phase(
             concurrently (see :func:`build_bootstrap_trees` for the
             initializer contract).  The output is identical with or
             without it.
+        tracer: records the ``bootstrap`` (tree growing) and ``coarse``
+            (skeleton intersection) spans.
     """
     if not isinstance(method, ImpuritySplitSelection):
         raise SplitSelectionError(
@@ -365,9 +369,14 @@ def sampling_phase(
         )
     if len(sample) == 0:
         raise SplitSelectionError("cannot run the sampling phase on an empty sample")
-    trees = build_bootstrap_trees(
-        sample, schema, method, split_config, boat_config, rng, pool
-    )
+    with tracer.span(
+        "bootstrap",
+        repetitions=boat_config.bootstrap_repetitions,
+        sample_rows=len(sample),
+    ):
+        trees = build_bootstrap_trees(
+            sample, schema, method, split_config, boat_config, rng, pool
+        )
     builder = _SkeletonBuilder(
         schema,
         method,
@@ -378,5 +387,12 @@ def sampling_phase(
         spill_dir,
         io_stats,
     )
-    root = builder.build([t.root for t in trees], sample, 0)
+    with tracer.span("coarse") as coarse_span:
+        root = builder.build([t.root for t in trees], sample, 0)
+        coarse_span.set(
+            skeleton_nodes=builder.report.skeleton_nodes,
+            frontier_nodes=builder.report.frontier_nodes,
+            attribute_disagreements=builder.report.attribute_disagreements,
+            subset_disagreements=builder.report.subset_disagreements,
+        )
     return SamplingResult(root=root, report=builder.report)

@@ -17,11 +17,21 @@ For a :class:`~repro.storage.DiskTable` the batches themselves are read
 inside the workers (``read_slice`` opens a private file handle per call),
 each charging a private :class:`~repro.storage.IOStats` that is merged
 into the experiment's shared instance in deterministic batch order.
+
+Tracing: :func:`cleanup_scan` opens its own ``cleanup`` span (so every
+caller — the static driver, the incremental rebuild — gets the same
+attribution) and, on the worker-read path, one detached child span per
+worker thread recording that worker's private I/O.  Worker spans are a
+*breakdown* of the parent's counters, not additive to them: the private
+counters are merged into the shared instance the parent span diffs.
 """
 
 from __future__ import annotations
 
+import threading
+
 from ..config import DEFAULT_BATCH_ROWS
+from ..observability import NULL_TRACER, NullTracer, Tracer
 from ..parallel import WorkerPool
 from ..storage import DiskTable, IOStats, Schema, Table
 from .state import BoatNode, apply_batch_delta, compute_batch_delta, stream_batch
@@ -33,17 +43,21 @@ def cleanup_scan(
     schema: Schema,
     batch_rows: int = DEFAULT_BATCH_ROWS,
     pool: WorkerPool | None = None,
+    tracer: Tracer | NullTracer = NULL_TRACER,
 ) -> None:
     """Stream the whole table down the skeleton, in parallel when possible."""
-    if pool is None or not pool.is_parallel:
-        for batch in table.scan(batch_rows):
-            stream_batch(root, batch, schema, sign=1)
-        return
-    if pool.backend == "thread":
-        _parallel_scan(root, table, schema, batch_rows, pool)
-    else:
-        with WorkerPool(pool.n_workers, "thread") as thread_pool:
-            _parallel_scan(root, table, schema, batch_rows, thread_pool)
+    with tracer.span("cleanup", batch_rows=batch_rows) as span:
+        if pool is None or not pool.is_parallel:
+            span.set(workers=1)
+            for batch in table.scan(batch_rows):
+                stream_batch(root, batch, schema, sign=1)
+            return
+        span.set(workers=pool.n_workers)
+        if pool.backend == "thread":
+            _parallel_scan(root, table, schema, batch_rows, pool, tracer)
+        else:
+            with WorkerPool(pool.n_workers, "thread", tracer=tracer) as thread_pool:
+                _parallel_scan(root, table, schema, batch_rows, thread_pool, tracer)
 
 
 def _parallel_scan(
@@ -52,6 +66,7 @@ def _parallel_scan(
     schema: Schema,
     batch_rows: int,
     pool: WorkerPool,
+    tracer: Tracer | NullTracer,
 ) -> None:
     io = table.io_stats
     if isinstance(table, DiskTable):
@@ -60,15 +75,30 @@ def _parallel_scan(
             (start, min(start + batch_rows, n)) for start in range(0, n, batch_rows)
         ]
 
-        def scan_range(bounds: tuple[int, int]) -> tuple[list, IOStats]:
+        def scan_range(bounds: tuple[int, int]) -> tuple[list, IOStats, str]:
             worker_io = IOStats()
             batch = table.read_slice(bounds[0], bounds[1], io_stats=worker_io)
-            return compute_batch_delta(root, batch, schema), worker_io
+            deltas = compute_batch_delta(root, batch, schema)
+            return deltas, worker_io, threading.current_thread().name
 
-        for deltas, worker_io in pool.imap(scan_range, ranges):
+        # One detached span per worker thread, numbered in first-result
+        # order (batch results arrive in scan order, so numbering is
+        # deterministic for a given schedule; counters are deterministic
+        # regardless because each batch is charged exactly once).
+        worker_spans: dict[str, object] = {}
+        for deltas, worker_io, worker_name in pool.imap(scan_range, ranges):
             apply_batch_delta(deltas)
             if io is not None:
                 io.merge(worker_io)
+            if tracer.enabled:
+                span = worker_spans.get(worker_name)
+                if span is None:
+                    span = tracer.worker_span(f"worker-{len(worker_spans)}")
+                    worker_spans[worker_name] = span
+                span.add_io(worker_io)
+                span.bump("batches")
+        for span in worker_spans.values():
+            tracer.attach(span)
         if io is not None:
             io.record_full_scan()
         return

@@ -31,6 +31,7 @@ import numpy as np
 
 from ..config import BoatConfig, SplitConfig
 from ..exceptions import TreeStructureError
+from ..observability import NULL_TRACER, NullTracer, Tracer
 from ..splits.methods import ImpuritySplitSelection
 from ..storage import IOStats, Schema, Table
 from ..tree import DecisionTree
@@ -63,6 +64,7 @@ class IncrementalBoat:
         boat_config: BoatConfig | None = None,
         spill_dir: str | None = None,
         io_stats: IOStats | None = None,
+        tracer: Tracer | NullTracer | None = None,
     ):
         self._schema = schema
         self._method = method
@@ -70,6 +72,11 @@ class IncrementalBoat:
         self._config = boat_config or BoatConfig()
         self._spill_dir = spill_dir
         self._io = io_stats
+        if tracer is None:
+            tracer = Tracer(io_stats) if self._config.trace else NULL_TRACER
+        #: The maintainer's tracer: one ``incremental_build`` span for the
+        #: initial construction, one ``incremental`` span per update.
+        self.tracer = tracer
         self._ids = itertools.count()
         self._node_ids = itertools.count(1_000_000)
         self._rng = np.random.default_rng(self._config.seed)
@@ -88,6 +95,7 @@ class IncrementalBoat:
         split_config: SplitConfig | None = None,
         boat_config: BoatConfig | None = None,
         spill_dir: str | None = None,
+        tracer: Tracer | NullTracer | None = None,
     ) -> "IncrementalBoat":
         """Initial construction from a training table (two scans)."""
         maintainer = cls(
@@ -97,6 +105,7 @@ class IncrementalBoat:
             boat_config,
             spill_dir,
             table.io_stats,
+            tracer=tracer,
         )
         maintainer._initial_build(table)
         return maintainer
@@ -114,11 +123,12 @@ class IncrementalBoat:
         """Start a maintained tree from an in-memory first chunk."""
         maintainer = cls(schema, method, split_config, boat_config, spill_dir)
         start = time.perf_counter()
-        # _grow_skeleton both builds the skeleton and streams the chunk
-        # through it; streaming again here would double-count every tuple.
-        maintainer._skeleton = maintainer._grow_skeleton(chunk, depth=0)
-        maintainer._n_rows = len(chunk)
-        report = maintainer._finalize()
+        with maintainer.tracer.span("incremental_build", table_size=len(chunk)):
+            # _grow_skeleton both builds the skeleton and streams the chunk
+            # through it; streaming again here would double-count every tuple.
+            maintainer._skeleton = maintainer._grow_skeleton(chunk, depth=0)
+            maintainer._n_rows = len(chunk)
+            report = maintainer._finalize()
         maintainer._record("build", len(chunk), start, report)
         return maintainer
 
@@ -126,28 +136,35 @@ class IncrementalBoat:
         from ..storage import sample_table  # local import to avoid cycle noise
 
         start = time.perf_counter()
-        sample = sample_table(
-            table, self._config.sample_size, self._rng, self._config.batch_rows
-        )
-        if len(sample) >= len(table):
-            self._skeleton = self._frontier_node(depth=0)
-        else:
-            result = sampling_phase(
-                sample,
-                self._schema,
-                self._method,
-                self._split_config,
-                self._config,
-                len(table),
-                self._rng,
-                self._spill_dir,
-                self._io,
-            )
-            self._skeleton = result.root
-        for batch in table.scan(self._config.batch_rows):
-            stream_batch(self._skeleton, batch, self._schema, sign=1)
-        self._n_rows = len(table)
-        report = self._finalize()
+        with self.tracer.span("incremental_build", table_size=len(table)):
+            with self.tracer.span(
+                "sample", requested_rows=self._config.sample_size
+            ) as sample_span:
+                sample = sample_table(
+                    table, self._config.sample_size, self._rng, self._config.batch_rows
+                )
+                sample_span.set(sample_rows=len(sample))
+            if len(sample) >= len(table):
+                self._skeleton = self._frontier_node(depth=0)
+            else:
+                result = sampling_phase(
+                    sample,
+                    self._schema,
+                    self._method,
+                    self._split_config,
+                    self._config,
+                    len(table),
+                    self._rng,
+                    self._spill_dir,
+                    self._io,
+                    tracer=self.tracer,
+                )
+                self._skeleton = result.root
+            with self.tracer.span("cleanup", batch_rows=self._config.batch_rows):
+                for batch in table.scan(self._config.batch_rows):
+                    stream_batch(self._skeleton, batch, self._schema, sign=1)
+            self._n_rows = len(table)
+            report = self._finalize()
         self._record("build", len(table), start, report)
 
     # -- updates --------------------------------------------------------------
@@ -165,17 +182,20 @@ class IncrementalBoat:
             raise TreeStructureError("IncrementalBoat has not been built yet")
         self._schema.validate_batch(chunk)
         start = time.perf_counter()
-        for offset in range(0, len(chunk), self._config.batch_rows):
-            stream_batch(
-                self._skeleton,
-                chunk[offset : offset + self._config.batch_rows],
-                self._schema,
-                sign=sign,
-            )
-        self._n_rows += sign * len(chunk)
-        if sign > 0:
-            self._deepen_frontiers()
-        report = self._finalize()
+        with self.tracer.span(
+            "incremental", operation=operation, chunk_size=len(chunk)
+        ):
+            for offset in range(0, len(chunk), self._config.batch_rows):
+                stream_batch(
+                    self._skeleton,
+                    chunk[offset : offset + self._config.batch_rows],
+                    self._schema,
+                    sign=sign,
+                )
+            self._n_rows += sign * len(chunk)
+            if sign > 0:
+                self._deepen_frontiers()
+            report = self._finalize()
         return self._record(operation, len(chunk), start, report)
 
     def _deepen_frontiers(self) -> None:
@@ -228,8 +248,14 @@ class IncrementalBoat:
             skeleton_rebuild=self._grow_skeleton,
             id_counter=self._ids,
         )
-        self._tree = finalizer.run(self._skeleton)
-        self._tree.validate()
+        with self.tracer.span("finalize") as span:
+            self._tree = finalizer.run(self._skeleton)
+            self._tree.validate()
+            span.set(
+                confirmed_splits=finalizer.report.confirmed_splits,
+                frontier_completions=finalizer.report.frontier_completions,
+                rebuilds=finalizer.report.rebuilds,
+            )
         if finalizer.new_root is not None:
             self._skeleton = finalizer.new_root
         return finalizer.report
@@ -292,6 +318,7 @@ class IncrementalBoat:
                 self._rng,
                 self._spill_dir,
                 self._io,
+                tracer=self.tracer,
             )
             node = result.root
             for sub in node.nodes():

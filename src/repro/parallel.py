@@ -93,6 +93,10 @@ class WorkerPool:
             once instead of once per task.  For the thread and serial
             backends the initializer runs once in the parent — workers
             share its address space.
+        tracer: optional :class:`~repro.observability.Tracer`; the pool
+            records a ``pool_degraded`` event on it when a pool failure
+            demotes execution to serial, so a trace explains why a
+            "parallel" run ran at one worker.
 
     The underlying executor is created lazily on first use, so building a
     pool that ends up unused costs nothing.  Use as a context manager (or
@@ -105,11 +109,13 @@ class WorkerPool:
         backend: str = "auto",
         initializer: Callable[..., None] | None = None,
         initargs: tuple = (),
+        tracer: "object | None" = None,
     ):
         self.n_workers = effective_workers(n_workers)
         self.backend = resolve_backend(backend, n_workers)
         self._initializer = initializer
         self._initargs = initargs
+        self._tracer = tracer
         self._executor: Executor | None = None
         self._degraded = False
         self._locally_initialized = False
@@ -170,6 +176,10 @@ class WorkerPool:
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
+        if self._tracer is not None:
+            self._tracer.event(
+                "pool_degraded", backend=self.backend, n_workers=self.n_workers
+            )
 
     # -- execution ------------------------------------------------------------
 

@@ -33,6 +33,7 @@ import numpy as np
 
 from ..config import RainForestConfig, SplitConfig
 from ..core.finalize import config_at_depth
+from ..observability import NULL_TRACER, NullTracer, Tracer
 from ..splits.base import CategoricalSplit, NumericSplit, Split
 from ..splits.categorical import best_categorical_split_from_counts
 from ..splits.methods import ImpuritySplitSelection
@@ -182,6 +183,7 @@ class LevelwiseBuilder:
         rf_config: RainForestConfig,
         policy: _Policy,
         algorithm_name: str,
+        tracer: Tracer | NullTracer = NULL_TRACER,
     ):
         self._table = table
         self._schema = table.schema
@@ -191,6 +193,7 @@ class LevelwiseBuilder:
         self._rf = rf_config
         self._policy = policy
         self._ids = itertools.count()
+        self._tracer = tracer
         self._report = RainForestReport(
             algorithm=algorithm_name, table_size=len(table)
         )
@@ -204,9 +207,12 @@ class LevelwiseBuilder:
         tree = DecisionTree(self._schema, root)
         frontier = [_Task(root, len(self._table), None)]
         level = 0
-        while frontier:
-            frontier = self._process_level(tree, frontier, level)
-            level += 1
+        with self._tracer.span(
+            self._report.algorithm, table_size=len(self._table)
+        ):
+            while frontier:
+                frontier = self._process_level(tree, frontier, level)
+                level += 1
         tree.validate()
         self._report.wall_seconds = time.perf_counter() - start
         if io is not None and io_before is not None:
@@ -218,51 +224,58 @@ class LevelwiseBuilder:
     def _process_level(
         self, tree: DecisionTree, frontier: list[_Task], level: int
     ) -> list[_Task]:
-        scan_tasks: list[_Task] = []
-        inmemory = 0
-        for task in frontier:
-            if self._certain_leaf(task):
-                continue
-            if (
-                0 < self._rf.inmemory_threshold
-                and task.family_size <= self._rf.inmemory_threshold
-            ):
-                task.collect = True
-                task.store = TupleStore(
-                    self._schema, io_stats=self._table.io_stats
-                )
-                inmemory += 1
-            scan_tasks.append(task)
-        if not scan_tasks:
-            return []
-        plan = self._policy.plan(
-            [task for task in scan_tasks if not task.collect]
-        )
-        if not plan:
-            plan = [[]]
-        for pass_index, units in enumerate(plan):
-            # Collectors ride along on the first pass only.
-            collectors = (
-                [task for task in scan_tasks if task.collect]
-                if pass_index == 0
-                else []
+        with self._tracer.span(f"level-{level}") as level_span:
+            scan_tasks: list[_Task] = []
+            inmemory = 0
+            for task in frontier:
+                if self._certain_leaf(task):
+                    continue
+                if (
+                    0 < self._rf.inmemory_threshold
+                    and task.family_size <= self._rf.inmemory_threshold
+                ):
+                    task.collect = True
+                    task.store = TupleStore(
+                        self._schema, io_stats=self._table.io_stats
+                    )
+                    inmemory += 1
+                scan_tasks.append(task)
+            if not scan_tasks:
+                level_span.set(frontier_nodes=len(frontier), passes=0)
+                return []
+            plan = self._policy.plan(
+                [task for task in scan_tasks if not task.collect]
             )
-            self._scan_pass(tree, units, collectors)
-        self._report.levels.append(
-            LevelReport(
-                level=level,
+            if not plan:
+                plan = [[]]
+            for pass_index, units in enumerate(plan):
+                # Collectors ride along on the first pass only.
+                collectors = (
+                    [task for task in scan_tasks if task.collect]
+                    if pass_index == 0
+                    else []
+                )
+                self._scan_pass(tree, units, collectors)
+            self._report.levels.append(
+                LevelReport(
+                    level=level,
+                    frontier_nodes=len(frontier),
+                    passes=len(plan),
+                    inmemory_completions=inmemory,
+                )
+            )
+            level_span.set(
                 frontier_nodes=len(frontier),
                 passes=len(plan),
                 inmemory_completions=inmemory,
             )
-        )
-        next_frontier: list[_Task] = []
-        for task in scan_tasks:
-            if task.collect:
-                self._finish_inmemory(task)
-            else:
-                next_frontier.extend(self._apply_split(tree, task))
-        return next_frontier
+            next_frontier: list[_Task] = []
+            for task in scan_tasks:
+                if task.collect:
+                    self._finish_inmemory(task)
+                else:
+                    next_frontier.extend(self._apply_split(tree, task))
+            return next_frontier
 
     def _certain_leaf(self, task: _Task) -> bool:
         if task.class_counts is None:
@@ -468,13 +481,14 @@ def build_rf_hybrid(
     method: ImpuritySplitSelection,
     split_config: SplitConfig | None = None,
     rf_config: RainForestConfig | None = None,
+    tracer: Tracer | NullTracer = NULL_TRACER,
 ) -> RainForestResult:
     """RF-Hybrid: level-wise construction scheduling whole AVC-groups."""
     split_config = split_config or SplitConfig()
     rf_config = rf_config or RainForestConfig()
     policy = HybridPolicy(table.schema, rf_config.avc_buffer_entries)
     return LevelwiseBuilder(
-        table, method, split_config, rf_config, policy, HybridPolicy.name
+        table, method, split_config, rf_config, policy, HybridPolicy.name, tracer
     ).build()
 
 
@@ -483,11 +497,12 @@ def build_rf_vertical(
     method: ImpuritySplitSelection,
     split_config: SplitConfig | None = None,
     rf_config: RainForestConfig | None = None,
+    tracer: Tracer | NullTracer = NULL_TRACER,
 ) -> RainForestResult:
     """RF-Vertical: level-wise construction scheduling single AVC-sets."""
     split_config = split_config or SplitConfig()
     rf_config = rf_config or RainForestConfig()
     policy = VerticalPolicy(table.schema, rf_config.avc_buffer_entries)
     return LevelwiseBuilder(
-        table, method, split_config, rf_config, policy, VerticalPolicy.name
+        table, method, split_config, rf_config, policy, VerticalPolicy.name, tracer
     ).build()

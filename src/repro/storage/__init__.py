@@ -12,6 +12,7 @@ from .schema import CLASS_COLUMN, Attribute, AttributeKind, Schema
 from .spill import SpillFile, TupleStore
 from .table import DiskTable, MemoryTable, Table, read_json_sidecar, write_json_sidecar
 from .csv_io import CategoryEncoder, infer_schema, read_csv, write_csv
+from .testing import FAULT_KINDS, FaultyTable
 from .views import Dimension, StarJoinView, materialize_view
 
 __all__ = [
@@ -21,6 +22,8 @@ __all__ = [
     "CategoryEncoder",
     "Dimension",
     "DiskTable",
+    "FAULT_KINDS",
+    "FaultyTable",
     "IOStats",
     "MemoryTable",
     "Schema",

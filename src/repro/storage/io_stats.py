@@ -80,8 +80,18 @@ class IOStats:
             )
 
     def delta_since(self, earlier: "IOStats") -> "IOStats":
-        """Counters accumulated since ``earlier`` (a prior snapshot)."""
+        """Counters accumulated since ``earlier`` (a prior snapshot).
+
+        Both sides are snapshotted under their own locks: ``earlier`` may
+        be a *live* instance (e.g. a worker's private counters still being
+        charged), and reading its six fields without the lock could
+        interleave with a concurrent ``record_read`` and yield a torn
+        delta — tuples from before the update, bytes from after.  Span
+        boundaries take deltas exactly while workers run, so this path is
+        the one that would hit it.
+        """
         current = self.snapshot()
+        earlier = earlier.snapshot()
         return IOStats(
             full_scans=current.full_scans - earlier.full_scans,
             tuples_read=current.tuples_read - earlier.tuples_read,
@@ -129,10 +139,17 @@ class IOStats:
             setattr(self, name, state[name])
         self._lock = threading.Lock()
 
+    def as_dict(self) -> dict[str, int]:
+        """An atomically consistent ``{counter: value}`` mapping."""
+        snap = self.snapshot()
+        return {name: getattr(snap, name) for name in _COUNTERS}
+
     def __str__(self) -> str:
+        # One consistent snapshot, not six racy field reads.
+        snap = self.snapshot()
         return (
-            f"scans={self.full_scans} "
-            f"read={self.tuples_read}t/{self.bytes_read}B "
-            f"written={self.tuples_written}t/{self.bytes_written}B "
-            f"spills={self.spill_files}"
+            f"scans={snap.full_scans} "
+            f"read={snap.tuples_read}t/{snap.bytes_read}B "
+            f"written={snap.tuples_written}t/{snap.bytes_written}B "
+            f"spills={snap.spill_files}"
         )

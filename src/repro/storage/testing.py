@@ -1,0 +1,120 @@
+"""Fault-injection wrappers for storage-failure tests.
+
+A scalable build is judged by what it leaves behind when the device
+fails mid-scan: the fault suites wrap a real table in a
+:class:`FaultyTable` that raises (or corrupts) at a configured scan
+offset, then assert that the drivers surface a clean
+:class:`~repro.exceptions.ReproError` and release every spill file they
+created.  The wrapper lives in the library (not the test tree) so
+downstream experiments can reuse it to rehearse their own failure
+handling.
+
+Three fault kinds model the failures a real scan can hit:
+
+* ``"ioerror"`` — the device dies: an :class:`OSError` (``EIO``), the
+  exception an actual failed ``read(2)`` raises.  Drivers are expected
+  to translate it into a :class:`~repro.exceptions.StorageError`.
+* ``"short_read"`` — the file ends early: the
+  :class:`~repro.exceptions.StorageError` a :class:`DiskTable` raises
+  itself when a read returns fewer bytes than the record count promised.
+* ``"corrupt_row"`` — a record decodes to garbage: the batch's class
+  label is driven out of the schema's range and schema validation
+  raises :class:`~repro.exceptions.SchemaError`, modelling a reader
+  that checksums what it decodes.
+
+Which scan trips is configurable (``fail_on_scan``): for BOAT, scan 0
+is the sample draw and scan 1 the cleanup scan, so both failure points
+of the two-scan algorithm can be rehearsed separately.
+"""
+
+from __future__ import annotations
+
+import errno
+from typing import Iterator
+
+import numpy as np
+
+from ..config import DEFAULT_BATCH_ROWS
+from ..exceptions import StorageError
+from .schema import CLASS_COLUMN
+from .table import Table
+
+#: Valid values for FaultyTable's ``kind``.
+FAULT_KINDS = ("ioerror", "short_read", "corrupt_row")
+
+
+class FaultyTable(Table):
+    """A table wrapper that injects one storage fault at a scan offset.
+
+    Args:
+        inner: the real table; all reads come from it, and its
+            ``io_stats`` keeps being charged normally up to the fault.
+        kind: one of :data:`FAULT_KINDS`.
+        fail_on_scan: zero-based index of the scan that trips (counted
+            from the wrapper's construction; earlier scans run clean).
+        fail_at_row: row offset within the tripping scan at which the
+            fault fires — the batch containing this row never reaches
+            the caller intact.
+
+    The wrapper deliberately is *not* a :class:`DiskTable`, so BOAT's
+    cleanup scan takes the generic parent-iterated path and the fault
+    surfaces in the driving thread, exactly as a :class:`MemoryTable`
+    or view would deliver it.
+    """
+
+    def __init__(
+        self,
+        inner: Table,
+        kind: str = "ioerror",
+        fail_on_scan: int = 0,
+        fail_at_row: int = 0,
+    ):
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"kind must be one of {FAULT_KINDS}, got {kind!r}")
+        super().__init__(inner.schema, inner.io_stats)
+        self._inner = inner
+        self.kind = kind
+        self.fail_on_scan = fail_on_scan
+        self.fail_at_row = fail_at_row
+        #: Scans handed out so far (faulting or not) — lets tests assert
+        #: how far a driver got before dying.
+        self.scans_started = 0
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+    def append(self, batch: np.ndarray) -> None:
+        self._inner.append(batch)
+
+    def close(self) -> None:
+        self._inner.close()
+
+    def scan(self, batch_rows: int = DEFAULT_BATCH_ROWS) -> Iterator[np.ndarray]:
+        scan_index = self.scans_started
+        self.scans_started += 1
+        armed = scan_index == self.fail_on_scan
+        position = 0
+        for batch in self._inner.scan(batch_rows):
+            if armed and position + len(batch) > self.fail_at_row:
+                yield self._trip(batch, self.fail_at_row - position)
+            position += len(batch)
+            yield batch
+        if armed and position <= self.fail_at_row:
+            # The configured offset lies past the data: still trip, at
+            # end-of-scan, so a misconfigured test fails loudly instead
+            # of silently running clean.
+            yield self._trip(self._schema.empty(0), 0)
+
+    def _trip(self, batch: np.ndarray, row_in_batch: int) -> np.ndarray:
+        if self.kind == "ioerror":
+            raise OSError(errno.EIO, "injected device error mid-scan")
+        if self.kind == "short_read":
+            raise StorageError(
+                f"injected short read at scan row {self.fail_at_row}"
+            )
+        corrupted = batch.copy() if batch.size else self._schema.empty(1)
+        index = min(row_in_batch, len(corrupted) - 1)
+        corrupted[CLASS_COLUMN][index] = self._schema.n_classes + 7
+        # Raises SchemaError — the reader noticing the decoded garbage.
+        self._schema.validate_batch(corrupted)
+        raise AssertionError("corrupt label passed schema validation")

@@ -56,6 +56,23 @@ class TestIOStats:
         assert io.tuples_read == 0
         assert io.bytes_read == 0
 
+    def test_as_dict_lists_every_counter(self):
+        io = IOStats()
+        io.record_read(3, 24)
+        io.record_spill_file()
+        d = io.as_dict()
+        assert d["tuples_read"] == 3
+        assert d["bytes_read"] == 24
+        assert d["spill_files"] == 1
+        assert set(d) == {
+            "full_scans",
+            "tuples_read",
+            "tuples_written",
+            "bytes_read",
+            "bytes_written",
+            "spill_files",
+        }
+
     def test_str_mentions_counts(self):
         io = IOStats()
         io.record_read(3, 24)
@@ -124,6 +141,53 @@ class TestIOStatsThreadSafety:
         assert io.bytes_written == total * 4
         assert io.full_scans == total
         assert io.spill_files == total
+
+    def test_delta_since_live_earlier_is_not_torn(self):
+        """Regression: ``delta_since`` read the six fields of ``earlier``
+        without its lock, so a concurrent ``record_read`` between the
+        field reads produced a torn delta — exactly the case hit when a
+        span boundary computes a delta against a worker's still-live
+        counters.  Writers keep ``bytes == 8 * tuples`` invariant under
+        the lock; a torn read breaks the proportion."""
+        live = IOStats()
+        total = IOStats()
+        rounds = 4000
+        total.record_read(rounds, 8 * rounds)  # ceiling so deltas stay >= 0
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                live.record_read(1, 8)
+                if live.tuples_read >= rounds:
+                    break
+
+        torn = []
+
+        def reader():
+            while not stop.is_set():
+                delta = total.delta_since(live)
+                if delta.bytes_read != 8 * delta.tuples_read:
+                    torn.append((delta.tuples_read, delta.bytes_read))
+                    break
+                snap = live.snapshot()
+                if snap.bytes_read != 8 * snap.tuples_read:
+                    torn.append((snap.tuples_read, snap.bytes_read))
+                    break
+
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-6)
+        try:
+            threads = [threading.Thread(target=writer) for _ in range(4)]
+            threads.append(threading.Thread(target=reader))
+            for worker in threads:
+                worker.start()
+            threads[0].join()  # first writer done -> enough contention seen
+            stop.set()
+            for worker in threads:
+                worker.join()
+        finally:
+            sys.setswitchinterval(old_interval)
+        assert not torn, f"torn snapshot observed: {torn[0]}"
 
     def test_concurrent_merge_is_exact(self):
         parent = IOStats()
