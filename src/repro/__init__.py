@@ -26,6 +26,13 @@ from .datagen import AgrawalConfig, AgrawalGenerator, agrawal_schema
 from .estimator import BoatClassifier, FitReport
 from .exceptions import ReproError
 from .observability import TraceReport, Tracer, format_trace, read_jsonl, write_jsonl
+from .serve import (
+    CompiledPredictor,
+    ModelRegistry,
+    PredictionServer,
+    RequestBatcher,
+    ServeConfig,
+)
 from .splits import (
     ImpuritySplitSelection,
     QuestSplitSelection,
@@ -53,16 +60,21 @@ __all__ = [
     "BoatConfig",
     "BoatReport",
     "BoatResult",
+    "CompiledPredictor",
     "DecisionTree",
     "DiskTable",
     "FitReport",
     "IOStats",
     "ImpuritySplitSelection",
     "MemoryTable",
+    "ModelRegistry",
+    "PredictionServer",
     "QuestSplitSelection",
     "RainForestConfig",
     "ReproError",
+    "RequestBatcher",
     "Schema",
+    "ServeConfig",
     "SplitConfig",
     "Table",
     "TraceReport",

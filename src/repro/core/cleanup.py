@@ -18,6 +18,16 @@ inside the workers (``read_slice`` opens a private file handle per call),
 each charging a private :class:`~repro.storage.IOStats` that is merged
 into the experiment's shared instance in deterministic batch order.
 
+Shared routing kernel: the *level-wise* cleanup scans (RainForest and
+QUEST, which route finished batches down a frozen partial
+:class:`~repro.tree.DecisionTree`) go through the serving layer's
+compiled array kernel — ``tree.compile()`` /
+:class:`repro.serve.CompiledPredictor` — so production inference and
+the training scans exercise one routing implementation.  BOAT's own
+cleanup scan below keeps its delta path: it routes down the mutable
+*skeleton* (confidence intervals, held stores), which is per-node state
+the read-only compiled form deliberately does not carry.
+
 Tracing: :func:`cleanup_scan` opens its own ``cleanup`` span (so every
 caller — the static driver, the incremental rebuild — gets the same
 attribution) and, on the worker-read path, one detached child span per

@@ -84,6 +84,7 @@ class IncrementalBoat:
         self._tree: DecisionTree | None = None
         self._n_rows = 0
         self.reports: list[UpdateReport] = []
+        self._listeners: list = []
 
     # -- construction ------------------------------------------------------
 
@@ -266,6 +267,18 @@ class IncrementalBoat:
             "incremental finalization must use the skeleton rebuild path"
         )
 
+    def add_listener(self, listener) -> None:
+        """Register ``listener(tree)`` to run after every build/update.
+
+        Listeners fire once finalization has produced the new exact tree
+        — the hook a :class:`~repro.serve.ModelRegistry` uses to publish
+        each maintained tree to live traffic (see
+        :meth:`repro.serve.ModelRegistry.follow`).  Listener exceptions
+        propagate to the updater: a failed publish should fail the update
+        loudly, not serve stale predictions silently.
+        """
+        self._listeners.append(listener)
+
     def _record(
         self, operation: str, size: int, start: float, report: FinalizeReport
     ) -> UpdateReport:
@@ -277,6 +290,8 @@ class IncrementalBoat:
             drift=list(report.rebuild_reasons),
         )
         self.reports.append(update)
+        for listener in self._listeners:
+            listener(self._tree)
         return update
 
     # -- skeleton (re)construction ------------------------------------------------

@@ -18,7 +18,7 @@ import numpy as np
 
 from .config import BoatConfig, SplitConfig
 from .core import IncrementalBoat, boat_build
-from .exceptions import ReproError, TreeStructureError
+from .exceptions import ReproError, SchemaError, TreeStructureError
 from .splits import ImpuritySplitSelection
 from .storage import CLASS_COLUMN, MemoryTable, Schema, Table
 from .tree import DecisionTree
@@ -135,20 +135,85 @@ class BoatClassifier:
     # -- inference -----------------------------------------------------------
 
     def predict(self, data: np.ndarray) -> np.ndarray:
-        return self.tree_.predict(np.asarray(data))
+        return self.tree_.predict(self._validate_inference_batch(data, "predict"))
 
     def predict_proba(self, data: np.ndarray) -> np.ndarray:
-        return self.tree_.predict_proba(np.asarray(data))
+        return self.tree_.predict_proba(
+            self._validate_inference_batch(data, "predict_proba")
+        )
 
     def score(self, data: np.ndarray) -> float:
         """Accuracy on labeled data (1 - misclassification rate)."""
-        return 1.0 - self.tree_.misclassification_rate(np.asarray(data))
+        return 1.0 - self.tree_.misclassification_rate(
+            self._validate_inference_batch(data, "score")
+        )
+
+    def _validate_inference_batch(
+        self, data: np.ndarray, operation: str
+    ) -> np.ndarray:
+        """Check an inference input against the schema, naming what's wrong.
+
+        Structured arrays must carry every predictor column with the
+        schema's dtype (the class-label column is optional for
+        ``predict``/``predict_proba`` inputs); anything else — plain
+        float arrays, ``np.array([])``, missing or mistyped columns —
+        raises :class:`SchemaError` up front instead of surfacing as a
+        numpy indexing error deep in the tree walk.
+        """
+        array = np.asarray(data)
+        expected = self.schema.dtype()
+        names = array.dtype.names
+        if names is None:
+            detail = (
+                "an empty untyped array" if array.size == 0
+                else f"dtype {array.dtype}"
+            )
+            raise SchemaError(
+                f"{operation}: input must be a structured array over the "
+                f"training schema (got {detail}); build batches with "
+                f"Schema.empty() or Schema.dtype()"
+            )
+        for attr in self.schema:
+            if attr.name not in names:
+                raise SchemaError(
+                    f"{operation}: input is missing column {attr.name!r} "
+                    f"(expected {expected[attr.name]})"
+                )
+            got = array.dtype[attr.name]
+            if got != expected[attr.name]:
+                raise SchemaError(
+                    f"{operation}: column {attr.name!r} has dtype {got}, "
+                    f"expected {expected[attr.name]}"
+                )
+        if operation == "score" and CLASS_COLUMN not in names:
+            raise SchemaError(
+                f"score: input is missing the label column {CLASS_COLUMN!r}"
+            )
+        return array
 
     @property
     def tree_(self) -> DecisionTree:
         if self._tree is None:
             raise TreeStructureError("classifier is not fitted")
         return self._tree
+
+    def as_registry(self):
+        """A :class:`~repro.serve.ModelRegistry` serving this classifier.
+
+        Incremental classifiers get a registry that *follows* the
+        maintainer: every :meth:`partial_fit` / :meth:`forget` publishes
+        the new exact tree to live traffic atomically.  Batch-mode
+        classifiers get a registry holding the fitted tree; republish by
+        calling :meth:`~repro.serve.ModelRegistry.publish` after a refit.
+        """
+        from .serve import ModelRegistry
+
+        registry = ModelRegistry()
+        if self._maintainer is not None:
+            registry.follow(self._maintainer)
+        else:
+            registry.publish(self.tree_)
+        return registry
 
     @property
     def drift_log(self) -> list[str]:

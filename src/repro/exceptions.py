@@ -52,5 +52,21 @@ class DatagenError(ReproError):
     """Bad parameters passed to the synthetic data generator."""
 
 
+class ServeError(ReproError):
+    """A serving-layer request could not be completed.
+
+    Raised by :mod:`repro.serve` for request timeouts, backpressure
+    rejections (the request queue is full), malformed serving requests,
+    and predictions demanded before any model was published.  The
+    ``http_status`` hint lets the HTTP front end map failure modes to
+    status codes (429 backpressure, 504 timeout, ...) without string
+    matching.
+    """
+
+    def __init__(self, message: str, http_status: int = 400):
+        super().__init__(message)
+        self.http_status = http_status
+
+
 class BenchmarkError(ReproError):
     """A benchmark harness was configured inconsistently."""

@@ -5,7 +5,13 @@ See :mod:`repro.observability.tracer` for the span model and
 the scan-count invariants the test suite enforces on top of it.
 """
 
-from .export import format_trace, read_jsonl, trace_lines, write_jsonl
+from .export import (
+    format_trace,
+    latency_summary,
+    read_jsonl,
+    trace_lines,
+    write_jsonl,
+)
 from .tracer import (
     COUNTER_FIELDS,
     NULL_TRACER,
@@ -27,6 +33,7 @@ __all__ = [
     "Tracer",
     "ensure_tracer",
     "format_trace",
+    "latency_summary",
     "read_jsonl",
     "trace_lines",
     "write_jsonl",

@@ -332,8 +332,13 @@ class LevelwiseBuilder:
             )
         else:
             scan_iter = self._table.scan(self._rf.batch_rows)
+        # One compiled-kernel snapshot for the whole pass: the partial
+        # tree is frozen during a scan, so routing shares the serving
+        # layer's flattened-array kernel (repro.serve.CompiledPredictor)
+        # instead of re-walking Node objects per batch.
+        router = tree.compile()
         for batch in scan_iter:
-            leaf_ids = tree.route(batch)
+            leaf_ids = router.route(batch)
             for node_id in by_node:
                 mask = leaf_ids == node_id
                 if not mask.any():

@@ -61,8 +61,12 @@ def build_quest_levelwise(
             break
         stats = {node.node_id: QuestSufficientStats.empty(schema) for node in active}
         side_counts: dict[int, np.ndarray] = {}
+        # The partial tree is frozen for the duration of one level's scan,
+        # so compile it once and route every batch through the serving
+        # layer's flattened-array kernel.
+        router = tree.compile()
         for batch in table.scan(batch_rows):
-            leaf_ids = tree.route(batch)
+            leaf_ids = router.route(batch)
             for node in active:
                 mask = leaf_ids == node.node_id
                 if mask.any():

@@ -1,0 +1,233 @@
+"""A thin HTTP front end over the registry + batcher.
+
+Stdlib-only (``http.server``): the serving story must work in the same
+no-extra-dependencies environment as the rest of the library.  Each
+handler thread parses JSON into a structured batch, submits it to the
+shared :class:`~repro.serve.RequestBatcher`, and blocks on its ticket —
+so HTTP concurrency feeds the coalescing batcher naturally.
+
+Endpoints:
+
+``POST /predict``
+    Body ``{"records": [...]}`` where each record is either an object
+    keyed by attribute name or an array in schema order (predictors
+    only).  Optional ``"proba": true`` returns class distributions.
+    Response ``{"labels": [...], "version": n, "rows": n}`` (or
+    ``"proba"``).  Errors map :class:`~repro.exceptions.ServeError`'s
+    ``http_status``: 400 malformed, 429 backpressure, 503 no model,
+    504 timeout.
+
+``GET /healthz``
+    ``{"status": "ok", "version": n}`` — 503 before the first publish.
+
+``GET /stats``
+    The batcher's cumulative statistics (latency percentiles included).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from ..exceptions import ReproError, SchemaError, ServeError
+from ..observability import NullTracer, Tracer
+from ..storage import CLASS_COLUMN, Schema
+from .batcher import RequestBatcher, ServeConfig
+from .registry import ModelRegistry
+
+
+def records_to_batch(schema: Schema, records: list) -> np.ndarray:
+    """Build a structured batch from JSON records (dicts or arrays).
+
+    Raises :class:`ServeError` naming the offending record/column on
+    malformed input; categorical codes and numerics are range-checked by
+    the kernel's routing semantics (unseen codes route right), so no
+    training-style validation is imposed here.
+    """
+    if not isinstance(records, list):
+        raise ServeError("'records' must be a JSON array")
+    batch = schema.empty(len(records))
+    batch[CLASS_COLUMN] = 0
+    names = [a.name for a in schema]
+    for i, record in enumerate(records):
+        if isinstance(record, dict):
+            for name in names:
+                if name not in record:
+                    raise ServeError(
+                        f"record {i} is missing column {name!r}"
+                    )
+                value = record[name]
+                if not isinstance(value, (int, float)):
+                    raise ServeError(
+                        f"record {i} column {name!r} is not a number: "
+                        f"{value!r}"
+                    )
+                batch[name][i] = value
+        elif isinstance(record, list):
+            if len(record) != len(names):
+                raise ServeError(
+                    f"record {i} has {len(record)} values; schema has "
+                    f"{len(names)} predictor attributes"
+                )
+            for name, value in zip(names, record):
+                if not isinstance(value, (int, float)):
+                    raise ServeError(
+                        f"record {i} column {name!r} is not a number: "
+                        f"{value!r}"
+                    )
+                batch[name][i] = value
+        else:
+            raise ServeError(f"record {i} must be an object or an array")
+    return batch
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request handler; the server instance carries the serving state."""
+
+    protocol_version = "HTTP/1.1"
+    server: "_Server"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # keep the serving path quiet; stats live in /stats
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        front = self.server.front
+        if self.path == "/healthz":
+            version = front.registry.version
+            if version == 0:
+                self._send_json(503, {"status": "empty", "version": 0})
+            else:
+                self._send_json(200, {"status": "ok", "version": version})
+        elif self.path == "/stats":
+            self._send_json(200, front.batcher.stats())
+        else:
+            self._send_json(404, {"error": f"no such path: {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        front = self.server.front
+        if self.path != "/predict":
+            self._send_json(404, {"error": f"no such path: {self.path}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            try:
+                payload = json.loads(self.rfile.read(length) or b"{}")
+            except json.JSONDecodeError as exc:
+                raise ServeError(f"request body is not valid JSON: {exc}")
+            if not isinstance(payload, dict) or "records" not in payload:
+                raise ServeError("request body needs a 'records' array")
+            batch = records_to_batch(front.schema, payload["records"])
+            proba = bool(payload.get("proba", False))
+            ticket = front.batcher.submit(batch, proba=proba)
+            result = ticket.result()
+            front.count_request()
+            response: dict = {"version": ticket.version, "rows": len(batch)}
+            if proba:
+                response["proba"] = [list(row) for row in result]
+            else:
+                response["labels"] = [int(v) for v in result]
+            self._send_json(200, response)
+        except ServeError as exc:
+            self._send_json(exc.http_status, {"error": str(exc)})
+        except (SchemaError, ReproError) as exc:
+            self._send_json(400, {"error": str(exc)})
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    front: "PredictionServer"
+
+
+class PredictionServer:
+    """Serves a :class:`ModelRegistry` over HTTP through a batcher.
+
+    Usage::
+
+        registry = ModelRegistry()
+        registry.publish(tree)                    # or registry.follow(boat)
+        with PredictionServer(registry, port=0) as server:
+            print(server.url)                    # http://127.0.0.1:<port>
+
+    ``port=0`` binds an ephemeral port (``server.port`` has the real one).
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        config: ServeConfig | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        tracer: Tracer | NullTracer | None = None,
+    ):
+        self.registry = registry
+        self.batcher = RequestBatcher(registry, config, tracer)
+        self._host = host
+        self._requested_port = port
+        self._httpd: _Server | None = None
+        self._thread: threading.Thread | None = None
+        self._served = 0
+        self._served_lock = threading.Lock()
+
+    @property
+    def schema(self) -> Schema:
+        return self.registry.current().tree.schema
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            raise ServeError("server is not running", http_status=503)
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self.port}"
+
+    @property
+    def served_requests(self) -> int:
+        """Successfully answered /predict requests so far."""
+        return self._served
+
+    def count_request(self) -> None:
+        with self._served_lock:
+            self._served += 1
+
+    def start(self) -> "PredictionServer":
+        self.registry.current()  # fail fast when nothing is published
+        self.batcher.start()
+        self._httpd = _Server((self._host, self._requested_port), _Handler)
+        self._httpd.front = self
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-serve-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self.batcher.close()
+
+    def __enter__(self) -> "PredictionServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

@@ -155,8 +155,31 @@ class DecisionTree:
 
     # -- classification ----------------------------------------------------------
 
+    def compile(self):
+        """Flatten into a :class:`~repro.serve.CompiledPredictor`.
+
+        The compiled form routes whole batches iteratively over contiguous
+        arrays — no Python-object traversal — and is what the serving
+        layer publishes.  It is a snapshot: recompile after mutating the
+        tree.
+        """
+        from ..serve.compiled import CompiledPredictor
+
+        return CompiledPredictor.from_tree(self)
+
     def route(self, batch: np.ndarray) -> np.ndarray:
-        """Leaf node id for each record of ``batch`` (vectorized)."""
+        """Leaf node id for each record of ``batch``.
+
+        Routed through the compiled array kernel
+        (:class:`~repro.serve.CompiledPredictor`) — the same kernel the
+        serving layer uses, so the level-wise cleanup scans and live
+        inference exercise one implementation.  :meth:`route_recursive`
+        keeps the Node-walking reference path; the two agree exactly.
+        """
+        return self.compile().route(batch)
+
+    def route_recursive(self, batch: np.ndarray) -> np.ndarray:
+        """Reference implementation of :meth:`route` (recursive Node walk)."""
         out = np.empty(len(batch), dtype=np.int64)
         self._route_into(self._root, batch, np.arange(len(batch)), out)
         return out

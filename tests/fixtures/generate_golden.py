@@ -1,0 +1,89 @@
+"""Regenerate the golden-prediction fixtures under ``tests/fixtures/golden``.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/fixtures/generate_golden.py
+
+One fixture pair per Agrawal function F1–F10:
+
+* ``f<k>_tree.json`` — the reference tree built with :data:`RECIPE`
+  (fixed seeds, fixed stopping rules), serialized via
+  :func:`repro.tree.tree_to_json` (float.hex split points, so the round
+  trip is bit-exact);
+* ``f<k>_expected.npz`` — ``predict`` labels and ``predict_proba``
+  distributions of that tree on the fixed evaluation batch.
+
+The regression test (``tests/test_golden_predictions.py``) rebuilds the
+tree from scratch, reloads the serialized copy, and demands
+``array_equal`` agreement from both the recursive and the compiled
+predictor paths — any drift in split selection determinism, the
+serialize format, or either routing kernel shows up as a diff against
+these committed files.  Regenerate ONLY when such a change is
+intentional, and say so in the commit message.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro import AgrawalConfig, AgrawalGenerator, SplitConfig, build_reference_tree
+from repro.splits import ImpuritySplitSelection
+from repro.tree import tree_to_json
+
+#: The fixture recipe; the regression test imports these to rebuild.
+TRAIN_ROWS = 2500
+EVAL_ROWS = 400
+TRAIN_SEED_BASE = 0  # train seed = TRAIN_SEED_BASE + function_id
+EVAL_SEED_BASE = 1000  # eval seed = EVAL_SEED_BASE + function_id
+SPLIT_CONFIG = SplitConfig(min_samples_split=25, min_samples_leaf=10, max_depth=8)
+IMPURITY = "gini"
+FUNCTIONS = range(1, 11)
+
+GOLDEN_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "golden")
+
+
+def build_fixture_tree(function_id: int):
+    """The deterministic reference tree of one fixture."""
+    generator = AgrawalGenerator(
+        AgrawalConfig(function_id=function_id),
+        seed=TRAIN_SEED_BASE + function_id,
+    )
+    train = generator.generate(TRAIN_ROWS)
+    return build_reference_tree(
+        train, generator.schema, ImpuritySplitSelection(IMPURITY), SPLIT_CONFIG
+    )
+
+
+def eval_batch(function_id: int) -> np.ndarray:
+    """The fixed evaluation batch of one fixture."""
+    generator = AgrawalGenerator(
+        AgrawalConfig(function_id=function_id),
+        seed=EVAL_SEED_BASE + function_id,
+    )
+    return generator.generate(EVAL_ROWS)
+
+
+def main() -> None:
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    for function_id in FUNCTIONS:
+        tree = build_fixture_tree(function_id)
+        batch = eval_batch(function_id)
+        tree_path = os.path.join(GOLDEN_DIR, f"f{function_id}_tree.json")
+        with open(tree_path, "w", encoding="utf-8") as fh:
+            fh.write(tree_to_json(tree, indent=2))
+        expected_path = os.path.join(GOLDEN_DIR, f"f{function_id}_expected.npz")
+        np.savez_compressed(
+            expected_path,
+            predictions=tree.predict(batch),
+            proba=tree.predict_proba(batch),
+        )
+        print(
+            f"F{function_id}: {tree.n_nodes} nodes, depth {tree.depth} -> "
+            f"{os.path.basename(tree_path)}, {os.path.basename(expected_path)}"
+        )
+
+
+if __name__ == "__main__":
+    main()

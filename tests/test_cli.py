@@ -1,7 +1,12 @@
 """Tests for the command-line interface."""
 
 import json
+import socket
+import threading
+import time
+import urllib.request
 
+import numpy as np
 import pytest
 
 from repro.cli import main
@@ -104,3 +109,123 @@ class TestEvaluateAndShow:
         out = capsys.readouterr().out
         assert out.startswith("digraph")
         assert "->" in out
+
+
+@pytest.fixture
+def built_tree(generated_table, tmp_path):
+    out = str(tmp_path / "tree.json")
+    main(
+        [
+            "build", generated_table, out,
+            "--sample-size", "1000", "--bootstraps", "6",
+            "--min-split", "50", "--min-leaf", "10", "--max-depth", "5",
+        ]
+    )
+    return out
+
+
+class TestPredict:
+    def test_predict_writes_labels(
+        self, built_tree, generated_table, tmp_path, capsys
+    ):
+        out = str(tmp_path / "labels.txt")
+        code = main(["predict", built_tree, generated_table, "--out", out])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "predicted 5000 rows" in stdout
+        assert "compiled kernel" in stdout
+        labels = [int(line) for line in open(out).read().split()]
+        assert len(labels) == 5000
+        # Exact agreement with the offline recursive path.
+        tree = tree_from_json(open(built_tree).read())
+        table = DiskTable.open(generated_table)
+        expected = np.concatenate([tree.predict(b) for b in table.scan()])
+        assert labels == [int(v) for v in expected]
+
+    def test_predict_proba_output(
+        self, built_tree, generated_table, tmp_path
+    ):
+        out = str(tmp_path / "proba.txt")
+        code = main(
+            [
+                "predict", built_tree, generated_table,
+                "--out", out, "--proba", "--batch-rows", "1024",
+            ]
+        )
+        assert code == 0
+        lines = open(out).read().splitlines()
+        assert len(lines) == 5000
+        first = [float(v) for v in lines[0].split()]
+        assert len(first) == 2
+        assert sum(first) == pytest.approx(1.0)
+
+    def test_predict_without_out_just_reports(
+        self, built_tree, generated_table, capsys
+    ):
+        assert main(["predict", built_tree, generated_table]) == 0
+        assert "rows/s" in capsys.readouterr().out
+
+    def test_predict_schema_mismatch(self, built_tree, tmp_path):
+        other = str(tmp_path / "other.tbl")
+        main(["generate", other, "--n", "100", "--extra", "2"])
+        assert main(["predict", built_tree, other]) == 2
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class TestServe:
+    def test_serve_smoke(self, built_tree, capsys):
+        """Start the server, drive one HTTP request, exit via --max-requests."""
+        port = free_port()
+        codes: list[int] = []
+
+        def run() -> None:
+            codes.append(
+                main(
+                    [
+                        "serve", built_tree,
+                        "--port", str(port),
+                        "--max-delay-ms", "1",
+                        "--max-requests", "1",
+                    ]
+                )
+            )
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{port}"
+        deadline = time.monotonic() + 30
+        health = None
+        while time.monotonic() < deadline:
+            try:
+                with urllib.request.urlopen(base + "/healthz", timeout=2) as r:
+                    health = json.loads(r.read())
+                break
+            except OSError:
+                time.sleep(0.05)
+        assert health == {"status": "ok", "version": 1}
+        request = urllib.request.Request(
+            base + "/predict",
+            data=json.dumps(
+                {"records": [{
+                    "salary": 50_000.0, "commission": 0.0, "age": 30.0,
+                    "elevel": 1, "car": 3, "zipcode": 4, "hvalue": 150_000.0,
+                    "hyears": 10.0, "loan": 100_000.0,
+                }]}
+            ).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            body = json.loads(response.read())
+        assert body["rows"] == 1
+        assert body["labels"][0] in (0, 1)
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert codes == [0]
+        stdout = capsys.readouterr().out
+        assert "served 1 requests" in stdout

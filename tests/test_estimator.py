@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro import BoatClassifier, MemoryTable
-from repro.exceptions import ReproError, TreeStructureError
+from repro.exceptions import ReproError, SchemaError, TreeStructureError
 from repro.splits import ImpuritySplitSelection
 from repro.config import SplitConfig
 from repro.tree import build_reference_tree, trees_equal
@@ -112,3 +112,95 @@ class TestIncrementalFacade:
             .partial_fit(chunk)
         )
         assert clf.score(chunk) > 0.9
+
+
+class TestInferenceInputValidation:
+    """predict/predict_proba/score reject malformed input with a clear
+    SchemaError naming the problem, instead of a numpy indexing error."""
+
+    @pytest.fixture
+    def fitted(self, small_schema):
+        data = simple_xy_data(small_schema, 2500, seed=21, rule="x")
+        return make_classifier(small_schema).fit(data)
+
+    def test_empty_untyped_array_raises(self, fitted):
+        with pytest.raises(SchemaError, match="empty untyped array"):
+            fitted.predict(np.array([]))
+
+    def test_plain_float_array_raises_naming_dtype(self, fitted):
+        with pytest.raises(SchemaError, match="float64"):
+            fitted.predict(np.zeros((5, 3)))
+
+    def test_plain_array_proba_raises(self, fitted):
+        with pytest.raises(SchemaError, match="structured array"):
+            fitted.predict_proba(np.zeros(5))
+
+    def test_missing_column_named_in_error(self, fitted, small_schema):
+        partial = np.zeros(
+            4, dtype=[("x", "<f8"), ("color", "<i4"), ("class_label", "<i4")]
+        )
+        with pytest.raises(SchemaError, match="missing column 'y'"):
+            fitted.predict(partial)
+
+    def test_wrong_column_dtype_named_in_error(self, fitted):
+        bad = np.zeros(
+            4,
+            dtype=[
+                ("x", "<f8"), ("y", "<f4"), ("color", "<i4"),
+                ("class_label", "<i4"),
+            ],
+        )
+        with pytest.raises(SchemaError, match="column 'y' has dtype float32"):
+            fitted.predict(bad)
+
+    def test_score_requires_label_column(self, fitted):
+        unlabeled = np.zeros(
+            4, dtype=[("x", "<f8"), ("y", "<f8"), ("color", "<i4")]
+        )
+        with pytest.raises(SchemaError, match="class_label"):
+            fitted.score(unlabeled)
+
+    def test_predict_accepts_label_free_batches(self, fitted, small_schema):
+        """Serving inputs have no label column; predict must accept them."""
+        unlabeled = np.zeros(
+            3, dtype=[("x", "<f8"), ("y", "<f8"), ("color", "<i4")]
+        )
+        unlabeled["x"] = [10.0, 60.0, 90.0]
+        assert fitted.predict(unlabeled).shape == (3,)
+        assert fitted.predict_proba(unlabeled).shape == (3, 2)
+
+    def test_valid_empty_structured_batch_ok(self, fitted, small_schema):
+        empty = small_schema.empty(0)
+        assert fitted.predict(empty).shape == (0,)
+        assert fitted.predict_proba(empty).shape == (0, 2)
+        assert fitted.score(empty) == 1.0
+
+    def test_valid_batch_passes_through_unchanged(self, fitted, small_schema):
+        batch = simple_xy_data(small_schema, 100, seed=22, rule="x")
+        assert fitted.predict(batch).shape == (100,)
+
+
+class TestAsRegistry:
+    def test_batch_classifier_publishes_fitted_tree(self, small_schema):
+        from repro.tree import trees_equal as eq
+
+        data = simple_xy_data(small_schema, 2500, seed=31, rule="x")
+        clf = make_classifier(small_schema).fit(data)
+        registry = clf.as_registry()
+        assert registry.version == 1
+        assert eq(registry.current().tree, clf.tree_)
+        assert np.array_equal(registry.predict(data[:50]), clf.predict(data[:50]))
+
+    def test_incremental_classifier_registry_follows_updates(self, small_schema):
+        data = simple_xy_data(small_schema, 2500, seed=32, rule="xy")
+        chunk = simple_xy_data(small_schema, 800, seed=33, rule="xy")
+        clf = make_classifier(small_schema, incremental=True).fit(data)
+        registry = clf.as_registry()
+        assert registry.version == 1
+        clf.partial_fit(chunk)
+        assert registry.version == 2
+        assert trees_equal(registry.current().tree, clf.tree_)
+
+    def test_unfitted_classifier_has_no_registry(self, small_schema):
+        with pytest.raises(TreeStructureError):
+            make_classifier(small_schema).as_registry()

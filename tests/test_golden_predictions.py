@@ -1,0 +1,121 @@
+"""Golden-prediction regression fixtures (Agrawal F1–F10).
+
+Each fixture pins, for one classification function, the serialized
+reference tree and its exact ``predict`` / ``predict_proba`` output on a
+fixed evaluation batch.  The tests triangulate three things at once:
+
+* **builder determinism** — rebuilding from scratch with the committed
+  recipe reproduces the committed tree split-for-split;
+* **the serialize format** — the reloaded tree is the same classifier,
+  bit-exact (float.hex split points);
+* **both predictor paths** — the recursive ``Node`` walk and the
+  compiled array kernel each reproduce the committed vectors with
+  ``array_equal`` (labels) and bit-identical float64 (probabilities).
+
+Regenerate with ``PYTHONPATH=src python tests/fixtures/generate_golden.py``
+only when a change to any of the above is intentional.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.serve import CompiledPredictor
+from repro.tree import tree_from_json, trees_equal
+
+from .fixtures.generate_golden import (
+    FUNCTIONS,
+    GOLDEN_DIR,
+    build_fixture_tree,
+    eval_batch,
+)
+
+FUNCTION_IDS = list(FUNCTIONS)
+
+
+def _load_fixture(function_id: int):
+    with open(
+        os.path.join(GOLDEN_DIR, f"f{function_id}_tree.json"), encoding="utf-8"
+    ) as fh:
+        tree = tree_from_json(fh.read())
+    expected = np.load(
+        os.path.join(GOLDEN_DIR, f"f{function_id}_expected.npz")
+    )
+    return tree, expected["predictions"], expected["proba"]
+
+
+@pytest.mark.parametrize("function_id", FUNCTION_IDS)
+def test_rebuild_matches_committed_tree(function_id):
+    """The fixed-seed recipe reproduces the committed tree exactly."""
+    rebuilt = build_fixture_tree(function_id)
+    committed, _, _ = _load_fixture(function_id)
+    assert trees_equal(rebuilt, committed)
+
+
+@pytest.mark.parametrize("function_id", FUNCTION_IDS)
+def test_recursive_path_matches_golden_vectors(function_id):
+    tree, predictions, proba = _load_fixture(function_id)
+    batch = eval_batch(function_id)
+    assert np.array_equal(tree.predict(batch), predictions)
+    assert np.array_equal(tree.predict_proba(batch), proba)
+
+
+@pytest.mark.parametrize("function_id", FUNCTION_IDS)
+def test_compiled_path_matches_golden_vectors(function_id):
+    tree, predictions, proba = _load_fixture(function_id)
+    predictor = CompiledPredictor.from_tree(tree)
+    batch = eval_batch(function_id)
+    assert np.array_equal(predictor.predict(batch), predictions)
+    assert np.array_equal(predictor.predict_proba(batch), proba)
+    # routing agreement between the two paths on the same fixture
+    assert np.array_equal(predictor.route(batch), tree.route_recursive(batch))
+
+
+@pytest.mark.parametrize("function_id", FUNCTION_IDS)
+def test_serialize_round_trip_preserves_predictions(function_id):
+    """Serialize → reload keeps both predictor paths bit-exact."""
+    from repro.tree import tree_to_json
+
+    tree, predictions, proba = _load_fixture(function_id)
+    reloaded = tree_from_json(tree_to_json(tree))
+    batch = eval_batch(function_id)
+    assert np.array_equal(reloaded.predict(batch), predictions)
+    assert np.array_equal(reloaded.predict_proba(batch), proba)
+    compiled = reloaded.compile()
+    assert np.array_equal(compiled.predict(batch), predictions)
+    assert np.array_equal(compiled.predict_proba(batch), proba)
+
+
+def test_fixture_trees_are_nontrivial():
+    """Guard against a silently degenerate fixture set."""
+    sizes = {}
+    for function_id in FUNCTION_IDS:
+        tree, _, _ = _load_fixture(function_id)
+        sizes[function_id] = tree.n_nodes
+    assert sum(sizes.values()) > 100
+    assert any(n > 50 for n in sizes.values())
+    # fixtures must exercise at least one categorical split overall
+    from repro.splits.base import CategoricalSplit
+
+    has_categorical = False
+    for function_id in FUNCTION_IDS:
+        tree, _, _ = _load_fixture(function_id)
+        for node in tree.internal_nodes():
+            if isinstance(node.split, CategoricalSplit):
+                has_categorical = True
+    assert has_categorical
+
+
+def test_fixture_json_is_schema_stamped():
+    """Every committed tree carries its schema (self-describing fixture)."""
+    for function_id in FUNCTION_IDS:
+        with open(
+            os.path.join(GOLDEN_DIR, f"f{function_id}_tree.json"),
+            encoding="utf-8",
+        ) as fh:
+            data = json.load(fh)
+        assert "schema" in data and "root" in data

@@ -1,0 +1,277 @@
+"""Model-registry tests: atomic hot-swap, history, maintainer wiring.
+
+The concurrency test is the PR's torn-read proof: reader threads hammer
+``predict_versioned`` while a writer publishes a stream of constant-label
+trees.  Because every published tree predicts one label for *all* rows, a
+torn read — a batch partially served by two models — would show up as a
+non-uniform label vector, and a version/label mismatch would show a
+reader observing a model that was never published.  Run at 1, 2 and 4
+reader threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.config import BoatConfig, SplitConfig
+from repro.core import IncrementalBoat
+from repro.exceptions import ServeError
+from repro.observability import Tracer
+from repro.serve import ModelRegistry
+from repro.splits import ImpuritySplitSelection
+from repro.splits.base import NumericSplit
+from repro.storage import Attribute, Schema
+from repro.tree import DecisionTree, trees_equal
+from repro.tree.model import Node
+
+from .conftest import simple_xy_data
+
+N_CLASSES = 8
+SCHEMA = Schema([Attribute.numerical("x")], n_classes=N_CLASSES)
+
+
+def constant_tree(label: int) -> DecisionTree:
+    """A single-leaf tree predicting ``label`` for every record."""
+    counts = np.zeros(N_CLASSES, dtype=np.int64)
+    counts[label] = 100
+    return DecisionTree(SCHEMA, Node(0, 0, counts))
+
+
+def eval_batch(n: int = 256) -> np.ndarray:
+    batch = SCHEMA.empty(n)
+    batch["x"] = np.random.default_rng(0).normal(0, 1, n)
+    batch["class_label"] = 0
+    return batch
+
+
+class TestRegistryBasics:
+    def test_empty_registry_raises_503(self):
+        registry = ModelRegistry()
+        assert registry.version == 0
+        with pytest.raises(ServeError) as excinfo:
+            registry.current()
+        assert excinfo.value.http_status == 503
+        with pytest.raises(ServeError):
+            registry.predict(eval_batch(4))
+
+    def test_publish_makes_model_live(self):
+        registry = ModelRegistry()
+        model = registry.publish(constant_tree(3))
+        assert model.version == 1
+        assert registry.version == 1
+        assert registry.current() is model
+        assert list(registry.predict(eval_batch(5))) == [3] * 5
+
+    def test_versions_are_monotone(self):
+        registry = ModelRegistry()
+        versions = [registry.publish(constant_tree(i % N_CLASSES)).version
+                    for i in range(5)]
+        assert versions == [1, 2, 3, 4, 5]
+        assert registry.current().version == 5
+
+    def test_predict_versioned_reports_serving_version(self):
+        registry = ModelRegistry()
+        registry.publish(constant_tree(2))
+        labels, version = registry.predict_versioned(eval_batch(6))
+        assert version == 1
+        assert list(labels) == [2] * 6
+        registry.publish(constant_tree(5))
+        labels, version = registry.predict_versioned(eval_batch(6))
+        assert (version, list(labels)) == (2, [5] * 6)
+
+    def test_predict_proba_uses_live_model(self):
+        registry = ModelRegistry()
+        registry.publish(constant_tree(1))
+        proba = registry.predict_proba(eval_batch(3))
+        expected = np.zeros((3, N_CLASSES))
+        expected[:, 1] = 1.0
+        assert np.array_equal(proba, expected)
+
+    def test_history_is_capped(self):
+        registry = ModelRegistry()
+        for i in range(20):
+            registry.publish(constant_tree(i % N_CLASSES))
+        history = registry.history()
+        assert len(history) == 16  # default cap
+        assert [m.version for m in history] == list(range(5, 21))
+        registry.set_history_limit(4)
+        assert [m.version for m in registry.history()] == [17, 18, 19, 20]
+        registry.set_history_limit(None)
+        for i in range(30):
+            registry.publish(constant_tree(i % N_CLASSES))
+        assert len(registry.history()) == 34
+
+    def test_publish_emits_trace_event(self):
+        tracer = Tracer()
+        registry = ModelRegistry(tracer=tracer)
+        registry.publish(constant_tree(0))
+        event = tracer.report().find("publish")
+        assert event is not None
+        assert event.attributes["version"] == 1
+
+    def test_repr_smoke(self):
+        registry = ModelRegistry()
+        assert "empty" in repr(registry)
+        registry.publish(constant_tree(0))
+        assert "v1" in repr(registry)
+
+
+class TestHotSwapConcurrency:
+    """No torn reads: every batch is served by exactly one published tree."""
+
+    @pytest.mark.parametrize("n_threads", [1, 2, 4])
+    def test_readers_never_see_a_torn_batch(self, n_threads):
+        registry = ModelRegistry()
+        published: dict[int, int] = {}  # version -> label
+        model = registry.publish(constant_tree(0))
+        published[model.version] = 0
+        batch = eval_batch(512)
+        done = threading.Event()
+        errors: list[BaseException] = []
+        observations: list[list[tuple[int, int, int]]] = [
+            [] for _ in range(n_threads)
+        ]
+
+        def reader(slot: int) -> None:
+            try:
+                out = observations[slot]
+                while not done.is_set():
+                    labels, version = registry.predict_versioned(batch)
+                    out.append(
+                        (version, int(labels.min()), int(labels.max()))
+                    )
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=reader, args=(slot,), daemon=True)
+            for slot in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            # Publish at least 299 swaps, then keep going until the
+            # readers have actually witnessed more than one version (a
+            # loaded scheduler can starve them for the whole burst).
+            deadline = time.monotonic() + 30.0
+            i = 0
+            while True:
+                i += 1
+                label = i % N_CLASSES
+                model = registry.publish(constant_tree(label))
+                published[model.version] = label
+                if i >= 299:
+                    witnessed = {
+                        version
+                        for out in observations
+                        for (version, _, _) in list(out)
+                    }
+                    if len(witnessed) > 1 or time.monotonic() > deadline:
+                        break
+        finally:
+            done.set()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert not errors, errors
+        assert all(not t.is_alive() for t in threads)
+
+        total = 0
+        versions_seen = set()
+        for out in observations:
+            for version, low, high in out:
+                total += 1
+                versions_seen.add(version)
+                # uniform batch == served by exactly one constant tree
+                assert low == high, f"torn batch under version {version}"
+                assert published[version] == low, (
+                    f"version {version} served label {low}, "
+                    f"published {published[version]}"
+                )
+        assert total > 0
+        # The swap actually happened under the readers' feet.
+        assert len(versions_seen) > 1
+
+    def test_concurrent_publishers_version_consistently(self):
+        registry = ModelRegistry()
+        results: list[list[int]] = [[] for _ in range(4)]
+
+        def writer(slot: int) -> None:
+            for i in range(50):
+                results[slot].append(
+                    registry.publish(constant_tree((slot + i) % N_CLASSES)).version
+                )
+
+        threads = [
+            threading.Thread(target=writer, args=(s,)) for s in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        versions = sorted(v for out in results for v in out)
+        assert versions == list(range(1, 201))  # no duplicates, no gaps
+        assert registry.version == 200
+
+
+class TestMaintainerWiring:
+    """registry.follow(IncrementalBoat): each update publishes the new tree."""
+
+    GINI = ImpuritySplitSelection("gini")
+    SPLIT = SplitConfig(min_samples_split=40, min_samples_leaf=10, max_depth=6)
+    BOAT = BoatConfig(sample_size=600, bootstrap_repetitions=5, seed=3)
+
+    def test_follow_publishes_now_and_after_updates(self, small_schema):
+        chunks = [
+            simple_xy_data(small_schema, 1200, seed=40 + i, rule="xy")
+            for i in range(3)
+        ]
+        inc = IncrementalBoat.from_chunk(
+            chunks[0], small_schema, self.GINI, self.SPLIT, self.BOAT
+        )
+        registry = ModelRegistry()
+        model = registry.follow(inc)
+        assert model.version == 1
+        assert trees_equal(registry.current().tree, inc.tree)
+
+        inc.insert(chunks[1])
+        assert registry.version == 2
+        assert trees_equal(registry.current().tree, inc.tree)
+        inc.insert(chunks[2])
+        assert registry.version == 3
+        assert trees_equal(registry.current().tree, inc.tree)
+
+        # The published predictor serves the maintained tree's predictions.
+        batch = simple_xy_data(small_schema, 300, seed=99, rule="xy")
+        assert np.array_equal(registry.predict(batch), inc.tree.predict(batch))
+
+    def test_follow_publishes_on_delete_too(self, small_schema):
+        data = simple_xy_data(small_schema, 2000, seed=11, rule="x")
+        inc = IncrementalBoat.from_chunk(
+            data, small_schema, self.GINI, self.SPLIT, self.BOAT
+        )
+        registry = ModelRegistry()
+        registry.follow(inc)
+        inc.delete(data[:200])
+        assert registry.version == 2
+        assert trees_equal(registry.current().tree, inc.tree)
+
+
+def test_published_predictor_ignores_later_tree_mutation():
+    """Publishing snapshots the compiled form; mutating the source tree
+    afterwards cannot change what traffic sees."""
+    counts = np.zeros(N_CLASSES, dtype=np.int64)
+    counts[4] = 10
+    root = Node(0, 0, counts)
+    tree = DecisionTree(SCHEMA, root)
+    registry = ModelRegistry()
+    registry.publish(tree)
+    left = Node(1, 1, counts)
+    right_counts = np.zeros(N_CLASSES, dtype=np.int64)
+    right_counts[7] = 10
+    right = Node(2, 1, right_counts)
+    root.make_internal(NumericSplit(0, 0.0), left, right)
+    assert list(registry.predict(eval_batch(8))) == [4] * 8
