@@ -44,8 +44,12 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
+    if args.resume is not None and args.checkpoint is not None:
+        print("error: --resume already names the checkpoint; drop --checkpoint",
+              file=sys.stderr)
+        return 2
     io = IOStats()
-    table = DiskTable.open(args.table, io)
+    table = DiskTable.open(args.table, io, simulated_mbps=args.simulate_io_mbps)
     split_config = SplitConfig(
         min_samples_split=args.min_split,
         min_samples_leaf=args.min_leaf,
@@ -55,11 +59,19 @@ def _cmd_build(args: argparse.Namespace) -> int:
         sample_size=args.sample_size,
         bootstrap_repetitions=args.bootstraps,
         seed=args.seed,
+        batch_rows=args.batch_rows,
         n_workers=args.workers,
         parallel_backend=args.parallel_backend,
+        checkpoint_dir=args.resume if args.resume is not None else args.checkpoint,
+        checkpoint_every_batches=args.checkpoint_every,
+        scan_retries=args.scan_retries,
     )
     tracer = Tracer(io) if args.trace is not None else NULL_TRACER
     if args.method == "quest":
+        if boat_config.checkpoint_dir is not None:
+            print("error: --checkpoint/--resume is not supported for the "
+                  "QUEST driver", file=sys.stderr)
+            return 2
         from .core import quest_boat_build
 
         # The QUEST driver is not phase-instrumented yet; one umbrella
@@ -69,6 +81,18 @@ def _cmd_build(args: argparse.Namespace) -> int:
                 table, QuestSplitSelection(), split_config, boat_config
             )
         tree = result.tree
+    elif args.resume is not None:
+        from .recovery import resume_build
+
+        result = resume_build(
+            table,
+            ImpuritySplitSelection(args.method),
+            split_config,
+            boat_config,
+            tracer=tracer,
+        )
+        tree = result.tree
+        print(f"resumed from checkpoint {args.resume}")
     else:
         result = boat_build(
             table,
@@ -271,6 +295,50 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="record a phase trace; with PATH write spans as JSONL, "
         "without print the span tree to stdout",
+    )
+    build.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="make the build crash-safe: persist the skeleton and "
+        "cleanup-scan progress under DIR so a killed build can be "
+        "finished with --resume DIR (see docs/RECOVERY.md)",
+    )
+    build.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help="finish a killed checkpointed build from DIR; the tree is "
+        "byte-identical to the uninterrupted build's",
+    )
+    build.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=16,
+        metavar="N",
+        help="cleanup-scan batches between checkpoints (default 16)",
+    )
+    build.add_argument(
+        "--scan-retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="absorb up to N transient I/O errors per scan, re-reading "
+        "from the last good offset with exponential backoff",
+    )
+    build.add_argument(
+        "--batch-rows",
+        type=int,
+        default=65536,
+        help="scan batch granularity (speed only, never the tree)",
+    )
+    build.add_argument(
+        "--simulate-io-mbps",
+        type=float,
+        default=None,
+        metavar="MBPS",
+        help="throttle table I/O to model a sequential device "
+        "(benchmarks and kill-and-resume tests)",
     )
     build.set_defaults(fn=_cmd_build)
 

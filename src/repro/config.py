@@ -102,6 +102,25 @@ class BoatConfig:
             :class:`~repro.observability.TraceReport` on the build report.
             Off by default: the disabled path is a no-op object with no
             measurable cost on the scan path.
+        checkpoint_dir: when set, the build becomes crash-safe: the
+            skeleton is persisted after the sampling phase, cleanup-scan
+            progress (scan offset, per-node statistics, durable spill
+            manifest) every ``checkpoint_every_batches`` batches, and a
+            killed build can be resumed with
+            :func:`repro.recovery.resume_build` (CLI ``--resume``),
+            producing a byte-identical tree.  Like every other knob this
+            never changes the output tree.
+        checkpoint_every_batches: cleanup-scan batches between progress
+            checkpoints.  Smaller values shrink the re-read tail after a
+            crash at the cost of more checkpoint writes.
+        scan_retries: absorb up to this many transient ``IOError``s per
+            scan by re-reading from the last good offset with bounded
+            exponential backoff (0 disables retrying; failures then
+            surface immediately as :class:`~repro.exceptions.StorageError`).
+        scan_retry_base_delay_s: backoff before the first retry; each
+            subsequent retry doubles it, capped at
+            ``scan_retry_max_delay_s``.
+        scan_retry_max_delay_s: upper bound on a single backoff sleep.
     """
 
     sample_size: int = 20000
@@ -117,6 +136,11 @@ class BoatConfig:
     n_workers: int = 1
     parallel_backend: str = "auto"
     trace: bool = False
+    checkpoint_dir: str | None = None
+    checkpoint_every_batches: int = 16
+    scan_retries: int = 0
+    scan_retry_base_delay_s: float = 0.05
+    scan_retry_max_delay_s: float = 2.0
 
     def __post_init__(self) -> None:
         if self.sample_size < 1:
@@ -143,6 +167,16 @@ class BoatConfig:
             raise ValueError(
                 f"parallel_backend must be one of {PARALLEL_BACKENDS}, "
                 f"got {self.parallel_backend!r}"
+            )
+        if self.checkpoint_every_batches < 1:
+            raise ValueError("checkpoint_every_batches must be >= 1")
+        if self.scan_retries < 0:
+            raise ValueError("scan_retries must be >= 0")
+        if self.scan_retry_base_delay_s < 0:
+            raise ValueError("scan_retry_base_delay_s must be >= 0")
+        if self.scan_retry_max_delay_s < self.scan_retry_base_delay_s:
+            raise ValueError(
+                "scan_retry_max_delay_s must be >= scan_retry_base_delay_s"
             )
 
 

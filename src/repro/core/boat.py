@@ -14,8 +14,17 @@ two-scan claim machine-checkable (see ``docs/OBSERVABILITY.md``).
 
 Failure hygiene: any error escaping the build (including injected I/O
 faults mid-scan) releases every held/family store the skeleton created,
-so no spill files survive a failed construction, and raw :class:`OSError`
-from the storage layer surfaces as a :class:`~repro.exceptions.StorageError`.
+so no temporary spill files survive a failed construction, and raw
+:class:`OSError` from the storage layer surfaces as a
+:class:`~repro.exceptions.StorageError`.
+
+Crash safety: with ``BoatConfig.checkpoint_dir`` set the build persists
+its skeleton and cleanup-scan progress as it goes (durable spill files
+under the checkpoint directory deliberately *do* survive a failure —
+they are the recovery state) and a killed build can be finished by
+:func:`repro.recovery.resume_build`, producing a byte-identical tree.
+``BoatConfig.scan_retries`` additionally absorbs transient ``IOError``s
+mid-scan without failing the build at all.  See ``docs/RECOVERY.md``.
 """
 
 from __future__ import annotations
@@ -143,6 +152,27 @@ def boat_build(
     tracer = _resolve_tracer(tracer, boat_config, io)
     report = BoatReport(mode="boat", table_size=len(table))
 
+    # Recovery hooks (imported lazily: repro.recovery imports this module).
+    checkpoint = None
+    durable_dir = None
+    scan_table: Table = table
+    if boat_config.checkpoint_dir or boat_config.scan_retries > 0:
+        from ..recovery import CheckpointManager, build_digest, wrap_retry
+
+        if boat_config.checkpoint_dir:
+            checkpoint = CheckpointManager(
+                boat_config.checkpoint_dir,
+                boat_config.checkpoint_every_batches,
+                tracer,
+            )
+            checkpoint.begin(
+                table.schema,
+                len(table),
+                build_digest(table.schema, len(table), split_config, boat_config),
+            )
+            durable_dir = checkpoint.spill_dir
+        scan_table = wrap_retry(table, boat_config, tracer)
+
     def phase(name: str, start: float, io_before: IOStats | None) -> None:
         report.wall_seconds[name] = time.perf_counter() - start
         if io is not None and io_before is not None:
@@ -158,7 +188,7 @@ def boat_build(
                 "sample", requested_rows=boat_config.sample_size
             ) as sample_span:
                 sample = sample_table(
-                    table, boat_config.sample_size, rng, boat_config.batch_rows
+                    scan_table, boat_config.sample_size, rng, boat_config.batch_rows
                 )
                 sample_span.set(sample_rows=len(sample))
             if len(sample) >= len(table):
@@ -170,6 +200,8 @@ def boat_build(
                     )
                 phase("in_memory_build", t0, io_before)
                 report.mode = "in-memory"
+                if checkpoint is not None:
+                    checkpoint.finish()
                 if tracer.enabled:
                     report.trace = tracer.report()
                 return BoatResult(tree=tree, report=report)
@@ -188,22 +220,36 @@ def boat_build(
                     io,
                     pool=pool,
                     tracer=tracer,
+                    durable_dir=durable_dir,
                 )
                 report.sampling = result.report
                 phase("sampling", t0, io_before)
+                if checkpoint is not None:
+                    # The skeleton is immutable from here on; persisting it
+                    # now makes every later crash resumable.
+                    checkpoint.save_skeleton(result.root)
 
                 # -- cleanup scan --------------------------------------------
                 t0 = time.perf_counter()
                 io_before = io.snapshot() if io is not None else None
                 cleanup_scan(
                     result.root,
-                    table,
+                    scan_table,
                     table.schema,
                     boat_config.batch_rows,
                     pool,
                     tracer=tracer,
+                    progress=(
+                        None
+                        if checkpoint is None
+                        else checkpoint.progress_hook(result.root)
+                    ),
                 )
                 phase("cleanup_scan", t0, io_before)
+                if checkpoint is not None:
+                    # Fully accumulated: a crash during finalization resumes
+                    # with zero scan rows to re-read.
+                    checkpoint.checkpoint_cleanup(result.root, len(table))
 
                 # -- finalization --------------------------------------------
                 t0 = time.perf_counter()
@@ -240,6 +286,8 @@ def boat_build(
         # spill files they own) are torn down before we return.
         if result is not None:
             result.root.release()
+    if checkpoint is not None:
+        checkpoint.finish()
     if tracer.enabled:
         report.trace = tracer.report()
     return BoatResult(tree=tree, report=report)

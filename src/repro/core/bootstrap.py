@@ -72,6 +72,7 @@ class _SkeletonBuilder:
         sample_size: int,
         spill_dir: str | None,
         io_stats: IOStats | None,
+        durable_dir: str | None = None,
     ):
         self._schema = schema
         self._method = method
@@ -81,6 +82,7 @@ class _SkeletonBuilder:
         self._sample_size = max(sample_size, 1)
         self._spill_dir = spill_dir
         self._io_stats = io_stats
+        self._durable_dir = durable_dir
         self._next_id = 0
         self.report = SamplingReport(
             sample_size=sample_size,
@@ -116,6 +118,7 @@ class _SkeletonBuilder:
                 self._spill_dir,
                 self._io_stats,
                 estimated,
+                durable_dir=self._durable_dir,
             )
         profiles, best_estimate = self._profiles(sample_family)
         if isinstance(criterion, CoarseNumeric):
@@ -134,6 +137,7 @@ class _SkeletonBuilder:
             self._spill_dir,
             self._io_stats,
             estimated,
+            durable_dir=self._durable_dir,
         )
         go_left = self._route_mask(sample_family, criterion, nodes)
         boat_node.left = self.build(
@@ -348,6 +352,7 @@ def sampling_phase(
     io_stats: IOStats | None = None,
     pool: WorkerPool | None = None,
     tracer: Tracer | NullTracer = NULL_TRACER,
+    durable_dir: str | None = None,
 ) -> SamplingResult:
     """Run the sampling phase: bootstrap trees → skeleton with coarse criteria.
 
@@ -362,6 +367,9 @@ def sampling_phase(
             without it.
         tracer: records the ``bootstrap`` (tree growing) and ``coarse``
             (skeleton intersection) spans.
+        durable_dir: checkpointed builds pass their spill directory here
+            so node stores get deterministic, recoverable file names
+            (see :func:`repro.core.state.durable_store_path`).
     """
     if not isinstance(method, ImpuritySplitSelection):
         raise SplitSelectionError(
@@ -386,6 +394,7 @@ def sampling_phase(
         len(sample),
         spill_dir,
         io_stats,
+        durable_dir,
     )
     with tracer.span("coarse") as coarse_span:
         root = builder.build([t.root for t in trees], sample, 0)

@@ -28,6 +28,13 @@ cleanup scan below keeps its delta path: it routes down the mutable
 *skeleton* (confidence intervals, held stores), which is per-node state
 the read-only compiled form deliberately does not carry.
 
+Recovery hooks: a resumed build passes ``start_row`` (the checkpointed
+scan offset — rows before it were already accumulated by the crashed
+process) and a checkpointed build passes ``progress`` (called with the
+absolute row offset after each batch is applied, in scan order, from the
+driving thread only — which is what makes checkpoint writes safe at any
+worker count).  Both default to the plain full scan.
+
 Tracing: :func:`cleanup_scan` opens its own ``cleanup`` span (so every
 caller — the static driver, the incremental rebuild — gets the same
 attribution) and, on the worker-read path, one detached child span per
@@ -39,12 +46,46 @@ counters are merged into the shared instance the parent span diffs.
 from __future__ import annotations
 
 import threading
+from typing import Callable, Iterator
+
+import numpy as np
 
 from ..config import DEFAULT_BATCH_ROWS
 from ..observability import NULL_TRACER, NullTracer, Tracer
 from ..parallel import WorkerPool
 from ..storage import DiskTable, IOStats, Schema, Table
 from .state import BoatNode, apply_batch_delta, compute_batch_delta, stream_batch
+
+#: Progress callback: absolute rows scanned so far (start_row included).
+ProgressFn = Callable[[int], None]
+
+
+def scan_from(
+    table: Table, batch_rows: int, start_row: int
+) -> Iterator[np.ndarray]:
+    """Scan ``table`` from ``start_row`` onward, as cheaply as it allows.
+
+    Tables that support offset scans (:class:`DiskTable`, and wrappers
+    advertising ``scan_supports_start_row``) seek straight to the offset;
+    anything else is scanned from the top with the prefix discarded —
+    correctness is unaffected, but the discarded rows are still read (and
+    charged), so resumable builds should live on offset-capable tables.
+    """
+    if start_row == 0:
+        yield from table.scan(batch_rows)
+        return
+    if getattr(table, "scan_supports_start_row", False):
+        yield from table.scan(batch_rows, start_row=start_row)
+        return
+    skipped = 0
+    for batch in table.scan(batch_rows):
+        if skipped >= start_row:
+            yield batch
+            continue
+        drop = min(start_row - skipped, len(batch))
+        skipped += drop
+        if drop < len(batch):
+            yield batch[drop:]
 
 
 def cleanup_scan(
@@ -54,20 +95,39 @@ def cleanup_scan(
     batch_rows: int = DEFAULT_BATCH_ROWS,
     pool: WorkerPool | None = None,
     tracer: Tracer | NullTracer = NULL_TRACER,
+    start_row: int = 0,
+    progress: ProgressFn | None = None,
 ) -> None:
-    """Stream the whole table down the skeleton, in parallel when possible."""
+    """Stream the table down the skeleton, in parallel when possible."""
     with tracer.span("cleanup", batch_rows=batch_rows) as span:
+        if start_row:
+            span.set(resumed_from_row=start_row)
         if pool is None or not pool.is_parallel:
             span.set(workers=1)
-            for batch in table.scan(batch_rows):
+            rows_done = start_row
+            for batch in scan_from(table, batch_rows, start_row):
                 stream_batch(root, batch, schema, sign=1)
+                rows_done += len(batch)
+                if progress is not None:
+                    progress(rows_done)
             return
         span.set(workers=pool.n_workers)
         if pool.backend == "thread":
-            _parallel_scan(root, table, schema, batch_rows, pool, tracer)
+            _parallel_scan(
+                root, table, schema, batch_rows, pool, tracer, start_row, progress
+            )
         else:
             with WorkerPool(pool.n_workers, "thread", tracer=tracer) as thread_pool:
-                _parallel_scan(root, table, schema, batch_rows, thread_pool, tracer)
+                _parallel_scan(
+                    root,
+                    table,
+                    schema,
+                    batch_rows,
+                    thread_pool,
+                    tracer,
+                    start_row,
+                    progress,
+                )
 
 
 def _parallel_scan(
@@ -77,12 +137,15 @@ def _parallel_scan(
     batch_rows: int,
     pool: WorkerPool,
     tracer: Tracer | NullTracer,
+    start_row: int = 0,
+    progress: ProgressFn | None = None,
 ) -> None:
     io = table.io_stats
     if isinstance(table, DiskTable):
         n = len(table)
         ranges = [
-            (start, min(start + batch_rows, n)) for start in range(0, n, batch_rows)
+            (start, min(start + batch_rows, n))
+            for start in range(start_row, n, batch_rows)
         ]
 
         def scan_range(bounds: tuple[int, int]) -> tuple[list, IOStats, str]:
@@ -96,7 +159,9 @@ def _parallel_scan(
         # deterministic for a given schedule; counters are deterministic
         # regardless because each batch is charged exactly once).
         worker_spans: dict[str, object] = {}
-        for deltas, worker_io, worker_name in pool.imap(scan_range, ranges):
+        for (deltas, worker_io, worker_name), bounds in zip(
+            pool.imap(scan_range, ranges), ranges
+        ):
             apply_batch_delta(deltas)
             if io is not None:
                 io.merge(worker_io)
@@ -107,16 +172,22 @@ def _parallel_scan(
                     worker_spans[worker_name] = span
                 span.add_io(worker_io)
                 span.bump("batches")
+            if progress is not None:
+                progress(bounds[1])
         for span in worker_spans.values():
             tracer.attach(span)
-        if io is not None:
+        if io is not None and start_row == 0:
             io.record_full_scan()
         return
 
     # Generic tables (e.g. MemoryTable): the parent iterates the scan —
     # which keeps the table's own charging semantics — and workers route.
-    def route(batch) -> list:
-        return compute_batch_delta(root, batch, schema)
+    def route(batch) -> tuple[list, int]:
+        return compute_batch_delta(root, batch, schema), len(batch)
 
-    for deltas in pool.imap(route, table.scan(batch_rows)):
+    rows_done = start_row
+    for deltas, n_rows in pool.imap(route, scan_from(table, batch_rows, start_row)):
         apply_batch_delta(deltas)
+        rows_done += n_rows
+        if progress is not None:
+            progress(rows_done)

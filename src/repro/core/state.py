@@ -22,6 +22,7 @@ their confidence intervals.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -33,6 +34,21 @@ from ..storage import CLASS_COLUMN, IOStats, Schema, TupleStore
 from ..splits.categorical import category_class_counts
 from .coarse import CoarseCategorical, CoarseCriterion, CoarseNumeric
 from .discretize import bucket_index
+
+
+def durable_store_path(
+    durable_dir: str | None, node_id: int, kind: str
+) -> str | None:
+    """Deterministic durable spill path for one node's store.
+
+    Checkpointed builds (``durable_dir`` set) name every node store by
+    its skeleton node id, so a resumed process can re-attach exactly the
+    files its predecessor wrote; uncheckpointed builds keep anonymous
+    tempfiles (``None``).
+    """
+    if durable_dir is None:
+        return None
+    return os.path.join(durable_dir, f"node{node_id:06d}-{kind}.spill")
 
 
 class BoatNode:
@@ -71,6 +87,7 @@ class BoatNode:
         spill_dir: str | None = None,
         io_stats: IOStats | None = None,
         estimated_family: int = 0,
+        durable_dir: str | None = None,
     ):
         k = schema.n_classes
         self.node_id = node_id
@@ -109,7 +126,11 @@ class BoatNode:
             self.below_counts = np.zeros(k, dtype=np.int64)
             self.above_counts = np.zeros(k, dtype=np.int64)
             self.held = TupleStore(
-                schema, config.spill_threshold_rows, spill_dir, io_stats
+                schema,
+                config.spill_threshold_rows,
+                spill_dir,
+                io_stats,
+                durable_path=durable_store_path(durable_dir, node_id, "held"),
             )
         else:
             self.below_counts = None
@@ -117,7 +138,11 @@ class BoatNode:
             self.held = None
         if criterion is None:
             self.family_store = TupleStore(
-                schema, config.spill_threshold_rows, spill_dir, io_stats
+                schema,
+                config.spill_threshold_rows,
+                spill_dir,
+                io_stats,
+                durable_path=durable_store_path(durable_dir, node_id, "family"),
             )
         else:
             self.family_store = None

@@ -48,6 +48,16 @@ class CoarseCriterionFailure(ReproError):
         self.reason = reason
 
 
+class RecoveryError(ReproError):
+    """A checkpoint directory is unusable for resuming a build.
+
+    Raised by :mod:`repro.recovery` when a resume is attempted against a
+    missing, incomplete, or mismatched checkpoint — e.g. the table,
+    schema, or build configuration differs from the one the checkpoint
+    was written under, or the build already completed.
+    """
+
+
 class DatagenError(ReproError):
     """Bad parameters passed to the synthetic data generator."""
 

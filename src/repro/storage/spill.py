@@ -6,13 +6,27 @@ Usually these sets are small and stay in RAM, but the paper notes that a
 truly scalable implementation writes them to temporary files.
 :class:`TupleStore` does both: it buffers in memory up to a limit and
 transparently spills to a :class:`SpillFile` beyond it.
+
+Spill lifecycle: by default a spill file is an *anonymous tempfile* that
+never outlives the process — ``clear``/``delete`` remove it, and garbage
+collection removes it as a last resort.  A store created with a
+``durable_path`` instead spills to that exact path and survives process
+death: :meth:`TupleStore.checkpoint` flushes the in-memory tail to the
+file and fsyncs it, and :meth:`TupleStore.restore` re-attaches the file
+after a crash, truncating any rows written past the last checkpoint.
+Durable files are never removed by ``clear`` or ``__del__`` — after a
+failed (or even finalizing) build they *are* the recovery state.  Only
+:meth:`SpillFile.delete`, :meth:`TupleStore.restore` of an empty
+manifest, and the checkpoint manager's success sweep remove them (see
+``docs/RECOVERY.md``).
 """
 
 from __future__ import annotations
 
+import io as _io
 import os
 import tempfile
-from typing import Iterator
+from typing import Iterable, Iterator
 
 import numpy as np
 
@@ -21,12 +35,43 @@ from .io_stats import IOStats
 from .schema import Schema
 
 
+def _rebatch(
+    chunks: Iterable[np.ndarray], batch_rows: int
+) -> Iterator[np.ndarray]:
+    """Re-slice a stream of arrays into exactly ``batch_rows``-sized batches.
+
+    Only the final batch may be smaller.  Peak extra allocation is one
+    batch (full input chunks pass through as views without copying).
+    """
+    pending: list[np.ndarray] = []
+    pending_rows = 0
+    for chunk in chunks:
+        start = 0
+        while start < len(chunk):
+            take = min(batch_rows - pending_rows, len(chunk) - start)
+            piece = chunk[start : start + take]
+            start += take
+            if not pending and take == batch_rows:
+                yield piece
+                continue
+            pending.append(piece)
+            pending_rows += take
+            if pending_rows == batch_rows:
+                yield pending[0] if len(pending) == 1 else np.concatenate(pending)
+                pending, pending_rows = [], 0
+    if pending:
+        yield pending[0] if len(pending) == 1 else np.concatenate(pending)
+
+
 class SpillFile:
-    """A headerless temporary file of fixed-width records for one node.
+    """A headerless file of fixed-width records for one node.
 
     Unlike :class:`~repro.storage.table.DiskTable` there is no header —
-    the schema is carried in memory because spill files never outlive the
-    process that created them.
+    the schema is carried in memory (or, for durable spills, in the
+    checkpoint manifest next to the file).  By default the backing file
+    is an anonymous tempfile; pass ``path`` to create it at a fixed,
+    recoverable location instead (see module docstring for the lifecycle
+    difference).
     """
 
     def __init__(
@@ -34,17 +79,62 @@ class SpillFile:
         schema: Schema,
         directory: str | os.PathLike | None = None,
         io_stats: IOStats | None = None,
+        path: str | os.PathLike | None = None,
     ):
         self._schema = schema
         self._io_stats = io_stats
-        fd, self._path = tempfile.mkstemp(
-            suffix=".spill", dir=None if directory is None else os.fspath(directory)
-        )
-        os.close(fd)
+        self._durable = path is not None
+        if path is not None:
+            self._path = os.fspath(path)
+            with open(self._path, "wb"):
+                pass  # create empty / truncate any stale content
+        else:
+            fd, self._path = tempfile.mkstemp(
+                suffix=".spill",
+                dir=None if directory is None else os.fspath(directory),
+            )
+            os.close(fd)
         self._n_rows = 0
         self._deleted = False
         if io_stats is not None:
             io_stats.record_spill_file()
+
+    @classmethod
+    def attach(
+        cls,
+        schema: Schema,
+        path: str | os.PathLike,
+        n_rows: int,
+        io_stats: IOStats | None = None,
+    ) -> "SpillFile":
+        """Re-attach a durable spill file left behind by a crashed process.
+
+        The file is truncated to exactly ``n_rows`` records: rows (or a
+        torn partial record) appended after the manifest recording
+        ``n_rows`` was written are discarded, which is what makes
+        checkpoint + manifest a consistent recovery point.
+        """
+        spill = cls.__new__(cls)
+        spill._schema = schema
+        spill._io_stats = io_stats
+        spill._durable = True
+        spill._path = os.fspath(path)
+        spill._deleted = False
+        want = n_rows * schema.record_size
+        try:
+            have = os.path.getsize(spill._path)
+        except FileNotFoundError:
+            raise StorageError(f"durable spill file {spill._path} is missing")
+        if have < want:
+            raise StorageError(
+                f"durable spill file {spill._path}: {have} bytes on disk but "
+                f"the manifest promises {want} (checkpoint corrupted?)"
+            )
+        if have > want:
+            with open(spill._path, "rb+") as fh:
+                fh.truncate(want)
+        spill._n_rows = n_rows
+        return spill
 
     @property
     def path(self) -> str:
@@ -53,6 +143,10 @@ class SpillFile:
     @property
     def schema(self) -> Schema:
         return self._schema
+
+    @property
+    def durable(self) -> bool:
+        return self._durable
 
     def __len__(self) -> int:
         return self._n_rows
@@ -74,7 +168,23 @@ class SpillFile:
         if self._io_stats is not None:
             self._io_stats.record_write(len(batch), len(raw))
 
+    def sync(self) -> None:
+        """fsync the backing file (checkpoint durability barrier)."""
+        self._check_live()
+        fd = os.open(self._path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
     def read_all(self) -> np.ndarray:
+        """The full contents as a *writable* structured array.
+
+        The raw bytes are copied into a mutable buffer before the numpy
+        view is taken — callers (e.g. incremental deletion's
+        ``multiset_remove``) mutate the result in place, which a read-only
+        ``frombuffer`` over ``bytes`` would refuse.
+        """
         self._check_live()
         dtype = self._schema.dtype()
         with open(self._path, "rb") as fh:
@@ -84,10 +194,36 @@ class SpillFile:
                 f"spill file {self._path}: expected {self._n_rows} records, "
                 f"found {len(raw)} bytes"
             )
-        batch = np.frombuffer(raw, dtype=dtype)
+        batch = np.frombuffer(bytearray(raw), dtype=dtype)
         if self._io_stats is not None:
             self._io_stats.record_read(len(batch), len(raw))
         return batch
+
+    def iter_batches(self, batch_rows: int) -> Iterator[np.ndarray]:
+        """Stream the contents as writable ``batch_rows``-sized batches.
+
+        Reads the file sequentially; peak allocation is one batch, never
+        the whole file — the point of spilling in the first place.
+        """
+        self._check_live()
+        if batch_rows < 1:
+            raise ValueError("batch_rows must be >= 1")
+        dtype = self._schema.dtype()
+        rec = dtype.itemsize
+        remaining = self._n_rows
+        with open(self._path, "rb", buffering=_io.DEFAULT_BUFFER_SIZE) as fh:
+            while remaining > 0:
+                take = min(batch_rows, remaining)
+                raw = fh.read(take * rec)
+                if len(raw) != take * rec:
+                    raise StorageError(
+                        f"spill file {self._path}: short read "
+                        f"({len(raw)} of {take * rec} bytes)"
+                    )
+                remaining -= take
+                if self._io_stats is not None:
+                    self._io_stats.record_read(take, len(raw))
+                yield np.frombuffer(bytearray(raw), dtype=dtype)
 
     def rewrite(self, batch: np.ndarray) -> None:
         """Replace the file's contents (used when deleting tuples)."""
@@ -110,9 +246,10 @@ class SpillFile:
             except FileNotFoundError:
                 pass
 
-    def __del__(self) -> None:  # best-effort cleanup
+    def __del__(self) -> None:  # best-effort cleanup of *anonymous* files
         try:
-            self.delete()
+            if not self._durable:
+                self.delete()
         except Exception:
             pass
 
@@ -122,7 +259,9 @@ class TupleStore:
 
     The store preserves append order.  ``read_all`` always returns the full
     contents (memory + spilled); ``replace`` substitutes the contents, used
-    by incremental deletion.
+    by incremental deletion.  With a ``durable_path`` the store becomes
+    checkpointable: :meth:`checkpoint` persists everything accumulated so
+    far, :meth:`restore` re-attaches it after a crash.
     """
 
     def __init__(
@@ -131,6 +270,7 @@ class TupleStore:
         memory_budget_rows: int = 1 << 20,
         directory: str | os.PathLike | None = None,
         io_stats: IOStats | None = None,
+        durable_path: str | os.PathLike | None = None,
     ):
         if memory_budget_rows < 0:
             raise ValueError("memory_budget_rows must be >= 0")
@@ -138,9 +278,42 @@ class TupleStore:
         self._budget = memory_budget_rows
         self._directory = directory
         self._io_stats = io_stats
+        self._durable_path = (
+            None if durable_path is None else os.fspath(durable_path)
+        )
         self._chunks: list[np.ndarray] = []
         self._mem_rows = 0
         self._spill: SpillFile | None = None
+
+    @classmethod
+    def restore(
+        cls,
+        schema: Schema,
+        durable_path: str | os.PathLike,
+        n_rows: int,
+        memory_budget_rows: int = 1 << 20,
+        io_stats: IOStats | None = None,
+    ) -> "TupleStore":
+        """Rebuild a store from a durable spill file and its manifest count.
+
+        ``n_rows == 0`` yields a fresh empty store (any stale file at the
+        path is removed); otherwise the file is attached and truncated to
+        exactly ``n_rows`` records.
+        """
+        store = cls(
+            schema,
+            memory_budget_rows,
+            io_stats=io_stats,
+            durable_path=durable_path,
+        )
+        if n_rows == 0:
+            try:
+                os.remove(store._durable_path)
+            except FileNotFoundError:
+                pass
+            return store
+        store._spill = SpillFile.attach(schema, durable_path, n_rows, io_stats)
+        return store
 
     @property
     def schema(self) -> Schema:
@@ -149,6 +322,10 @@ class TupleStore:
     @property
     def spilled(self) -> bool:
         return self._spill is not None
+
+    @property
+    def durable_path(self) -> str | None:
+        return self._durable_path
 
     def __len__(self) -> int:
         spilled = 0 if self._spill is None else len(self._spill)
@@ -168,11 +345,33 @@ class TupleStore:
             self._mem_rows += len(batch)
 
     def _spill_out(self) -> None:
-        self._spill = SpillFile(self._schema, self._directory, self._io_stats)
+        self._spill = SpillFile(
+            self._schema,
+            self._directory,
+            self._io_stats,
+            path=self._durable_path,
+        )
         for chunk in self._chunks:
             self._spill.append(chunk)
         self._chunks.clear()
         self._mem_rows = 0
+
+    def checkpoint(self) -> int:
+        """Persist all contents to the durable spill file; return the row count.
+
+        Forces the in-memory tail to disk and fsyncs, so a manifest entry
+        recording the returned count is recoverable even if the process is
+        killed immediately after.  An empty, never-spilled store stays
+        fileless and reports 0.  Requires a ``durable_path``.
+        """
+        if self._durable_path is None:
+            raise StorageError("checkpoint() requires a TupleStore durable_path")
+        if self._spill is None:
+            if self._mem_rows == 0:
+                return 0
+            self._spill_out()
+        self._spill.sync()
+        return len(self._spill)
 
     def read_all(self) -> np.ndarray:
         parts: list[np.ndarray] = []
@@ -184,18 +383,42 @@ class TupleStore:
         return parts[0] if len(parts) == 1 else np.concatenate(parts)
 
     def iter_batches(self, batch_rows: int) -> Iterator[np.ndarray]:
-        """Yield the contents re-batched to ``batch_rows``."""
-        data = self.read_all()
-        for start in range(0, len(data), batch_rows):
-            yield data[start : start + batch_rows]
+        """Yield the contents re-batched to ``batch_rows``.
+
+        Spilled contents are streamed from the file one batch at a time —
+        peak allocation stays O(batch) regardless of store size, so a
+        store that outgrew memory is never materialized whole just to be
+        re-batched.
+        """
+
+        def chunks() -> Iterator[np.ndarray]:
+            if self._spill is not None:
+                yield from self._spill.iter_batches(batch_rows)
+            yield from self._chunks
+
+        yield from _rebatch(chunks(), batch_rows)
 
     def replace(self, batch: np.ndarray) -> None:
-        """Substitute the store's entire contents with ``batch``."""
+        """Substitute the store's entire contents with ``batch``.
+
+        The memory budget applies exactly as it does to :meth:`append`: a
+        replacement larger than the budget goes to the spill file even
+        when the store previously fit in memory.
+        """
         if batch.dtype != self._schema.dtype():
             raise StorageError("TupleStore replace with mismatched dtype")
         if self._spill is not None and len(batch) <= self._budget:
             self._spill.delete()
             self._spill = None
+        if self._spill is None and len(batch) > self._budget:
+            self._chunks.clear()
+            self._mem_rows = 0
+            self._spill = SpillFile(
+                self._schema,
+                self._directory,
+                self._io_stats,
+                path=self._durable_path,
+            )
         if self._spill is not None:
             self._spill.rewrite(batch)
             self._chunks.clear()
@@ -205,9 +428,18 @@ class TupleStore:
             self._mem_rows = len(batch)
 
     def clear(self) -> None:
-        """Drop all contents and release any spill file."""
+        """Drop all contents and release the spill file.
+
+        A *durable* file is dropped from the store but left on disk: until
+        the checkpoint manager's success sweep removes it, the file (with
+        the manifest that counts its rows) is the crash-recovery state —
+        a build that dies even during finalization, after ``release()``
+        cleared some stores, must still be resumable from its last
+        checkpoint.
+        """
         self._chunks.clear()
         self._mem_rows = 0
         if self._spill is not None:
-            self._spill.delete()
+            if not self._spill.durable:
+                self._spill.delete()
             self._spill = None

@@ -194,6 +194,10 @@ class DiskTable(Table):
     (detected and reported on open).
     """
 
+    #: ``scan`` accepts ``start_row`` (resumed scans seek instead of
+    #: re-reading the prefix) — see :func:`repro.core.cleanup.scan_from`.
+    scan_supports_start_row = True
+
     def __init__(
         self,
         path: str | os.PathLike,
@@ -244,11 +248,16 @@ class DiskTable(Table):
 
     @classmethod
     def open(
-        cls, path: str | os.PathLike, io_stats: IOStats | None = None
+        cls,
+        path: str | os.PathLike,
+        io_stats: IOStats | None = None,
+        simulated_mbps: float | None = None,
     ) -> "DiskTable":
         """Open an existing table file, reading its schema from the header."""
         schema = cls._read_schema(path)
-        return cls(path, schema, io_stats, _existing=True)
+        return cls(
+            path, schema, io_stats, _existing=True, simulated_mbps=simulated_mbps
+        )
 
     @staticmethod
     def _read_schema(path: str | os.PathLike) -> Schema:
@@ -317,18 +326,28 @@ class DiskTable(Table):
         if self._io_stats is not None:
             self._io_stats.record_write(len(batch), len(raw))
 
-    def scan(self, batch_rows: int = DEFAULT_BATCH_ROWS) -> Iterator[np.ndarray]:
+    def scan(
+        self, batch_rows: int = DEFAULT_BATCH_ROWS, start_row: int = 0
+    ) -> Iterator[np.ndarray]:
+        """Yield batches in record order, optionally from ``start_row`` on.
+
+        A partial scan (``start_row > 0`` — a resumed cleanup scan
+        continuing from a checkpoint offset) charges only the rows it
+        actually reads and does *not* count as a full scan.
+        """
         self._check_open()
         if batch_rows < 1:
             raise ValueError("batch_rows must be >= 1")
+        if start_row < 0:
+            raise ValueError("start_row must be >= 0")
         dtype = self._schema.dtype()
         rec = dtype.itemsize
         # Snapshot the row count so concurrent appends during a scan
         # (which the algorithms never do, but tests might) see a stable view.
         rows_at_start = self._n_rows
-        remaining = rows_at_start
+        remaining = max(rows_at_start - start_row, 0)
         with open(self._path, "rb", buffering=io.DEFAULT_BUFFER_SIZE) as fh:
-            fh.seek(self._data_offset)
+            fh.seek(self._data_offset + start_row * rec)
             while remaining > 0:
                 take = min(batch_rows, remaining)
                 raw = fh.read(take * rec)
@@ -342,7 +361,7 @@ class DiskTable(Table):
                 if self._io_stats is not None:
                     self._io_stats.record_read(len(batch), len(raw))
                 yield batch
-        if self._io_stats is not None:
+        if self._io_stats is not None and start_row == 0:
             self._io_stats.record_full_scan()
 
     def scan_columns(

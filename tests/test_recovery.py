@@ -1,0 +1,508 @@
+"""Crash-safe checkpoint/resume and the retrying scan wrapper.
+
+The contract under test: a checkpointed build that is killed mid-cleanup
+and resumed produces a tree *byte-identical* (same serialized JSON) to
+the uninterrupted build's, at any worker count, re-reading only the tail
+of the cleanup scan past the last checkpoint; and a scan wrapped in
+:class:`RetryingTable` absorbs transient I/O errors without changing the
+output at all.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.config import BoatConfig, SplitConfig
+from repro.core import boat_build
+from repro.exceptions import RecoveryError, StorageError
+from repro.observability import Tracer
+from repro.recovery import (
+    CheckpointManager,
+    RetryingTable,
+    RetryPolicy,
+    build_digest,
+    load_checkpoint,
+    resume_build,
+)
+from repro.splits import ImpuritySplitSelection
+from repro.storage import DiskTable, FaultyTable, IOStats, MemoryTable, Table
+from repro.tree import tree_to_json
+
+from .conftest import simple_xy_data
+
+N_ROWS = 6000
+
+
+@pytest.fixture
+def disk_table(small_schema, tmp_path):
+    io = IOStats()
+    table = DiskTable.create(tmp_path / "train.tbl", small_schema, io)
+    table.append(simple_xy_data(small_schema, N_ROWS, seed=2, rule="xy"))
+    io.reset()
+    return table
+
+
+def recovery_config(tmp_path, **overrides) -> BoatConfig:
+    defaults = dict(
+        sample_size=500,
+        bootstrap_repetitions=4,
+        seed=3,
+        spill_threshold_rows=1,  # exercise durable spill files hard
+        batch_rows=256,
+        checkpoint_dir=str(tmp_path / "ckpt"),
+        checkpoint_every_batches=2,
+    )
+    defaults.update(overrides)
+    return BoatConfig(**defaults)
+
+
+@pytest.fixture
+def gini():
+    return ImpuritySplitSelection("gini")
+
+
+@pytest.fixture
+def split_config():
+    return SplitConfig(min_samples_split=20, min_samples_leaf=5, max_depth=8)
+
+
+def baseline_json(table, gini, split_config) -> str:
+    result = boat_build(
+        table,
+        gini,
+        split_config,
+        BoatConfig(
+            sample_size=500,
+            bootstrap_repetitions=4,
+            seed=3,
+            spill_threshold_rows=1,
+            batch_rows=256,
+        ),
+    )
+    return tree_to_json(result.tree)
+
+
+def crash_mid_cleanup(table, gini, split_config, config, fail_at_row=4000):
+    """Run a checkpointed build that dies at ``fail_at_row`` of the cleanup."""
+    faulty = FaultyTable(table, "ioerror", fail_on_scan=1, fail_at_row=fail_at_row)
+    with pytest.raises(StorageError, match="injected"):
+        boat_build(faulty, gini, split_config, config)
+
+
+class _AlwaysFaultyTable(Table):
+    """Raises OSError at the same row of *every* scan (a persistent fault)."""
+
+    def __init__(self, inner: Table, fail_at_row: int):
+        super().__init__(inner.schema, inner.io_stats)
+        self._inner = inner
+        self.fail_at_row = fail_at_row
+
+    def __len__(self):
+        return len(self._inner)
+
+    def append(self, batch):
+        self._inner.append(batch)
+
+    def scan(self, batch_rows=65536):
+        position = 0
+        for batch in self._inner.scan(batch_rows):
+            if position + len(batch) > self.fail_at_row:
+                raise OSError(5, "persistent device error")
+            position += len(batch)
+            yield batch
+
+
+class TestRetryPolicy:
+    def test_backoff_doubles_and_caps(self):
+        policy = RetryPolicy(max_retries=5, base_delay_s=0.1, max_delay_s=0.35)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.35)  # capped
+        assert policy.delay(4) == pytest.approx(0.35)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=1.0, max_delay_s=0.5)
+
+
+class TestRetryingTable:
+    def test_absorbs_transient_fault_each_row_once(self, small_schema):
+        data = simple_xy_data(small_schema, 1000, seed=5)
+        inner = MemoryTable(small_schema, data)
+        faulty = FaultyTable(inner, "ioerror", fail_on_scan=0, fail_at_row=600)
+        sleeps = []
+        table = RetryingTable(
+            faulty, RetryPolicy(max_retries=2, base_delay_s=0.01), sleep=sleeps.append
+        )
+        out = np.concatenate(list(table.scan(batch_rows=128)))
+        assert np.array_equal(out, data)  # every row exactly once
+        assert table.retries_absorbed == 1
+        assert sleeps == [pytest.approx(0.01)]
+
+    def test_persistent_fault_exhausts_retries(self, small_schema):
+        data = simple_xy_data(small_schema, 500, seed=6)
+        table = RetryingTable(
+            _AlwaysFaultyTable(MemoryTable(small_schema, data), fail_at_row=200),
+            RetryPolicy(max_retries=2, base_delay_s=0.0, max_delay_s=0.0),
+        )
+        with pytest.raises(OSError, match="persistent"):
+            list(table.scan(batch_rows=100))
+        assert table.retries_absorbed == 2
+
+    def test_retry_surfaces_in_trace(self, small_schema):
+        data = simple_xy_data(small_schema, 400, seed=7)
+        faulty = FaultyTable(
+            MemoryTable(small_schema, data), "ioerror", fail_on_scan=0, fail_at_row=150
+        )
+        tracer = Tracer()
+        table = RetryingTable(
+            faulty, RetryPolicy(base_delay_s=0.0, max_delay_s=0.0), tracer=tracer
+        )
+        with tracer.span("scan_phase") as span:
+            list(table.scan(batch_rows=64))
+        assert span.attributes["scan_retries"] == 1
+        event = tracer.report().find("scan_retry")
+        assert event is not None
+        assert event.attributes["resume_offset"] == 128  # last full batch
+        assert event.attributes["error"] == "OSError"
+
+    def test_seekable_inner_resumes_by_offset(self, small_schema, tmp_path):
+        data = simple_xy_data(small_schema, 1000, seed=8)
+        io = IOStats()
+        disk = DiskTable.create(tmp_path / "seek.tbl", small_schema, io)
+        disk.append(data)
+        io.reset()
+
+        class FlakyDisk(Table):
+            scan_supports_start_row = True
+
+            def __init__(self):
+                super().__init__(disk.schema, disk.io_stats)
+                self.faults_left = 1
+
+            def __len__(self):
+                return len(disk)
+
+            def append(self, batch):
+                disk.append(batch)
+
+            def scan(self, batch_rows=65536, start_row=0):
+                position = start_row
+                for batch in disk.scan(batch_rows, start_row=start_row):
+                    if self.faults_left and position + len(batch) > 600:
+                        self.faults_left -= 1
+                        raise OSError(5, "flaky read")
+                    position += len(batch)
+                    yield batch
+
+        table = RetryingTable(
+            FlakyDisk(), RetryPolicy(base_delay_s=0.0, max_delay_s=0.0)
+        )
+        out = np.concatenate(list(table.scan(batch_rows=200)))
+        assert np.array_equal(out, data)
+        # Seek-based resume re-reads only the faulted batch: 600 rows
+        # delivered + the 200-row batch that died + 400 rows of tail.
+        assert io.tuples_read == 600 + 200 + 400
+        # The logical full scan is still recorded exactly once.
+        assert io.full_scans == 1
+
+    def test_zero_retries_propagates_immediately(self, small_schema):
+        data = simple_xy_data(small_schema, 300, seed=9)
+        faulty = FaultyTable(
+            MemoryTable(small_schema, data), "ioerror", fail_on_scan=0, fail_at_row=100
+        )
+        table = RetryingTable(faulty, RetryPolicy(max_retries=0))
+        with pytest.raises(OSError):
+            list(table.scan(batch_rows=50))
+
+    def test_non_oserror_not_retried(self, small_schema):
+        data = simple_xy_data(small_schema, 300, seed=10)
+        faulty = FaultyTable(
+            MemoryTable(small_schema, data),
+            "short_read",
+            fail_on_scan=0,
+            fail_at_row=100,
+        )
+        table = RetryingTable(faulty, RetryPolicy(max_retries=3, base_delay_s=0.0))
+        with pytest.raises(StorageError, match="short read"):
+            list(table.scan(batch_rows=50))
+        assert table.retries_absorbed == 0
+
+
+class TestConfigDigest:
+    def test_speed_knobs_do_not_change_digest(self, small_schema):
+        split = SplitConfig()
+        a = build_digest(small_schema, 1000, split, BoatConfig())
+        b = build_digest(
+            small_schema,
+            1000,
+            split,
+            BoatConfig(
+                batch_rows=7,
+                n_workers=8,
+                spill_threshold_rows=3,
+                scan_retries=5,
+                checkpoint_every_batches=99,
+                trace=True,
+            ),
+        )
+        assert a == b
+
+    def test_tree_defining_knobs_change_digest(self, small_schema):
+        split = SplitConfig()
+        base = build_digest(small_schema, 1000, split, BoatConfig())
+        assert base != build_digest(small_schema, 1001, split, BoatConfig())
+        assert base != build_digest(
+            small_schema, 1000, SplitConfig(min_samples_leaf=3), BoatConfig()
+        )
+        assert base != build_digest(small_schema, 1000, split, BoatConfig(seed=7))
+
+
+class TestCrashAndResume:
+    @pytest.mark.parametrize("n_workers", [1, 4])
+    def test_resumed_tree_is_byte_identical(
+        self, disk_table, gini, split_config, tmp_path, n_workers
+    ):
+        expected = baseline_json(disk_table, gini, split_config)
+        config = recovery_config(
+            tmp_path,
+            n_workers=n_workers,
+            parallel_backend="thread" if n_workers > 1 else "auto",
+        )
+        crash_mid_cleanup(disk_table, gini, split_config, config)
+        ckpt = config.checkpoint_dir
+        assert os.path.exists(os.path.join(ckpt, "cleanup_state.json"))
+        result = resume_build(disk_table, gini, split_config, config)
+        assert tree_to_json(result.tree) == expected
+        # Success swept the recovery state and marked the build complete.
+        assert not os.path.exists(os.path.join(ckpt, "cleanup_state.json"))
+        assert os.listdir(os.path.join(ckpt, "spills")) == []
+        assert load_checkpoint(ckpt).phase == "complete"
+
+    def test_resume_with_different_batch_size(
+        self, disk_table, gini, split_config, tmp_path
+    ):
+        expected = baseline_json(disk_table, gini, split_config)
+        config = recovery_config(tmp_path)
+        crash_mid_cleanup(disk_table, gini, split_config, config)
+        import dataclasses
+
+        resumed = dataclasses.replace(config, batch_rows=777, n_workers=2,
+                                      parallel_backend="thread")
+        result = resume_build(disk_table, gini, split_config, resumed)
+        assert tree_to_json(result.tree) == expected
+
+    def test_two_scans_plus_reread_tail(
+        self, disk_table, gini, split_config, tmp_path
+    ):
+        """Total table reads across crash + resume == 2n + re-read tail."""
+        io = disk_table.io_stats
+        config = recovery_config(tmp_path)
+        before = io.snapshot()
+        crash_mid_cleanup(disk_table, gini, split_config, config)
+        crashed = io.delta_since(before)
+        # The crashed build read the sample scan (n) plus a cleanup prefix;
+        # stores were only written, never read, so the prefix is exact.
+        cleanup_prefix = crashed.tuples_read - N_ROWS
+        assert 0 < cleanup_prefix < N_ROWS
+        state = json.load(
+            open(os.path.join(config.checkpoint_dir, "cleanup_state.json"))
+        )
+        checkpointed = state["rows_scanned"]
+        assert 0 < checkpointed <= cleanup_prefix
+        result = resume_build(disk_table, gini, split_config, config)
+        # Restore reads no table rows; the resumed cleanup reads exactly
+        # the rows past the checkpoint.
+        assert result.report.io["restore"].tuples_read == 0
+        tail_reads = result.report.io["cleanup_scan"].tuples_read
+        assert tail_reads == N_ROWS - checkpointed
+        # Distinct-read accounting: two scans plus only the re-read tail.
+        total_scan_reads = crashed.tuples_read + tail_reads
+        tail = cleanup_prefix - checkpointed
+        assert total_scan_reads == 2 * N_ROWS + tail
+        assert tail <= (config.checkpoint_every_batches + 1) * config.batch_rows
+
+    def test_resume_after_failed_resume(
+        self, disk_table, gini, split_config, tmp_path, monkeypatch
+    ):
+        """Durable state survives a resume that itself dies (in finalize)."""
+        expected = baseline_json(disk_table, gini, split_config)
+        config = recovery_config(tmp_path)
+        crash_mid_cleanup(disk_table, gini, split_config, config)
+
+        import repro.recovery.resume as resume_module
+
+        def dying_finalize(*args, **kwargs):
+            raise OSError(5, "injected crash during finalization")
+
+        monkeypatch.setattr(resume_module, "finalize_tree", dying_finalize)
+        with pytest.raises(StorageError, match="finalization"):
+            resume_build(disk_table, gini, split_config, config)
+        monkeypatch.undo()
+        # The failed resume checkpointed the full scan, so the second
+        # resume re-reads zero rows and still finishes the identical tree.
+        result = resume_build(disk_table, gini, split_config, config)
+        assert result.report.io["cleanup_scan"].tuples_read == 0
+        assert tree_to_json(result.tree) == expected
+
+    def test_crash_before_any_cleanup_checkpoint(
+        self, disk_table, gini, split_config, tmp_path
+    ):
+        """A crash right after the skeleton save resumes from row zero."""
+        expected = baseline_json(disk_table, gini, split_config)
+        config = recovery_config(tmp_path, checkpoint_every_batches=10_000)
+        crash_mid_cleanup(disk_table, gini, split_config, config, fail_at_row=300)
+        assert not os.path.exists(
+            os.path.join(config.checkpoint_dir, "cleanup_state.json")
+        )
+        result = resume_build(disk_table, gini, split_config, config)
+        assert tree_to_json(result.tree) == expected
+
+    def test_uninterrupted_checkpointed_build_matches_and_cleans_up(
+        self, disk_table, gini, split_config, tmp_path
+    ):
+        expected = baseline_json(disk_table, gini, split_config)
+        config = recovery_config(tmp_path)
+        result = boat_build(disk_table, gini, split_config, config)
+        assert tree_to_json(result.tree) == expected
+        ckpt = config.checkpoint_dir
+        assert load_checkpoint(ckpt).phase == "complete"
+        assert os.listdir(os.path.join(ckpt, "spills")) == []
+
+    def test_build_with_retries_survives_transient_cleanup_fault(
+        self, disk_table, gini, split_config, tmp_path
+    ):
+        expected = baseline_json(disk_table, gini, split_config)
+        faulty = FaultyTable(disk_table, "ioerror", fail_on_scan=1, fail_at_row=3000)
+        config = recovery_config(
+            tmp_path,
+            checkpoint_dir=None,
+            scan_retries=3,
+            scan_retry_base_delay_s=0.0,
+            scan_retry_max_delay_s=0.0,
+        )
+        result = boat_build(faulty, gini, split_config, config)
+        assert tree_to_json(result.tree) == expected
+
+
+class TestKillAndResume:
+    """A real SIGKILL mid-cleanup, then a CLI ``--resume`` of the corpse."""
+
+    def test_sigkill_during_cleanup_then_resume(self, tmp_path):
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+
+        def repro(*argv):
+            return subprocess.run(
+                [sys.executable, "-m", "repro", *argv],
+                env=env,
+                capture_output=True,
+                text=True,
+            )
+
+        table = str(tmp_path / "train.tbl")
+        done = repro("generate", table, "--n", "30000", "--seed", "4")
+        assert done.returncode == 0, done.stderr
+
+        baseline = str(tmp_path / "baseline.json")
+        done = repro("build", table, baseline, "--sample-size", "2000",
+                     "--bootstraps", "4", "--seed", "3")
+        assert done.returncode == 0, done.stderr
+
+        # Throttled checkpointed build: slow enough that polling for the
+        # first cleanup checkpoint always wins the race against completion.
+        ckpt = str(tmp_path / "ckpt")
+        out = str(tmp_path / "tree.json")
+        victim = subprocess.Popen(
+            [sys.executable, "-m", "repro", "build", table, out,
+             "--sample-size", "2000", "--bootstraps", "4", "--seed", "3",
+             "--checkpoint", ckpt, "--checkpoint-every", "1",
+             "--batch-rows", "1000", "--simulate-io-mbps", "1"],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        state_file = os.path.join(ckpt, "cleanup_state.json")
+        deadline = time.monotonic() + 60.0
+        try:
+            while not os.path.exists(state_file):
+                assert victim.poll() is None, "build finished before SIGKILL"
+                assert time.monotonic() < deadline, "no checkpoint within 60s"
+                time.sleep(0.01)
+            victim.send_signal(signal.SIGKILL)
+        finally:
+            if victim.poll() is None:
+                victim.kill()
+            victim.wait()
+        assert not os.path.exists(out)
+        assert os.path.exists(state_file)
+
+        done = repro("build", table, out, "--sample-size", "2000",
+                     "--bootstraps", "4", "--seed", "3", "--resume", ckpt)
+        assert done.returncode == 0, done.stderr
+        assert "resumed from checkpoint" in done.stdout
+        with open(out) as f_out, open(baseline) as f_base:
+            assert f_out.read() == f_base.read()
+
+
+class TestResumeGuards:
+    def test_resume_requires_checkpoint_dir(self, disk_table, gini, split_config):
+        with pytest.raises(RecoveryError, match="checkpoint_dir"):
+            resume_build(disk_table, gini, split_config, BoatConfig())
+
+    def test_resume_missing_directory(self, disk_table, gini, split_config, tmp_path):
+        config = recovery_config(tmp_path, checkpoint_dir=str(tmp_path / "nope"))
+        with pytest.raises(RecoveryError, match="metadata"):
+            resume_build(disk_table, gini, split_config, config)
+
+    def test_resume_completed_build_refused(
+        self, disk_table, gini, split_config, tmp_path
+    ):
+        config = recovery_config(tmp_path)
+        boat_build(disk_table, gini, split_config, config)
+        with pytest.raises(RecoveryError, match="completed"):
+            resume_build(disk_table, gini, split_config, config)
+
+    def test_resume_before_skeleton_refused(
+        self, disk_table, gini, split_config, tmp_path
+    ):
+        """A crash during the sampling phase leaves nothing to resume."""
+        config = recovery_config(tmp_path)
+        faulty = FaultyTable(disk_table, "ioerror", fail_on_scan=0, fail_at_row=100)
+        with pytest.raises(StorageError):
+            boat_build(faulty, gini, split_config, config)
+        with pytest.raises(RecoveryError, match="sampling"):
+            resume_build(disk_table, gini, split_config, config)
+
+    def test_resume_config_mismatch_refused(
+        self, disk_table, gini, split_config, tmp_path
+    ):
+        config = recovery_config(tmp_path)
+        crash_mid_cleanup(disk_table, gini, split_config, config)
+        import dataclasses
+
+        drifted = dataclasses.replace(config, seed=999)
+        with pytest.raises(RecoveryError, match="digest"):
+            resume_build(disk_table, gini, split_config, drifted)
+        drifted_split = SplitConfig(min_samples_split=21, min_samples_leaf=5,
+                                    max_depth=8)
+        with pytest.raises(RecoveryError, match="digest"):
+            resume_build(disk_table, gini, drifted_split, config)
+
+    def test_checkpoint_manager_validates_cadence(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointManager(str(tmp_path), every_batches=0)

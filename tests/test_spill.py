@@ -1,12 +1,13 @@
 """Tests for repro.storage.spill (SpillFile, TupleStore)."""
 
 import os
+import tracemalloc
 
 import numpy as np
 import pytest
 
 from repro.exceptions import StorageError
-from repro.storage import IOStats, SpillFile, TupleStore
+from repro.storage import CLASS_COLUMN, IOStats, SpillFile, TupleStore
 
 from .conftest import simple_xy_data
 
@@ -131,3 +132,232 @@ class TestTupleStore:
         store = TupleStore(small_schema, directory=tmp_path)
         store.append(small_schema.empty(0))
         assert len(store) == 0
+
+
+class TestSpillRegressions:
+    """Regression tests for the three spill-layer bugs.
+
+    Each of these fails on the pre-fix code: read-only ``read_all``
+    arrays, whole-store materialization in ``iter_batches``, and
+    over-budget ``replace`` batches kept in RAM.
+    """
+
+    def test_spillfile_read_all_is_writable(self, tmp_path, small_schema):
+        data = simple_xy_data(small_schema, 50, seed=11)
+        spill = SpillFile(small_schema, tmp_path)
+        spill.append(data)
+        out = spill.read_all()
+        assert out.flags.writeable, "read_all must return a mutable array"
+        out["x"][0] = -1.0  # np.frombuffer over bytes would raise here
+        # Mutating the returned copy never corrupts the file.
+        assert np.array_equal(spill.read_all(), data)
+        spill.delete()
+
+    def test_store_read_all_writable_after_spill(self, tmp_path, small_schema):
+        # multiset_remove (incremental deletion) sorts/masks the array it
+        # gets back; a read-only view from the spill path broke it.
+        data = simple_xy_data(small_schema, 80, seed=12)
+        store = TupleStore(small_schema, memory_budget_rows=10, directory=tmp_path)
+        store.append(data)
+        assert store.spilled
+        out = store.read_all()
+        assert out.flags.writeable
+        out[CLASS_COLUMN][:] = 0
+        assert np.array_equal(store.read_all(), data)
+
+    def test_iter_batches_peak_memory_is_o_batch(self, tmp_path, small_schema):
+        n, batch_rows = 20_000, 500
+        data = simple_xy_data(small_schema, n, seed=13)
+        store = TupleStore(small_schema, memory_budget_rows=1, directory=tmp_path)
+        store.append(data)
+        assert store.spilled
+        record = small_schema.record_size
+        total_bytes = n * record
+        batch_bytes = batch_rows * record
+        tracemalloc.start()
+        try:
+            rows = 0
+            for batch in store.iter_batches(batch_rows):
+                assert len(batch) <= batch_rows
+                rows += len(batch)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert rows == n
+        # Streaming keeps the peak near one batch; materializing the
+        # whole store first (the old read_all-based path) needs >= total.
+        assert peak < total_bytes / 4, (
+            f"iter_batches allocated {peak}B peak for a {total_bytes}B store "
+            f"({batch_bytes}B batches) — not O(batch)"
+        )
+
+    def test_iter_batches_yields_writable_batches(self, tmp_path, small_schema):
+        data = simple_xy_data(small_schema, 60, seed=14)
+        store = TupleStore(small_schema, memory_budget_rows=1, directory=tmp_path)
+        store.append(data)
+        for batch in store.iter_batches(25):
+            assert batch.flags.writeable
+
+    def test_replace_over_budget_spills(self, tmp_path, small_schema):
+        data = simple_xy_data(small_schema, 200, seed=15)
+        store = TupleStore(small_schema, memory_budget_rows=50, directory=tmp_path)
+        store.append(data[:20])
+        assert not store.spilled
+        # Pre-fix: an in-memory store kept ANY replacement in RAM,
+        # breaking the budget the moment a big family came back.
+        store.replace(data)
+        assert store.spilled, "over-budget replace must spill like append"
+        assert np.array_equal(store.read_all(), data)
+
+    def test_replace_over_budget_on_spilled_store_stays_spilled(
+        self, tmp_path, small_schema
+    ):
+        data = simple_xy_data(small_schema, 200, seed=16)
+        store = TupleStore(small_schema, memory_budget_rows=50, directory=tmp_path)
+        store.append(data)
+        assert store.spilled
+        store.replace(data[:150])
+        assert store.spilled
+        assert np.array_equal(store.read_all(), data[:150])
+
+
+class TestTupleStoreEdgeCases:
+    def test_zero_budget_spills_first_append(self, tmp_path, small_schema):
+        data = simple_xy_data(small_schema, 10, seed=17)
+        store = TupleStore(small_schema, memory_budget_rows=0, directory=tmp_path)
+        store.append(data[:1])
+        assert store.spilled
+        store.append(data[1:])
+        assert np.array_equal(store.read_all(), data)
+
+    def test_replace_after_clear(self, tmp_path, small_schema):
+        data = simple_xy_data(small_schema, 60, seed=18)
+        store = TupleStore(small_schema, memory_budget_rows=20, directory=tmp_path)
+        store.append(data)
+        store.clear()
+        store.replace(data[:10])
+        assert len(store) == 10
+        assert np.array_equal(store.read_all(), data[:10])
+
+    def test_spill_shrink_regrow(self, tmp_path, small_schema):
+        data = simple_xy_data(small_schema, 120, seed=19)
+        store = TupleStore(small_schema, memory_budget_rows=40, directory=tmp_path)
+        store.append(data)  # spill
+        assert store.spilled
+        store.replace(data[:10])  # shrink back into memory
+        assert not store.spilled
+        store.append(data[10:90])  # regrow past the budget: spill again
+        assert store.spilled
+        assert np.array_equal(store.read_all(), data[:90])
+
+    def test_replace_with_empty(self, tmp_path, small_schema):
+        data = simple_xy_data(small_schema, 50, seed=20)
+        store = TupleStore(small_schema, memory_budget_rows=10, directory=tmp_path)
+        store.append(data)
+        store.replace(small_schema.empty(0))
+        assert len(store) == 0
+        assert not store.spilled
+
+    def test_fault_on_spill_write_surfaces_and_store_recovers(
+        self, tmp_path, small_schema, monkeypatch
+    ):
+        data = simple_xy_data(small_schema, 30, seed=21)
+        store = TupleStore(small_schema, memory_budget_rows=10, directory=tmp_path)
+
+        def dying_append(self, batch):
+            raise OSError(5, "injected device error on spill write")
+
+        monkeypatch.setattr(SpillFile, "append", dying_append)
+        with pytest.raises(OSError, match="spill write"):
+            store.append(data)  # over budget -> must spill -> fault
+        monkeypatch.undo()
+        store.clear()  # a faulted store can still be torn down cleanly
+        assert len(store) == 0
+        store.append(data)
+        assert np.array_equal(store.read_all(), data)
+
+
+class TestDurableSpill:
+    def test_checkpoint_restore_roundtrip(self, tmp_path, small_schema):
+        data = simple_xy_data(small_schema, 90, seed=22)
+        path = tmp_path / "node000001-held.spill"
+        store = TupleStore(
+            small_schema, memory_budget_rows=1000, durable_path=path
+        )
+        store.append(data)
+        assert not store.spilled  # under budget: still in RAM
+        n_rows = store.checkpoint()  # force-spills to the durable path
+        assert n_rows == 90
+        assert os.path.exists(path)
+        restored = TupleStore.restore(small_schema, path, n_rows)
+        assert np.array_equal(restored.read_all(), data)
+
+    def test_restore_truncates_torn_tail(self, tmp_path, small_schema):
+        data = simple_xy_data(small_schema, 40, seed=23)
+        path = tmp_path / "node000002-held.spill"
+        store = TupleStore(small_schema, memory_budget_rows=0, durable_path=path)
+        store.append(data)
+        n_rows = store.checkpoint()
+        # Rows appended after the checkpoint — plus a torn half-record —
+        # must be discarded on restore.
+        store.append(simple_xy_data(small_schema, 7, seed=24))
+        with open(path, "ab") as fh:
+            fh.write(b"\x7f" * (small_schema.record_size // 2))
+        restored = TupleStore.restore(small_schema, path, n_rows)
+        assert len(restored) == 40
+        assert np.array_equal(restored.read_all(), data)
+
+    def test_restore_empty_manifest_removes_stale_file(
+        self, tmp_path, small_schema
+    ):
+        path = tmp_path / "node000003-family.spill"
+        path.write_bytes(b"stale garbage from a crashed predecessor")
+        restored = TupleStore.restore(small_schema, path, 0)
+        assert len(restored) == 0
+        assert not path.exists()
+
+    def test_restore_missing_file_raises(self, tmp_path, small_schema):
+        with pytest.raises(StorageError, match="missing"):
+            TupleStore.restore(small_schema, tmp_path / "gone.spill", 5)
+
+    def test_restore_short_file_raises(self, tmp_path, small_schema):
+        path = tmp_path / "short.spill"
+        path.write_bytes(b"\x00" * small_schema.record_size)
+        with pytest.raises(StorageError, match="promises"):
+            TupleStore.restore(small_schema, path, 5)
+
+    def test_clear_keeps_durable_file(self, tmp_path, small_schema):
+        # Between the last checkpoint and the manager's success sweep the
+        # file IS the recovery state; clear() drops the store, not the file.
+        data = simple_xy_data(small_schema, 25, seed=25)
+        path = tmp_path / "node000004-held.spill"
+        store = TupleStore(small_schema, memory_budget_rows=0, durable_path=path)
+        store.append(data)
+        store.checkpoint()
+        store.clear()
+        assert len(store) == 0
+        assert path.exists()
+        restored = TupleStore.restore(small_schema, path, 25)
+        assert np.array_equal(restored.read_all(), data)
+
+    def test_empty_store_checkpoint_is_fileless(self, tmp_path, small_schema):
+        path = tmp_path / "node000005-held.spill"
+        store = TupleStore(small_schema, durable_path=path)
+        assert store.checkpoint() == 0
+        assert not path.exists()
+
+    def test_checkpoint_without_durable_path_raises(self, tmp_path, small_schema):
+        store = TupleStore(small_schema, directory=tmp_path)
+        with pytest.raises(StorageError, match="durable_path"):
+            store.checkpoint()
+
+    def test_incremental_checkpoints_append(self, tmp_path, small_schema):
+        data = simple_xy_data(small_schema, 100, seed=26)
+        path = tmp_path / "node000006-held.spill"
+        store = TupleStore(small_schema, memory_budget_rows=0, durable_path=path)
+        store.append(data[:30])
+        assert store.checkpoint() == 30
+        store.append(data[30:])
+        assert store.checkpoint() == 100
+        restored = TupleStore.restore(small_schema, path, 100)
+        assert np.array_equal(restored.read_all(), data)
