@@ -1,0 +1,136 @@
+"""Scan-throughput and build scaling versus shard count.
+
+Partitions one workload table into K = 1, 2, 4 shards and measures (a)
+raw sequential scan throughput through :class:`ShardedTable` and (b)
+the sharded data-parallel build, against the flat single-table
+baselines.  Series are appended to ``bench_results.jsonl`` by the
+benchmarks conftest.
+
+The build trees are asserted byte-identical to the flat build's at
+every shard count — sharding may only change speed, never the result.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+
+import pytest
+
+from repro.bench import RunResult, WorkloadSpec, default_configs, scaled
+from repro.core import boat_build
+from repro.shard import sharded_boat_build
+from repro.splits import ImpuritySplitSelection
+from repro.storage import DiskTable, IOStats, ShardedTable, partition_table
+from repro.tree import tree_to_json
+
+N_TUPLES = scaled(40_000)
+SHARD_COUNTS = [1, 2, 4]
+SPEC = WorkloadSpec(function_id=1, n_tuples=N_TUPLES, noise=0.1, seed=4)
+
+
+@pytest.fixture(scope="module")
+def shard_layouts(workloads):
+    """Partition the workload once per shard count."""
+    table = workloads.table(SPEC)
+    root = tempfile.mkdtemp(prefix="repro-bench-shards-")
+    layouts = {}
+    for k in SHARD_COUNTS:
+        directory = f"{root}/k{k}"
+        partition_table(table, directory, k)
+        layouts[k] = directory
+    yield {"flat": table.path, "layouts": layouts}
+    shutil.rmtree(root, ignore_errors=True)
+
+
+def _scan_result(name: str, seconds: float, io: IOStats, workers: int) -> RunResult:
+    return RunResult(
+        algorithm=name,
+        workload=SPEC.describe(),
+        n_tuples=N_TUPLES,
+        wall_seconds=seconds,
+        scans=io.full_scans,
+        tuples_read=io.tuples_read,
+        tree_nodes=0,
+        tree_leaves=0,
+        workers=workers,
+        extra={"mrows_per_s": N_TUPLES / max(seconds, 1e-9) / 1e6},
+    )
+
+
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+def test_scan_throughput_vs_shard_count(
+    benchmark, n_shards, shard_layouts, collector
+):
+    io = IOStats()
+    table = ShardedTable.open(shard_layouts["layouts"][n_shards], io)
+    holder = {}
+
+    def once():
+        start = time.perf_counter()
+        rows = sum(len(batch) for batch in table.scan())
+        holder["seconds"] = time.perf_counter() - start
+        holder["rows"] = rows
+
+    try:
+        benchmark.pedantic(once, rounds=1, iterations=1)
+    finally:
+        table.close()
+    assert holder["rows"] == N_TUPLES
+    collector.add(
+        "Sharded scan throughput: F1 (noise 10%), K=1/2/4 shards",
+        "shards",
+        n_shards,
+        _scan_result(f"scan@{n_shards}sh", holder["seconds"], io, n_shards),
+    )
+
+
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+def test_sharded_build_vs_shard_count(
+    benchmark, n_shards, shard_layouts, collector
+):
+    split, boat_cfg, _, _ = default_configs(N_TUPLES)
+    method = ImpuritySplitSelection("gini")
+
+    flat_io = IOStats()
+    flat = DiskTable.open(shard_layouts["flat"], flat_io)
+    reference = boat_build(flat, method, split, boat_cfg)
+    flat.close()
+
+    io = IOStats()
+    table = ShardedTable.open(shard_layouts["layouts"][n_shards], io)
+    holder = {}
+
+    def once():
+        start = time.perf_counter()
+        holder["result"] = sharded_boat_build(
+            table, method, split, boat_cfg, transport="inprocess"
+        )
+        holder["seconds"] = time.perf_counter() - start
+
+    try:
+        benchmark.pedantic(once, rounds=1, iterations=1)
+    finally:
+        table.close()
+    result = holder["result"]
+    assert tree_to_json(result.tree) == tree_to_json(reference.tree), (
+        "sharding changed the tree"
+    )
+    assert io.full_scans == 2
+    collector.add(
+        "Sharded build: F1 (noise 10%), K=1/2/4 shards (inprocess)",
+        "shards",
+        n_shards,
+        RunResult(
+            algorithm=f"BOAT@{n_shards}sh",
+            workload=SPEC.describe(),
+            n_tuples=N_TUPLES,
+            wall_seconds=holder["seconds"],
+            scans=io.full_scans,
+            tuples_read=io.tuples_read,
+            tree_nodes=result.tree.n_nodes,
+            tree_leaves=result.tree.n_leaves,
+            workers=n_shards,
+        ),
+    )

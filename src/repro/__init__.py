@@ -40,7 +40,17 @@ from .splits import (
     get_impurity,
     get_method,
 )
-from .storage import Attribute, DiskTable, IOStats, MemoryTable, Schema, Table
+from .shard import ShardedBoatResult, ShardReport, sharded_boat_build
+from .storage import (
+    Attribute,
+    DiskTable,
+    IOStats,
+    MemoryTable,
+    Schema,
+    ShardedTable,
+    Table,
+    partition_table,
+)
 from .tree import (
     DecisionTree,
     build_reference_tree,
@@ -75,6 +85,9 @@ __all__ = [
     "RequestBatcher",
     "Schema",
     "ServeConfig",
+    "ShardReport",
+    "ShardedBoatResult",
+    "ShardedTable",
     "SplitConfig",
     "Table",
     "TraceReport",
@@ -86,7 +99,9 @@ __all__ = [
     "format_trace",
     "get_impurity",
     "get_method",
+    "partition_table",
     "read_jsonl",
+    "sharded_boat_build",
     "render_tree",
     "tree_diff",
     "tree_summary",

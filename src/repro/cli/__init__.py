@@ -1,0 +1,58 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands, grouped one module per concern:
+
+* :mod:`repro.cli.build` — ``generate`` (synthetic Agrawal tables) and
+  ``build`` (BOAT construction, flat or sharded training databases).
+* :mod:`repro.cli.inspect` — ``evaluate`` and ``show`` for saved trees.
+* :mod:`repro.cli.serve` — ``predict`` (compiled batch inference) and
+  ``serve`` (the batched HTTP prediction server).
+* :mod:`repro.cli.shard` — ``shard``, partitioning a table or CSV into
+  a :class:`~repro.storage.ShardedTable` directory.
+* :mod:`repro.cli.bench` — ``bench``, a quick scan-throughput probe.
+
+The CLI is a thin veneer over the library; every command prints the
+I/O accounting so the two-scan story stays visible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..exceptions import ReproError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BOAT: optimistic decision tree construction (SIGMOD 1999)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    # Imported here so ``from repro.cli import main`` stays cheap and the
+    # group modules may import heavyweight subsystems lazily themselves.
+    from . import bench, build, inspect, serve, shard
+
+    build.register(sub)
+    inspect.register(sub)
+    serve.register(sub)
+    shard.register(sub)
+    bench.register(sub)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except (ReproError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+__all__ = ["build_parser", "main"]
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

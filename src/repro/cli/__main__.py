@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.cli`` (parity with ``python -m repro``)."""
+
+import sys
+
+from . import main
+
+sys.exit(main())

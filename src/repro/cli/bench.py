@@ -1,0 +1,53 @@
+"""``bench``: a quick scan-throughput probe for flat and sharded tables.
+
+Times full sequential scans and reports rows/s and MB/s from the I/O
+accounting.  The heavyweight paper-figure benchmarks live under
+``benchmarks/`` (pytest-benchmark); this subcommand is for eyeballing a
+table or a shard layout without a test harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+from ..storage import DiskTable, IOStats, ShardedTable
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    io = IOStats()
+    if os.path.isdir(args.table):
+        table = ShardedTable.open(args.table, io)
+        kind = f"sharded ({table.n_shards} shards)"
+    else:
+        table = DiskTable.open(args.table, io)
+        kind = "flat"
+    try:
+        elapsed = []
+        rows = 0
+        for _ in range(args.repeat):
+            start = time.perf_counter()
+            rows = sum(len(batch) for batch in table.scan(args.batch_rows))
+            elapsed.append(time.perf_counter() - start)
+        best = min(elapsed)
+        rate = rows / best if best > 0 else float("inf")
+        mb = io.bytes_read / max(io.full_scans, 1) / 1e6
+        print(
+            f"{kind}: {rows} rows/scan, best of {args.repeat}: "
+            f"{best:.3f}s ({rate:,.0f} rows/s, {mb / best:,.1f} MB/s)"
+        )
+        print(f"I/O: {io}")
+    finally:
+        table.close()
+    return 0
+
+
+def register(sub) -> None:
+    bench = sub.add_parser(
+        "bench", help="measure scan throughput of a table or shard directory"
+    )
+    bench.add_argument("table", help="flat .tbl file or shard directory")
+    bench.add_argument("--repeat", type=int, default=3, help="scan repetitions")
+    bench.add_argument("--batch-rows", type=int, default=65536)
+    bench.set_defaults(fn=_cmd_bench)

@@ -1,0 +1,54 @@
+"""``evaluate`` and ``show``: scoring and rendering saved trees."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..storage import DiskTable, IOStats
+from ..tree import render_tree, tree_from_json, tree_summary, tree_to_dot
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    with open(args.tree, encoding="utf-8") as fh:
+        tree = tree_from_json(fh.read())
+    io = IOStats()
+    table = DiskTable.open(args.table, io)
+    if table.schema != tree.schema:
+        print("error: table schema does not match the tree's schema", file=sys.stderr)
+        return 2
+    errors = 0
+    total = 0
+    from ..storage import CLASS_COLUMN
+
+    for batch in table.scan():
+        predicted = tree.predict(batch)
+        errors += int((predicted != batch[CLASS_COLUMN]).sum())
+        total += len(batch)
+    rate = errors / total if total else 0.0
+    print(f"misclassification rate: {rate:.4%} ({errors}/{total})")
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    with open(args.tree, encoding="utf-8") as fh:
+        tree = tree_from_json(fh.read())
+    if args.dot:
+        print(tree_to_dot(tree, max_depth=args.max_depth))
+    else:
+        print(tree_summary(tree))
+        print(render_tree(tree, max_depth=args.max_depth))
+    return 0
+
+
+def register(sub) -> None:
+    evaluate = sub.add_parser("evaluate", help="score a saved tree on a table")
+    evaluate.add_argument("tree", help="tree JSON path")
+    evaluate.add_argument("table", help="table path")
+    evaluate.set_defaults(fn=_cmd_evaluate)
+
+    show = sub.add_parser("show", help="render a saved tree")
+    show.add_argument("tree", help="tree JSON path")
+    show.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
+    show.add_argument("--max-depth", type=int, default=None)
+    show.set_defaults(fn=_cmd_show)

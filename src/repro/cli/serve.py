@@ -1,0 +1,165 @@
+"""``predict`` and ``serve``: the compiled serving kernel, batch and HTTP."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from ..observability import NULL_TRACER, Tracer, format_trace, write_jsonl
+from ..storage import DiskTable, IOStats
+from ..tree import tree_from_json
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    with open(args.tree, encoding="utf-8") as fh:
+        tree = tree_from_json(fh.read())
+    io = IOStats()
+    table = DiskTable.open(args.table, io)
+    if table.schema != tree.schema:
+        print("error: table schema does not match the tree's schema", file=sys.stderr)
+        return 2
+    predictor = tree.compile()
+    out = open(args.out, "w", encoding="utf-8") if args.out else None
+    total = 0
+    start = time.perf_counter()
+    try:
+        for batch in table.scan(args.batch_rows):
+            if args.proba:
+                rows = predictor.predict_proba(batch)
+                if out is not None:
+                    for row in rows:
+                        out.write(" ".join(f"{p:.6f}" for p in row) + "\n")
+            else:
+                labels = predictor.predict(batch)
+                if out is not None:
+                    out.write("\n".join(str(int(v)) for v in labels) + "\n")
+            total += len(batch)
+    finally:
+        if out is not None:
+            out.close()
+    elapsed = time.perf_counter() - start
+    rate = total / elapsed if elapsed > 0 else float("inf")
+    kind = "probabilities" if args.proba else "labels"
+    print(
+        f"predicted {total} rows in {elapsed:.3f}s ({rate:,.0f} rows/s, "
+        f"compiled kernel, {predictor.n_nodes} nodes)"
+    )
+    if args.out:
+        print(f"{kind} written to {args.out}")
+    print(f"I/O: {io}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from ..serve import ModelRegistry, PredictionServer, ServeConfig
+
+    with open(args.tree, encoding="utf-8") as fh:
+        tree = tree_from_json(fh.read())
+    tracer = Tracer() if args.trace is not None else NULL_TRACER
+    registry = ModelRegistry(tracer=tracer)
+    registry.publish(tree)
+    config = ServeConfig(
+        max_batch_size=args.max_batch,
+        max_delay_ms=args.max_delay_ms,
+        queue_capacity=args.queue_capacity,
+        default_timeout_s=args.timeout,
+    )
+    server = PredictionServer(
+        registry, config, host=args.host, port=args.port, tracer=tracer
+    )
+    server.start()
+    print(f"serving {args.tree} on {server.url}", flush=True)
+    print(
+        f"  batching: max {config.max_batch_size} rows / "
+        f"{config.max_delay_ms:g} ms delay, queue {config.queue_capacity} rows",
+        flush=True,
+    )
+    try:
+        while True:
+            if (
+                args.max_requests is not None
+                and server.served_requests >= args.max_requests
+            ):
+                break
+            time.sleep(0.05)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    stats = server.batcher.stats()
+    latency = stats["latency"]
+    print(
+        f"served {stats['requests']} requests / {stats['rows']} rows in "
+        f"{stats['batches']} batches (p50 {latency['p50_ms']}ms, "
+        f"p99 {latency['p99_ms']}ms, {stats['timeouts']} timeouts, "
+        f"{stats['rejected']} rejected)"
+    )
+    if args.trace is not None:
+        report = tracer.report()
+        if args.trace == "-":
+            print(format_trace(report))
+        else:
+            write_jsonl(report, args.trace)
+            print(f"trace written to {args.trace}")
+    return 0
+
+
+def register(sub) -> None:
+    predict = sub.add_parser(
+        "predict", help="batch inference through the compiled serving kernel"
+    )
+    predict.add_argument("tree", help="tree JSON path")
+    predict.add_argument("table", help="table path")
+    predict.add_argument("--out", default=None, help="write predictions here")
+    predict.add_argument(
+        "--proba", action="store_true", help="emit class probabilities"
+    )
+    predict.add_argument("--batch-rows", type=int, default=65536)
+    predict.set_defaults(fn=_cmd_predict)
+
+    serve = sub.add_parser(
+        "serve", help="run the batched HTTP prediction server on a saved tree"
+    )
+    serve.add_argument("tree", help="tree JSON path")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8331)
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=1024,
+        help="dispatch a batch once this many rows are coalesced",
+    )
+    serve.add_argument(
+        "--max-delay-ms",
+        type=float,
+        default=2.0,
+        help="dispatch an under-full batch after at most this delay",
+    )
+    serve.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=65536,
+        help="maximum queued rows before backpressure (HTTP 429)",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        help="per-request timeout in seconds (HTTP 504)",
+    )
+    serve.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        help="exit after serving this many /predict requests (smoke tests)",
+    )
+    serve.add_argument(
+        "--trace",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="record serve/serve_batch spans; with PATH write JSONL",
+    )
+    serve.set_defaults(fn=_cmd_serve)

@@ -80,3 +80,15 @@ class ServeError(ReproError):
 
 class BenchmarkError(ReproError):
     """A benchmark harness was configured inconsistently."""
+
+
+class ShardError(ReproError):
+    """A sharded build could not complete.
+
+    Raised by :mod:`repro.shard` when a shard is unreachable (dead TCP
+    server, exhausted retries), a shard worker fails mid-scan, or a
+    worker's result is inconsistent with the coordinator's view (row
+    counts drifting between requests).  Shard *storage* corruption — a
+    manifest whose schema digest does not match its shard files —
+    surfaces as :class:`StorageError` like every other storage fault.
+    """

@@ -190,13 +190,17 @@ def restore_skeleton(
     schema: Schema,
     config: BoatConfig,
     io_stats: IOStats | None,
-    durable_dir: str,
+    durable_dir: str | None,
+    spill_dir: str | None = None,
 ) -> BoatNode:
     """Rebuild a zero-statistics skeleton tree from its serialized form.
 
     Every node store is created with its deterministic durable path under
     ``durable_dir`` (but no file yet — :func:`restore_cleanup_state`
-    attaches the checkpointed files afterwards).
+    attaches the checkpointed files afterwards).  Shard workers restore
+    *replica* skeletons with ``durable_dir=None`` and a coordinator-owned
+    ``spill_dir``, so any replica spill files live where the coordinator
+    can sweep them.
     """
 
     def build(node_data: dict) -> BoatNode:
@@ -211,6 +215,7 @@ def restore_skeleton(
                     for i, edges in node_data["bucket_edges"].items()
                 },
                 config=config,
+                spill_dir=spill_dir,
                 io_stats=io_stats,
                 estimated_family=node_data["estimated_family"],
                 durable_dir=durable_dir,

@@ -1,0 +1,256 @@
+"""Stdlib-socket TCP shard transport: length-prefixed pickled frames.
+
+Simulates multi-node operation with nothing beyond the standard library:
+each shard sits behind a :class:`ShardServer` (one process per shard in
+:class:`LocalShardCluster`), and the coordinator's :class:`TcpTransport`
+sends one request frame per shard per phase.
+
+Wire format: an 8-byte big-endian unsigned length, then that many bytes
+of pickled payload.  One request/response exchange per connection — no
+connection reuse means a retried request never observes half-consumed
+stream state.
+
+Failure model: requests are idempotent pure functions of (shard file,
+request) — see ``repro.shard.worker`` — so the client may retry delivery
+failures (refused connection, reset, timeout) with the capped
+exponential backoff of :class:`repro.recovery.RetryPolicy`.  A shard
+that stays dead exhausts its retries and surfaces as a
+:class:`~repro.exceptions.ShardError`; shard-side *logical* failures
+come back as ``ok=False`` verdicts inside a successful exchange and are
+never retried.
+
+Security note: frames are pickled Python objects, so this transport must
+only ever listen on trusted interfaces (the default is loopback); it
+simulates a cluster interconnect, not a public API.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pickle
+import socket
+import struct
+import time
+from multiprocessing import Process, Queue
+
+from ..exceptions import ReproError, ShardError
+from ..parallel import WorkerPool
+from ..recovery import RetryPolicy
+from .transport import ShardTransport
+from .worker import execute_shard_request
+
+_LEN = struct.Struct(">Q")
+#: Frames above this size indicate a corrupt or hostile peer, not a build.
+MAX_FRAME_BYTES = 1 << 34
+DEFAULT_TIMEOUT_S = 120.0
+
+
+def send_frame(sock: socket.socket, payload: object) -> None:
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_LEN.pack(len(blob)) + blob)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    parts = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(min(n - got, 1 << 20))
+        if not chunk:
+            raise ConnectionError(
+                f"peer closed mid-frame ({got} of {n} bytes received)"
+            )
+        parts.append(chunk)
+        got += len(chunk)
+    return b"".join(parts)
+
+
+def recv_frame(sock: socket.socket) -> object:
+    (length,) = _LEN.unpack(_recv_exact(sock, _LEN.size))
+    if length > MAX_FRAME_BYTES:
+        raise ShardError(f"frame of {length} bytes exceeds the sanity cap")
+    return pickle.loads(_recv_exact(sock, length))
+
+
+class ShardServer:
+    """Serves one shard file over TCP, one request per connection."""
+
+    def __init__(self, shard_path: str, host: str = "127.0.0.1", port: int = 0):
+        self._shard_path = shard_path
+        self._sock = socket.create_server((host, port))
+        self._sock.listen()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._sock.getsockname()[:2]
+
+    def serve_forever(self) -> None:
+        """Accept and answer requests until the process dies.
+
+        A request whose *execution* fails cleanly still gets a response
+        (an ``error`` payload with a verdict); only transport-level
+        breakage — including this process being killed — leaves the
+        client to its retry policy.
+        """
+        while True:
+            conn, _ = self._sock.accept()
+            with conn:
+                try:
+                    request = recv_frame(conn)
+                    response = execute_shard_request(self._shard_path, request)
+                    send_frame(conn, response)
+                except (ConnectionError, EOFError, pickle.PickleError):
+                    continue  # client vanished mid-exchange; next, please
+
+    def close(self) -> None:
+        self._sock.close()
+
+
+def serve_shard(
+    shard_path: str,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready: "Queue | None" = None,
+) -> None:
+    """Run a shard server (blocking); report the bound port via ``ready``."""
+    server = ShardServer(shard_path, host, port)
+    if ready is not None:
+        ready.put(server.address)
+    try:
+        server.serve_forever()
+    finally:
+        server.close()
+
+
+class TcpTransport(ShardTransport):
+    """Talks to one :class:`ShardServer` per shard.
+
+    Per-request timeout plus capped exponential-backoff retry (reusing
+    :class:`repro.recovery.RetryPolicy`); delivery is attempted for all
+    shards concurrently (thread per in-flight request), responses return
+    in shard order.
+    """
+
+    name = "tcp"
+
+    def __init__(
+        self,
+        addresses: list[tuple[str, int]],
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+        policy: RetryPolicy | None = None,
+    ):
+        if not addresses:
+            raise ShardError("tcp transport needs at least one shard address")
+        self._addresses = [(host, int(port)) for host, port in addresses]
+        self._timeout_s = timeout_s
+        self._policy = policy or RetryPolicy()
+
+    def request_one(self, shard_id: int, request: dict) -> dict:
+        """One request/response exchange with retry; raises ShardError."""
+        address = self._addresses[shard_id]
+        failures = 0
+        while True:
+            try:
+                with socket.create_connection(
+                    address, timeout=self._timeout_s
+                ) as sock:
+                    send_frame(sock, request)
+                    response = recv_frame(sock)
+                if not isinstance(response, dict):
+                    raise ShardError(
+                        f"shard {shard_id} returned a malformed response "
+                        f"({type(response).__name__})"
+                    )
+                return response
+            except (OSError, ConnectionError, pickle.PickleError) as exc:
+                failures += 1
+                if failures > self._policy.max_retries:
+                    raise ShardError(
+                        f"shard {shard_id} at {address[0]}:{address[1]} "
+                        f"unreachable after {failures} attempt(s): "
+                        f"{type(exc).__name__}: {exc}"
+                    ) from exc
+                time.sleep(self._policy.delay(failures))
+
+    def run(self, requests: list[dict]) -> list[dict]:
+        if len(requests) != len(self._addresses):
+            raise ShardError(
+                f"transport serves {len(self._addresses)} shard(s) but "
+                f"received {len(requests)} request(s)"
+            )
+        if len(requests) == 1:
+            return [self.request_one(0, requests[0])]
+        with WorkerPool(len(requests), "thread") as pool:
+            return pool.map(
+                lambda pair: self.request_one(pair[0], pair[1]),
+                list(enumerate(requests)),
+            )
+
+
+class LocalShardCluster:
+    """One :func:`serve_shard` process per shard on loopback.
+
+    The simulated multi-node deployment used by tests, CI and the CLI's
+    ``--shard-transport tcp``: start as a context manager, hand
+    :attr:`addresses` to a :class:`TcpTransport`, and (for failure
+    drills) :meth:`kill` individual shard servers mid-build.
+    """
+
+    def __init__(self, shard_paths: list[str], host: str = "127.0.0.1"):
+        self._paths = list(shard_paths)
+        self._host = host
+        self._procs: list[Process] = []
+        self.addresses: list[tuple[str, int]] = []
+
+    def __enter__(self) -> "LocalShardCluster":
+        ready: Queue = Queue()
+        for path in self._paths:
+            proc = Process(
+                target=serve_shard, args=(path, self._host, 0, ready), daemon=True
+            )
+            proc.start()
+            self._procs.append(proc)
+            self.addresses.append(tuple(ready.get(timeout=30)))
+        return self
+
+    def kill(self, shard_id: int) -> None:
+        """SIGKILL one shard server (failure-injection for tests)."""
+        proc = self._procs[shard_id]
+        proc.kill()
+        proc.join(timeout=10)
+
+    def __exit__(self, *exc_info: object) -> None:
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            proc.join(timeout=10)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.shard.rpc``: run one shard server (CI smoke jobs)."""
+    parser = argparse.ArgumentParser(description=ShardServer.__doc__)
+    parser.add_argument("shard_path", help="path to a shard .tbl file")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    args = parser.parse_args(argv)
+    if not os.path.exists(args.shard_path):
+        print(f"error: no such shard file: {args.shard_path}")
+        return 1
+    server = ShardServer(args.shard_path, args.host, args.port)
+    host, port = server.address
+    print(f"serving {args.shard_path} on {host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    except ReproError as exc:
+        print(f"error: {exc}")
+        return 1
+    finally:
+        server.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

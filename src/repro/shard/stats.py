@@ -1,0 +1,162 @@
+"""Mergeable per-shard statistics and verdicts.
+
+The cleanup scan is a pure accumulation (see ``repro.core.cleanup``), so
+everything a shard produces is mergeable by construction:
+
+* **additive arrays** — class histograms, per-categorical contingency
+  matrices, per-numeric bucket counts, below/above interval counts — sum
+  across shards;
+* **row payloads** — tuples held inside a confidence interval ("failed"
+  tuples whose side is unknown until the exact split point is fixed) and
+  frontier family rows — concatenate in shard order, which under range
+  placement reproduces the single-table scan order byte for byte;
+* **candidate sets** — the distinct in-interval values each shard saw for
+  a numeric criterion's attribute — union (diagnostics: the exact split
+  point finalization picks is always one of them);
+* **verdicts** — per-shard health checks (scan completed, row count
+  matches the manifest, schema digest matches) — OR-combined: one failing
+  shard fails the build with a single clean error.
+
+Everything here must cross process and socket boundaries, so payloads are
+plain dataclasses of numpy arrays and primitives (picklable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.state import BoatNode, apply_batch_delta, NodeDelta
+from ..exceptions import ShardError
+from ..storage import IOStats, Schema
+
+
+@dataclass
+class NodeShardStats:
+    """One shard's accumulated statistics for one skeleton node."""
+
+    node_id: int
+    class_counts: np.ndarray
+    cat_counts: dict[int, np.ndarray]
+    bucket_counts: dict[int, np.ndarray]
+    below_counts: np.ndarray | None = None
+    above_counts: np.ndarray | None = None
+    held_rows: np.ndarray | None = None
+    family_rows: np.ndarray | None = None
+    #: Distinct in-interval values of the criterion attribute this shard
+    #: saw (numeric coarse criteria only) — the shard's split-candidate set.
+    candidate_values: np.ndarray | None = None
+
+
+@dataclass
+class ShardVerdict:
+    """One shard's health verdict for one request.
+
+    ``ok=False`` verdicts are ORed across shards by the coordinator: any
+    failing shard aborts the build with a single :class:`ShardError`
+    naming every failure.
+    """
+
+    shard_id: int
+    ok: bool
+    reason: str | None = None
+
+
+@dataclass
+class ShardScanResult:
+    """Everything one shard returns from its local cleanup scan."""
+
+    shard_id: int
+    rows_scanned: int
+    nodes: list[NodeShardStats]
+    io: IOStats
+    verdict: ShardVerdict
+
+
+def extract_shard_stats(root: BoatNode, schema: Schema) -> list[NodeShardStats]:
+    """Read a scanned replica skeleton into shippable per-node payloads.
+
+    Row payloads are materialized (``read_all`` copies out of any spill
+    file), so the replica can be released immediately after extraction.
+    """
+    out: list[NodeShardStats] = []
+    for node in root.nodes():
+        stats = NodeShardStats(
+            node_id=node.node_id,
+            class_counts=node.class_counts,
+            cat_counts=node.cat_counts,
+            bucket_counts=node.bucket_counts,
+        )
+        if node.below_counts is not None:
+            stats.below_counts = node.below_counts
+            stats.above_counts = node.above_counts
+        if node.held is not None and len(node.held):
+            stats.held_rows = node.held.read_all()
+            name = schema[node.criterion.attribute_index].name
+            stats.candidate_values = np.unique(stats.held_rows[name])
+        if node.family_store is not None and len(node.family_store):
+            stats.family_rows = node.family_store.read_all()
+        out.append(stats)
+    return out
+
+
+def merge_shard_stats(
+    root: BoatNode, shard_results: list[ShardScanResult]
+) -> dict[int, np.ndarray]:
+    """Fold per-shard statistics into the master skeleton, in shard order.
+
+    Additive arrays sum; held/family rows append in shard order (under
+    range placement that is global scan order, making the master skeleton
+    bit-identical to a locally scanned one).  Returns the merged
+    per-node candidate sets (``node_id`` → sorted distinct in-interval
+    values) for the build report.
+
+    Reuses :func:`repro.core.state.apply_batch_delta` — a shard's payload
+    is exactly one big :class:`~repro.core.state.NodeDelta` per node, so
+    the merge kernel and the single-process scan share one mutation path.
+    """
+    by_id = {node.node_id: node for node in root.nodes()}
+    candidates: dict[int, np.ndarray] = {}
+    for result in shard_results:
+        deltas: list[NodeDelta] = []
+        for stats in result.nodes:
+            node = by_id.get(stats.node_id)
+            if node is None:
+                raise ShardError(
+                    f"shard {result.shard_id} reported statistics for unknown "
+                    f"skeleton node {stats.node_id}"
+                )
+            deltas.append(
+                NodeDelta(
+                    node=node,
+                    class_counts=stats.class_counts,
+                    cat_counts=stats.cat_counts,
+                    bucket_counts=stats.bucket_counts,
+                    below_counts=stats.below_counts,
+                    above_counts=stats.above_counts,
+                    held_rows=stats.held_rows,
+                    family_rows=stats.family_rows,
+                )
+            )
+            if stats.candidate_values is not None:
+                seen = candidates.get(stats.node_id)
+                candidates[stats.node_id] = (
+                    stats.candidate_values
+                    if seen is None
+                    else np.union1d(seen, stats.candidate_values)
+                )
+        apply_batch_delta(deltas)
+    return candidates
+
+
+def combine_verdicts(verdicts: list[ShardVerdict]) -> None:
+    """OR the shard verdicts; raise one clean error naming every failure."""
+    failures = [v for v in verdicts if not v.ok]
+    if failures:
+        detail = "; ".join(
+            f"shard {v.shard_id}: {v.reason or 'failed'}" for v in failures
+        )
+        raise ShardError(
+            f"{len(failures)} of {len(verdicts)} shard(s) failed — {detail}"
+        )

@@ -1,0 +1,127 @@
+"""Pluggable shard transports.
+
+A transport takes the phase's per-shard requests (one per shard, in
+shard order) and returns the per-shard responses in the same order —
+how the requests travel is its business:
+
+* :class:`InProcessTransport` — executes in the coordinator's process,
+  sequentially.  Zero moving parts; the debugging baseline.
+* :class:`ProcessTransport` — one request per :class:`~repro.parallel.
+  WorkerPool` process worker; shards scan concurrently on one machine.
+  (Shard-internal scan parallelism stays on threads, so there is no
+  nested process pool.)
+* :class:`TcpTransport` (``repro.shard.rpc``) — each shard behind a TCP
+  server; simulates multi-node operation.
+
+Transports raise :class:`~repro.exceptions.ShardError` only for
+*delivery* failures (unreachable shard, dead pool).  Shard-side failures
+travel back inside the response as ``ok=False`` verdicts so the
+coordinator can OR them across shards — see ``repro.shard.worker``.
+
+``run`` returns responses in shard order regardless of completion order,
+which is what keeps the coordinator's merge deterministic.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..exceptions import ShardError
+from ..parallel import WorkerPool
+from .worker import execute_shard_request
+
+#: Registry of constructible-by-name transports (CLI ``--shard-transport``).
+TRANSPORTS = ("inprocess", "process", "tcp")
+
+
+class ShardTransport(ABC):
+    """Delivers per-shard requests and collects per-shard responses."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def run(self, requests: list[dict]) -> list[dict]:
+        """Execute ``requests[i]`` against shard ``i``; ordered responses."""
+
+    def close(self) -> None:  # noqa: B027 - optional hook
+        """Release transport resources (pools, sockets)."""
+
+    def __enter__(self) -> "ShardTransport":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class InProcessTransport(ShardTransport):
+    """Run every shard request inline, one after another."""
+
+    name = "inprocess"
+
+    def __init__(self, shard_paths: list[str]):
+        self._paths = list(shard_paths)
+
+    def run(self, requests: list[dict]) -> list[dict]:
+        self._check_count(len(requests))
+        return [
+            execute_shard_request(path, request)
+            for path, request in zip(self._paths, requests)
+        ]
+
+    def _check_count(self, n: int) -> None:
+        if n != len(self._paths):
+            raise ShardError(
+                f"transport serves {len(self._paths)} shard(s) but received "
+                f"{n} request(s)"
+            )
+
+
+def _execute_pair(pair: tuple[str, dict]) -> dict:
+    return execute_shard_request(pair[0], pair[1])
+
+
+class ProcessTransport(InProcessTransport):
+    """One process per in-flight shard request, via the shared worker pool.
+
+    Requests and responses cross the process boundary pickled, exactly
+    like the TCP transport's frames — so this transport doubles as a
+    fast test of payload picklability.
+    """
+
+    name = "process"
+
+    def __init__(self, shard_paths: list[str], max_workers: int = 0):
+        super().__init__(shard_paths)
+        n = len(shard_paths) if max_workers <= 0 else max_workers
+        self._pool = WorkerPool(n, "process")
+
+    def run(self, requests: list[dict]) -> list[dict]:
+        self._check_count(len(requests))
+        return self._pool.map(
+            _execute_pair, list(zip(self._paths, requests))
+        )
+
+    def close(self) -> None:
+        self._pool.shutdown()
+
+
+def make_transport(
+    name: str,
+    shard_paths: list[str],
+    addresses: list[tuple[str, int]] | None = None,
+    **tcp_options,
+) -> ShardTransport:
+    """Construct a transport by CLI name."""
+    if name == "inprocess":
+        return InProcessTransport(shard_paths)
+    if name == "process":
+        return ProcessTransport(shard_paths)
+    if name == "tcp":
+        from .rpc import TcpTransport
+
+        if addresses is None:
+            raise ShardError("tcp transport needs one (host, port) per shard")
+        return TcpTransport(addresses, **tcp_options)
+    raise ShardError(
+        f"unknown shard transport {name!r} (expected one of {TRANSPORTS})"
+    )

@@ -3,12 +3,15 @@
 from .io_stats import IOStats
 from .sampling import (
     bootstrap_resample,
+    choose_sample_indices,
+    gather_rows,
     reservoir_sample,
     sample_known_size,
     sample_table,
     split_into_chunks,
 )
 from .schema import CLASS_COLUMN, Attribute, AttributeKind, Schema
+from .sharded import ShardedTable, ShardManifest, partition_table, schema_digest
 from .spill import SpillFile, TupleStore
 from .table import DiskTable, MemoryTable, Table, read_json_sidecar, write_json_sidecar
 from .csv_io import CategoryEncoder, infer_schema, read_csv, write_csv
@@ -27,18 +30,24 @@ __all__ = [
     "IOStats",
     "MemoryTable",
     "Schema",
+    "ShardManifest",
+    "ShardedTable",
     "SpillFile",
     "StarJoinView",
     "Table",
     "TupleStore",
     "materialize_view",
     "bootstrap_resample",
+    "choose_sample_indices",
+    "gather_rows",
     "infer_schema",
+    "partition_table",
     "read_csv",
     "read_json_sidecar",
     "reservoir_sample",
     "sample_known_size",
     "sample_table",
+    "schema_digest",
     "split_into_chunks",
     "write_csv",
     "write_json_sidecar",

@@ -25,21 +25,28 @@ from .schema import Schema
 from .table import Table
 
 
-def sample_known_size(
-    table: Table, k: int, rng: np.random.Generator, batch_rows: int = 65536
-) -> np.ndarray:
-    """Uniform sample of ``min(k, len(table))`` records, without replacement.
+def choose_sample_indices(
+    n: int, k: int, rng: np.random.Generator
+) -> np.ndarray | None:
+    """The row indices :func:`sample_known_size` would gather, sorted.
 
-    Chooses target row indices up front and gathers them in one sequential
-    scan, so the I/O cost is one full scan regardless of ``k``.
+    Returns ``None`` when ``k >= n`` (the whole table is the sample and
+    no randomness is consumed — the ``read_all`` path).  Factoring the
+    draw out of the gather is what lets a sharded build coordinator make
+    the *identical* draw centrally and ship each shard only its index
+    range, so the concatenated per-shard gathers reproduce the
+    single-table sample byte for byte.
     """
-    n = len(table)
-    if k <= 0:
-        return table.schema.empty(0)
     if k >= n:
-        return table.read_all(batch_rows)
-    chosen = np.sort(rng.choice(n, size=k, replace=False))
-    out = table.schema.empty(k)
+        return None
+    return np.sort(rng.choice(n, size=k, replace=False))
+
+
+def gather_rows(
+    table: Table, chosen: np.ndarray, batch_rows: int = 65536
+) -> np.ndarray:
+    """Gather the rows at sorted indices ``chosen`` in one sequential scan."""
+    out = table.schema.empty(len(chosen))
     filled = 0
     offset = 0
     for batch in table.scan(batch_rows):
@@ -53,6 +60,23 @@ def sample_known_size(
         # The scan generator must run to completion to register the full
         # scan; tables are cheap to finish and this keeps accounting honest.
     return out
+
+
+def sample_known_size(
+    table: Table, k: int, rng: np.random.Generator, batch_rows: int = 65536
+) -> np.ndarray:
+    """Uniform sample of ``min(k, len(table))`` records, without replacement.
+
+    Chooses target row indices up front and gathers them in one sequential
+    scan, so the I/O cost is one full scan regardless of ``k``.
+    """
+    n = len(table)
+    if k <= 0:
+        return table.schema.empty(0)
+    chosen = choose_sample_indices(n, k, rng)
+    if chosen is None:
+        return table.read_all(batch_rows)
+    return gather_rows(table, chosen, batch_rows)
 
 
 def reservoir_sample(

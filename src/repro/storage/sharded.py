@@ -1,0 +1,436 @@
+"""Sharded storage: one logical table partitioned into K `DiskTable` shards.
+
+A shard directory holds ``shard-0000.tbl`` … ``shard-{K-1:04d}.tbl`` plus a
+``manifest.json`` recording the placement strategy, per-shard row counts
+and a SHA-256 digest of the schema.  :func:`partition_table` writes such a
+directory from any :class:`~repro.storage.table.Table`;
+:class:`ShardedTable` opens one and implements the full ``Table`` scan API
+over the concatenation of its shards, so every existing algorithm
+(reference builder, BOAT, RainForest, QUEST) reads it unmodified.
+
+Two placements:
+
+* ``range`` — contiguous row ranges in the original order.  The global
+  scan order is *identical* to the source table's, which is what makes a
+  sharded BOAT build byte-identical to the single-table build (see
+  ``docs/SHARDING.md``).
+* ``hash`` — rows routed by an FNV-1a hash of their raw bytes, modelling
+  a pre-existing hash-distributed warehouse.  Scans are deterministic
+  (shard order, then shard-local order) but permuted relative to the
+  source table.
+
+Scan batches are re-sliced across shard boundaries to exactly the
+requested ``batch_rows`` (only the final batch may be short), so even
+algorithms whose floating-point accumulation order depends on batch
+boundaries (QUEST sufficient statistics) see the byte-identical batch
+stream a single :class:`DiskTable` would produce.
+
+I/O accounting: every shard charges a private :class:`IOStats`; a scan
+merges each shard's delta into the experiment's shared instance (via the
+existing :meth:`IOStats.merge`) as the shard completes, with per-shard
+``full_scans`` kept out of the merged delta — the experiment counts one
+logical full scan per completed sharded scan, while the private per-shard
+counters retain the per-shard scan counts the two-scan invariant tests
+assert on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..config import DEFAULT_BATCH_ROWS
+from ..exceptions import StorageError, TableClosedError
+from .io_stats import IOStats
+from .schema import Schema
+from .spill import _rebatch
+from .table import DiskTable, Table
+
+MANIFEST_FILE = "manifest.json"
+MANIFEST_VERSION = 1
+PLACEMENTS = ("range", "hash")
+
+_FNV_OFFSET = np.uint32(2166136261)
+_FNV_PRIME = np.uint32(16777619)
+
+
+def schema_digest(schema: Schema) -> str:
+    """SHA-256 of the schema's canonical JSON form."""
+    return hashlib.sha256(schema.to_json().encode("utf-8")).hexdigest()
+
+
+def _fnv1a_rows(batch: np.ndarray) -> np.ndarray:
+    """Vectorized FNV-1a over each record's raw bytes (uint32 per row).
+
+    Platform-independent (fixed-width little-endian records, explicit
+    uint32 wraparound), so a hash-placed shard set is reproducible
+    anywhere.
+    """
+    rec = batch.dtype.itemsize
+    raw = np.frombuffer(
+        np.ascontiguousarray(batch).tobytes(), dtype=np.uint8
+    ).reshape(len(batch), rec)
+    h = np.full(len(batch), _FNV_OFFSET, dtype=np.uint32)
+    for col in range(rec):
+        h = (h ^ raw[:, col]) * _FNV_PRIME
+    return h
+
+
+def range_offsets(n_rows: int, n_shards: int) -> list[int]:
+    """Shard boundaries for ``range`` placement: K near-equal spans.
+
+    The first ``n_rows % n_shards`` shards get one extra row; with
+    ``n_shards > n_rows`` the trailing shards are empty (a legal,
+    tested edge case).
+    """
+    base, extra = divmod(n_rows, n_shards)
+    offsets = [0]
+    for i in range(n_shards):
+        offsets.append(offsets[-1] + base + (1 if i < extra else 0))
+    return offsets
+
+
+@dataclass(frozen=True)
+class ShardManifest:
+    """The shard directory's metadata (``manifest.json``)."""
+
+    placement: str
+    schema_digest: str
+    shard_files: tuple[str, ...]
+    shard_rows: tuple[int, ...]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shard_files)
+
+    @property
+    def total_rows(self) -> int:
+        return sum(self.shard_rows)
+
+    def to_dict(self) -> dict:
+        return {
+            "version": MANIFEST_VERSION,
+            "placement": self.placement,
+            "schema_digest": self.schema_digest,
+            "shards": [
+                {"file": name, "rows": rows}
+                for name, rows in zip(self.shard_files, self.shard_rows)
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict, where: str) -> "ShardManifest":
+        try:
+            if data["version"] != MANIFEST_VERSION:
+                raise StorageError(
+                    f"{where}: unsupported shard manifest version "
+                    f"{data['version']!r}"
+                )
+            placement = data["placement"]
+            shards = data["shards"]
+            manifest = cls(
+                placement=placement,
+                schema_digest=data["schema_digest"],
+                shard_files=tuple(entry["file"] for entry in shards),
+                shard_rows=tuple(int(entry["rows"]) for entry in shards),
+            )
+        except (KeyError, TypeError) as exc:
+            raise StorageError(f"{where}: malformed shard manifest: {exc}")
+        if placement not in PLACEMENTS:
+            raise StorageError(f"{where}: unknown placement {placement!r}")
+        if manifest.n_shards == 0:
+            raise StorageError(f"{where}: shard manifest lists no shards")
+        return manifest
+
+    def save(self, directory: str | os.PathLike) -> str:
+        path = os.path.join(os.fspath(directory), MANIFEST_FILE)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def load(cls, directory: str | os.PathLike) -> "ShardManifest":
+        path = os.path.join(os.fspath(directory), MANIFEST_FILE)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                data = json.load(fh)
+        except FileNotFoundError:
+            raise StorageError(
+                f"{directory}: not a shard directory (no {MANIFEST_FILE})"
+            )
+        except json.JSONDecodeError as exc:
+            raise StorageError(f"{path}: corrupt shard manifest: {exc}")
+        return cls.from_dict(data, where=os.fspath(directory))
+
+
+def shard_file_name(shard_id: int) -> str:
+    return f"shard-{shard_id:04d}.tbl"
+
+
+def partition_table(
+    table: Table,
+    directory: str | os.PathLike,
+    n_shards: int,
+    placement: str = "range",
+    batch_rows: int = DEFAULT_BATCH_ROWS,
+    io_stats: IOStats | None = None,
+) -> ShardManifest:
+    """Partition ``table`` into ``n_shards`` shard files under ``directory``.
+
+    One full scan of the source (charged to the source's own stats);
+    shard writes are charged to ``io_stats``.  Returns the written
+    manifest; open the result with :meth:`ShardedTable.open`.
+    """
+    if n_shards < 1:
+        raise StorageError("n_shards must be >= 1")
+    if placement not in PLACEMENTS:
+        raise StorageError(
+            f"unknown placement {placement!r} (expected one of {PLACEMENTS})"
+        )
+    directory = os.fspath(directory)
+    os.makedirs(directory, exist_ok=True)
+    names = [shard_file_name(i) for i in range(n_shards)]
+    shards = [
+        DiskTable.create(os.path.join(directory, name), table.schema, io_stats)
+        for name in names
+    ]
+    try:
+        if placement == "range":
+            offsets = range_offsets(len(table), n_shards)
+            shard_id = 0
+            row = 0
+            for batch in table.scan(batch_rows):
+                start = 0
+                while start < len(batch):
+                    while row >= offsets[shard_id + 1]:
+                        shard_id += 1
+                    take = min(offsets[shard_id + 1] - row, len(batch) - start)
+                    shards[shard_id].append(batch[start : start + take])
+                    start += take
+                    row += take
+        else:
+            for batch in table.scan(batch_rows):
+                dest = _fnv1a_rows(batch) % np.uint32(n_shards)
+                for shard_id in range(n_shards):
+                    rows = batch[dest == shard_id]
+                    if rows.size:
+                        shards[shard_id].append(rows)
+        manifest = ShardManifest(
+            placement=placement,
+            schema_digest=schema_digest(table.schema),
+            shard_files=tuple(names),
+            shard_rows=tuple(len(s) for s in shards),
+        )
+        manifest.save(directory)
+    finally:
+        for shard in shards:
+            shard.close()
+    return manifest
+
+
+class ShardedTable(Table):
+    """K :class:`DiskTable` shards scanned as one logical table.
+
+    Read-only: the shard set is the durable training database; mutating
+    it would invalidate the manifest's row counts.  Open with
+    :meth:`open`; each shard carries a private :class:`IOStats`
+    (:attr:`shard_io_stats`) whose deltas are merged into the shared
+    experiment instance as scans progress.
+    """
+
+    scan_supports_start_row = True
+
+    def __init__(
+        self,
+        directory: str,
+        manifest: ShardManifest,
+        shards: list[DiskTable],
+        shard_ios: list[IOStats],
+        io_stats: IOStats | None,
+    ):
+        super().__init__(shards[0].schema, io_stats)
+        self._directory = directory
+        self._manifest = manifest
+        self._shards = shards
+        self._shard_ios = shard_ios
+        self._closed = False
+
+    @classmethod
+    def open(
+        cls,
+        directory: str | os.PathLike,
+        io_stats: IOStats | None = None,
+        simulated_mbps: float | None = None,
+    ) -> "ShardedTable":
+        """Open a shard directory, validating every shard against the manifest.
+
+        Raises :class:`StorageError` (a :class:`~repro.exceptions.ReproError`)
+        when a shard's schema digest does not match the manifest or a
+        shard's row count drifted from the recorded one.
+        """
+        directory = os.fspath(directory)
+        manifest = ShardManifest.load(directory)
+        shards: list[DiskTable] = []
+        shard_ios: list[IOStats] = []
+        try:
+            for shard_id, (name, rows) in enumerate(
+                zip(manifest.shard_files, manifest.shard_rows)
+            ):
+                shard_io = IOStats()
+                try:
+                    shard = DiskTable.open(
+                        os.path.join(directory, name),
+                        shard_io,
+                        simulated_mbps=simulated_mbps,
+                    )
+                except OSError as exc:
+                    raise StorageError(
+                        f"{directory}: shard {shard_id} ({name}) cannot be "
+                        f"opened: {exc}"
+                    ) from exc
+                shards.append(shard)
+                shard_ios.append(shard_io)
+                digest = schema_digest(shard.schema)
+                if digest != manifest.schema_digest:
+                    raise StorageError(
+                        f"{directory}: shard {shard_id} ({name}) schema digest "
+                        f"{digest[:12]}… does not match manifest "
+                        f"{manifest.schema_digest[:12]}… — shard set and "
+                        f"manifest disagree on the schema"
+                    )
+                if len(shard) != rows:
+                    raise StorageError(
+                        f"{directory}: shard {shard_id} ({name}) holds "
+                        f"{len(shard)} rows but the manifest records {rows}"
+                    )
+        except BaseException:
+            for shard in shards:
+                shard.close()
+            raise
+        return cls(directory, manifest, shards, shard_ios, io_stats)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def directory(self) -> str:
+        return self._directory
+
+    @property
+    def manifest(self) -> ShardManifest:
+        return self._manifest
+
+    @property
+    def n_shards(self) -> int:
+        return self._manifest.n_shards
+
+    @property
+    def shard_paths(self) -> list[str]:
+        return [
+            os.path.join(self._directory, name)
+            for name in self._manifest.shard_files
+        ]
+
+    @property
+    def shard_io_stats(self) -> list[IOStats]:
+        """Each shard's private counters (per-shard scan-count invariants)."""
+        return list(self._shard_ios)
+
+    @property
+    def shard_tables(self) -> list[DiskTable]:
+        return list(self._shards)
+
+    # -- Table interface -----------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise TableClosedError(f"ShardedTable {self._directory} is closed")
+
+    def __len__(self) -> int:
+        return self._manifest.total_rows
+
+    def append(self, batch: np.ndarray) -> None:
+        raise StorageError(
+            f"ShardedTable {self._directory} is read-only; re-partition the "
+            f"source table to change the shard set"
+        )
+
+    def _charge(self, shard_io: IOStats, before: IOStats) -> None:
+        """Merge one shard's scan delta into the experiment counters.
+
+        ``full_scans`` stays per-shard: the experiment instance counts
+        logical sharded scans, the private instances count physical ones.
+        """
+        if self._io_stats is None:
+            return
+        delta = shard_io.delta_since(before)
+        delta.full_scans = 0
+        self._io_stats.merge(delta)
+
+    def _shard_stream(
+        self, batch_rows: int, start_row: int, columns: list[str] | None
+    ) -> Iterator[np.ndarray]:
+        offset = 0
+        for shard, shard_io in zip(self._shards, self._shard_ios):
+            n = len(shard)
+            offset_next = offset + n
+            if n == 0 or start_row >= offset_next:
+                offset = offset_next
+                continue
+            local_start = max(start_row - offset, 0)
+            before = shard_io.snapshot()
+            if columns is None:
+                yield from shard.scan(batch_rows, start_row=local_start)
+            else:
+                yield from shard.scan_columns(
+                    columns, batch_rows, start_row=local_start
+                )
+            self._charge(shard_io, before)
+            offset = offset_next
+
+    def scan(
+        self, batch_rows: int = DEFAULT_BATCH_ROWS, start_row: int = 0
+    ) -> Iterator[np.ndarray]:
+        """Scan shards in manifest order as one stream of exact batches."""
+        self._check_open()
+        if batch_rows < 1:
+            raise ValueError("batch_rows must be >= 1")
+        if start_row < 0:
+            raise ValueError("start_row must be >= 0")
+        yield from _rebatch(
+            self._shard_stream(batch_rows, start_row, None), batch_rows
+        )
+        if self._io_stats is not None and start_row == 0:
+            self._io_stats.record_full_scan()
+
+    def scan_columns(
+        self,
+        columns: list[str],
+        batch_rows: int = DEFAULT_BATCH_ROWS,
+        start_row: int = 0,
+    ) -> Iterator[np.ndarray]:
+        """Projection scan delegated shard-by-shard (projected-width billing)."""
+        self._check_open()
+        if batch_rows < 1:
+            raise ValueError("batch_rows must be >= 1")
+        if start_row < 0:
+            raise ValueError("start_row must be >= 0")
+        fields = self._projection_fields(columns)
+        yield from _rebatch(
+            self._shard_stream(batch_rows, start_row, fields), batch_rows
+        )
+        if self._io_stats is not None and start_row == 0:
+            self._io_stats.record_full_scan()
+
+    def close(self) -> None:
+        self._closed = True
+        for shard in self._shards:
+            shard.close()

@@ -34,8 +34,26 @@ _MAGIC = b"BOATTBL1"
 _HEADER_ALIGN = 4096
 
 
+def _skip_rows(
+    batches: Iterator[np.ndarray], n_rows: int
+) -> Iterator[np.ndarray]:
+    """Drop the first ``n_rows`` rows of a batch stream."""
+    to_skip = n_rows
+    for batch in batches:
+        if to_skip >= len(batch):
+            to_skip -= len(batch)
+            continue
+        yield batch[to_skip:] if to_skip else batch
+        to_skip = 0
+
+
 class Table(ABC):
     """A scannable relation of training records."""
+
+    #: Whether :meth:`scan` accepts a ``start_row`` keyword (seek instead
+    #: of re-reading the prefix).  Implementations that can seek set this
+    #: to True; :meth:`scan_columns` and resumable-scan helpers consult it.
+    scan_supports_start_row = False
 
     def __init__(self, schema: Schema, io_stats: IOStats | None):
         self._schema = schema
@@ -61,7 +79,10 @@ class Table(ABC):
         """
 
     def scan_columns(
-        self, columns: list[str], batch_rows: int = DEFAULT_BATCH_ROWS
+        self,
+        columns: list[str],
+        batch_rows: int = DEFAULT_BATCH_ROWS,
+        start_row: int = 0,
     ) -> Iterator[np.ndarray]:
         """Scan a column projection (RainForest's temporary projections).
 
@@ -70,9 +91,23 @@ class Table(ABC):
         overrides the *charging*: a projection scan models RF-Vertical's
         per-attribute temporary files, so only the projected bytes are
         billed (and throttled), not the full record.
+
+        ``start_row`` resumes a projected scan mid-table.  Tables whose
+        ``scan_supports_start_row`` is set seek (the skipped prefix is
+        neither read nor charged, and the resumed scan does not count as
+        a full scan); the rest fall back to reading and discarding the
+        prefix.
         """
+        if start_row < 0:
+            raise ValueError("start_row must be >= 0")
         fields = self._projection_fields(columns)
-        for batch in self.scan(batch_rows):
+        if start_row == 0:
+            source = self.scan(batch_rows)
+        elif self.scan_supports_start_row:
+            source = self.scan(batch_rows, start_row=start_row)
+        else:
+            source = _skip_rows(self.scan(batch_rows), start_row)
+        for batch in source:
             yield batch[fields]
 
     def _projection_fields(self, columns: list[str]) -> list[str]:
@@ -112,6 +147,12 @@ class MemoryTable(Table):
     fits in memory" regime) unless an ``io_stats`` is passed explicitly.
     """
 
+    #: Seek-resume parity with :class:`DiskTable`: ``scan(start_row=)``
+    #: slices into the stored chunks without touching the prefix, so
+    #: :class:`~repro.recovery.RetryingTable` and shard workers behave
+    #: identically over in-memory shards in tests.
+    scan_supports_start_row = True
+
     def __init__(
         self,
         schema: Schema,
@@ -142,14 +183,28 @@ class MemoryTable(Table):
         if self._io_stats is not None:
             self._io_stats.record_write(len(batch), batch.nbytes)
 
-    def scan(self, batch_rows: int = DEFAULT_BATCH_ROWS) -> Iterator[np.ndarray]:
+    def scan(
+        self, batch_rows: int = DEFAULT_BATCH_ROWS, start_row: int = 0
+    ) -> Iterator[np.ndarray]:
+        """Yield batches in order, optionally from ``start_row`` on.
+
+        As with :meth:`DiskTable.scan`, a partial scan charges only the
+        rows it emits and does not count as a full scan.
+        """
         self._check_open()
         if batch_rows < 1:
             raise ValueError("batch_rows must be >= 1")
+        if start_row < 0:
+            raise ValueError("start_row must be >= 0")
         pending: list[np.ndarray] = []
         pending_rows = 0
+        to_skip = start_row
         for chunk in list(self._chunks):
-            start = 0
+            if to_skip >= len(chunk):
+                to_skip -= len(chunk)
+                continue
+            start = to_skip
+            to_skip = 0
             while start < len(chunk):
                 take = min(batch_rows - pending_rows, len(chunk) - start)
                 pending.append(chunk[start : start + take])
@@ -160,7 +215,7 @@ class MemoryTable(Table):
                     pending, pending_rows = [], 0
         if pending_rows:
             yield self._emit(pending)
-        if self._io_stats is not None:
+        if self._io_stats is not None and start_row == 0:
             self._io_stats.record_full_scan()
 
     def _emit(self, parts: list[np.ndarray]) -> np.ndarray:
@@ -365,23 +420,30 @@ class DiskTable(Table):
             self._io_stats.record_full_scan()
 
     def scan_columns(
-        self, columns: list[str], batch_rows: int = DEFAULT_BATCH_ROWS
+        self,
+        columns: list[str],
+        batch_rows: int = DEFAULT_BATCH_ROWS,
+        start_row: int = 0,
     ) -> Iterator[np.ndarray]:
         """Projection scan billed at projected width (see base docstring).
 
         Models RF-Vertical reading a temporary per-attribute projection
         file: the underlying row file is read, but the charge (and the
         simulated-device throttle) covers only the projected columns.
+        Like :meth:`scan`, ``start_row > 0`` seeks past the prefix
+        without reading or charging it and does not count as a full scan.
         """
         self._check_open()
+        if start_row < 0:
+            raise ValueError("start_row must be >= 0")
         fields = self._projection_fields(columns)
         dtype = self._schema.dtype()
         projected_bytes = sum(dtype[name].itemsize for name in fields)
         full_bytes = dtype.itemsize
         rows_at_start = self._n_rows
-        remaining = rows_at_start
+        remaining = max(rows_at_start - start_row, 0)
         with open(self._path, "rb", buffering=io.DEFAULT_BUFFER_SIZE) as fh:
-            fh.seek(self._data_offset)
+            fh.seek(self._data_offset + start_row * full_bytes)
             while remaining > 0:
                 take = min(batch_rows, remaining)
                 raw = fh.read(take * full_bytes)
@@ -395,7 +457,7 @@ class DiskTable(Table):
                 if self._io_stats is not None:
                     self._io_stats.record_read(take, take * projected_bytes)
                 yield batch
-        if self._io_stats is not None:
+        if self._io_stats is not None and start_row == 0:
             self._io_stats.record_full_scan()
 
     def read_slice(

@@ -1,0 +1,175 @@
+"""TCP shard transport: framing, retry, the cluster, and the kill drill.
+
+The failure-injection bar: SIGKILLing one shard server mid-cleanup must
+surface exactly one clean :class:`ShardError` naming the dead shard,
+and leave zero spill files or scratch directories behind.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.config import BoatConfig, SplitConfig
+from repro.core import boat_build
+from repro.exceptions import ShardError
+from repro.datagen import AgrawalConfig, AgrawalGenerator
+from repro.recovery import RetryPolicy
+from repro.shard import make_transport, sharded_boat_build
+from repro.shard.rpc import (
+    LocalShardCluster,
+    TcpTransport,
+    recv_frame,
+    send_frame,
+)
+from repro.shard.worker import OP_PING
+from repro.splits import ImpuritySplitSelection
+from repro.storage import DiskTable, IOStats, ShardedTable, partition_table
+from repro.tree import trees_equal
+
+SPLIT = SplitConfig(min_samples_split=20, min_samples_leaf=5, max_depth=5)
+CONFIG = BoatConfig(
+    sample_size=800, bootstrap_repetitions=8, seed=5, batch_rows=512
+)
+
+
+@pytest.fixture(scope="module")
+def shard_dir(tmp_path_factory):
+    gen = AgrawalGenerator(AgrawalConfig(function_id=6, noise=0.05), seed=23)
+    path = tmp_path_factory.mktemp("rpc") / "train.tbl"
+    table = DiskTable.create(str(path), gen.schema, IOStats())
+    table.append(gen.generate(3000))
+    directory = tmp_path_factory.mktemp("rpc-shards")
+    partition_table(table, directory, 2)
+    yield {"table": table, "dir": directory}
+    table.close()
+
+
+class TestFraming:
+    def test_round_trip(self):
+        server, client = socket.socketpair()
+        payload = {"op": "ping", "blob": b"\x00" * 4096, "n": 17}
+        send_frame(client, payload)
+        assert recv_frame(server) == payload
+        server.close()
+        client.close()
+
+    def test_oversized_frame_rejected(self, monkeypatch):
+        import repro.shard.rpc as rpc
+
+        monkeypatch.setattr(rpc, "MAX_FRAME_BYTES", 64)
+        server, client = socket.socketpair()
+        send_frame(client, {"blob": b"\x00" * 1024})
+        with pytest.raises(ShardError, match="sanity cap"):
+            rpc.recv_frame(server)
+        server.close()
+        client.close()
+
+    def test_truncated_frame_is_connection_error(self):
+        server, client = socket.socketpair()
+        client.sendall(b"\x00" * 4)  # half a length prefix, then EOF
+        client.close()
+        with pytest.raises(ConnectionError, match="mid-frame"):
+            recv_frame(server)
+        server.close()
+
+
+class TestTcpTransport:
+    def test_ping_through_cluster(self, shard_dir):
+        paths = ShardedTable.open(shard_dir["dir"], IOStats())
+        try:
+            with LocalShardCluster(paths.shard_paths) as cluster:
+                transport = TcpTransport(cluster.addresses)
+                responses = transport.run(
+                    [
+                        {"op": OP_PING, "shard_id": i}
+                        for i in range(len(cluster.addresses))
+                    ]
+                )
+                assert [r["status"] for r in responses] == ["ok", "ok"]
+        finally:
+            paths.close()
+
+    def test_dead_server_exhausts_retries(self):
+        # Bind-then-close guarantees a refused port.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        address = probe.getsockname()
+        probe.close()
+        transport = TcpTransport(
+            [address],
+            timeout_s=0.5,
+            policy=RetryPolicy(max_retries=2, base_delay_s=0.01),
+        )
+        with pytest.raises(ShardError, match="unreachable after 3 attempt"):
+            transport.run([{"op": OP_PING, "shard_id": 0}])
+
+    def test_request_count_mismatch(self):
+        transport = TcpTransport([("127.0.0.1", 1)])
+        with pytest.raises(ShardError, match="request"):
+            transport.run([])
+
+
+class TestTcpBuild:
+    def test_tcp_build_matches_single_table(self, shard_dir):
+        reference = boat_build(
+            shard_dir["table"], ImpuritySplitSelection("gini"), SPLIT, CONFIG
+        ).tree
+        experiment = IOStats()
+        table = ShardedTable.open(shard_dir["dir"], experiment)
+        try:
+            with LocalShardCluster(table.shard_paths) as cluster:
+                transport = make_transport(
+                    "tcp", table.shard_paths, addresses=cluster.addresses
+                )
+                with transport:
+                    result = sharded_boat_build(
+                        table,
+                        ImpuritySplitSelection("gini"),
+                        SPLIT,
+                        CONFIG,
+                        transport=transport,
+                    )
+        finally:
+            table.close()
+        assert trees_equal(result.tree, reference)
+        assert result.shard_report.transport == "tcp"
+        assert [io.full_scans for io in result.shard_report.shard_io] == [2, 2]
+
+
+class TestKillOneShard:
+    def test_clean_error_and_no_spill_litter(self, tmp_path, shard_dir):
+        """SIGKILL a shard server mid-cleanup: one ShardError, no litter."""
+        spill_dir = tmp_path / "spills"
+        spill_dir.mkdir()
+        experiment = IOStats()
+        table = ShardedTable.open(shard_dir["dir"], experiment)
+        policy = RetryPolicy(max_retries=2, base_delay_s=0.01, max_delay_s=0.1)
+        try:
+            with LocalShardCluster(table.shard_paths) as cluster:
+                transport = TcpTransport(
+                    cluster.addresses, timeout_s=30.0, policy=policy
+                )
+                killer = threading.Timer(1.5, lambda: cluster.kill(1))
+                killer.start()
+                try:
+                    with pytest.raises(ShardError, match="shard 1"):
+                        # Throttle the workers' shard scans so the kill
+                        # timer lands mid-cleanup deterministically.
+                        sharded_boat_build(
+                            table,
+                            ImpuritySplitSelection("gini"),
+                            SPLIT,
+                            CONFIG,
+                            spill_dir=str(spill_dir),
+                            transport=transport,
+                            shard_simulated_mbps=0.05,
+                        )
+                finally:
+                    killer.cancel()
+        finally:
+            table.close()
+        # The coordinator swept its scratch directory on the way out.
+        assert list(spill_dir.iterdir()) == []

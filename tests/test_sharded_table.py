@@ -1,0 +1,293 @@
+"""ShardedTable: partitioning, manifests, scan equivalence, edge cases.
+
+Also covers the ``start_row=`` scan-resume satellite on DiskTable and
+MemoryTable, since shard workers and RetryingTable rely on the same
+seek contract over both backends.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.datagen import AgrawalConfig, AgrawalGenerator
+from repro.exceptions import ReproError, StorageError
+from repro.storage import (
+    DiskTable,
+    IOStats,
+    MemoryTable,
+    ShardedTable,
+    partition_table,
+)
+from repro.storage.sharded import (
+    MANIFEST_FILE,
+    ShardManifest,
+    range_offsets,
+    schema_digest,
+)
+
+
+@pytest.fixture
+def generator() -> AgrawalGenerator:
+    return AgrawalGenerator(AgrawalConfig(function_id=3, noise=0.05), seed=11)
+
+
+def _disk_table(tmp_path, generator, n_rows, name="source.tbl"):
+    io = IOStats()
+    table = DiskTable.create(str(tmp_path / name), generator.schema, io)
+    if n_rows:
+        table.append(generator.generate(n_rows))
+    return table, io
+
+
+def _read_rows(table, batch_rows=97):
+    batches = list(table.scan(batch_rows))
+    if not batches:
+        return np.empty(0, dtype=table.schema.dtype())
+    return np.concatenate(batches)
+
+
+class TestRangeOffsets:
+    def test_even_and_remainder(self):
+        assert range_offsets(10, 2) == [0, 5, 10]
+        assert range_offsets(10, 3) == [0, 4, 7, 10]
+
+    def test_more_shards_than_rows(self):
+        assert range_offsets(2, 4) == [0, 1, 2, 2, 2]
+
+    def test_zero_rows(self):
+        assert range_offsets(0, 3) == [0, 0, 0, 0]
+
+
+class TestPartitionRoundTrip:
+    @pytest.mark.parametrize("n_shards", [1, 2, 4, 7])
+    def test_range_placement_preserves_order(self, tmp_path, generator, n_shards):
+        source, _ = _disk_table(tmp_path, generator, 500)
+        manifest = partition_table(source, tmp_path / "shards", n_shards)
+        assert sum(manifest.shard_rows) == 500
+        io = IOStats()
+        sharded = ShardedTable.open(tmp_path / "shards", io)
+        try:
+            assert len(sharded) == 500
+            assert np.array_equal(_read_rows(sharded), _read_rows(source))
+        finally:
+            sharded.close()
+            source.close()
+
+    def test_identical_batch_boundaries(self, tmp_path, generator):
+        """The re-batched shard stream must emit exactly the batches a
+        flat DiskTable would — this is what makes QUEST's float
+        accumulation (and so its trees) byte-identical over shards."""
+        source, _ = _disk_table(tmp_path, generator, 333)
+        partition_table(source, tmp_path / "shards", 4)
+        sharded = ShardedTable.open(tmp_path / "shards", IOStats())
+        try:
+            flat = [len(b) for b in source.scan(50)]
+            shd = [len(b) for b in sharded.scan(50)]
+            assert flat == shd
+        finally:
+            sharded.close()
+            source.close()
+
+    def test_hash_placement_preserves_multiset(self, tmp_path, generator):
+        source, _ = _disk_table(tmp_path, generator, 400)
+        manifest = partition_table(
+            source, tmp_path / "shards", 3, placement="hash"
+        )
+        assert sum(manifest.shard_rows) == 400
+        sharded = ShardedTable.open(tmp_path / "shards", IOStats())
+        try:
+            a = np.sort(_read_rows(source), order=source.schema.dtype().names)
+            b = np.sort(_read_rows(sharded), order=source.schema.dtype().names)
+            assert np.array_equal(a, b)
+        finally:
+            sharded.close()
+            source.close()
+
+
+class TestEdgeCases:
+    def test_empty_trailing_shard(self, tmp_path, generator):
+        source, _ = _disk_table(tmp_path, generator, 3)
+        manifest = partition_table(source, tmp_path / "shards", 5)
+        assert manifest.shard_rows == (1, 1, 1, 0, 0)
+        sharded = ShardedTable.open(tmp_path / "shards", IOStats())
+        try:
+            assert np.array_equal(_read_rows(sharded), _read_rows(source))
+        finally:
+            sharded.close()
+            source.close()
+
+    def test_single_row_shards(self, tmp_path, generator):
+        source, _ = _disk_table(tmp_path, generator, 4)
+        manifest = partition_table(source, tmp_path / "shards", 4)
+        assert manifest.shard_rows == (1, 1, 1, 1)
+        sharded = ShardedTable.open(tmp_path / "shards", IOStats())
+        try:
+            assert np.array_equal(_read_rows(sharded, 1), _read_rows(source, 1))
+        finally:
+            sharded.close()
+            source.close()
+
+    def test_empty_source(self, tmp_path, generator):
+        source, _ = _disk_table(tmp_path, generator, 0)
+        manifest = partition_table(source, tmp_path / "shards", 2)
+        assert manifest.shard_rows == (0, 0)
+        sharded = ShardedTable.open(tmp_path / "shards", IOStats())
+        try:
+            assert len(sharded) == 0
+            assert list(sharded.scan()) == []
+        finally:
+            sharded.close()
+            source.close()
+
+    def test_invalid_shard_count(self, tmp_path, generator):
+        source, _ = _disk_table(tmp_path, generator, 10)
+        with pytest.raises(StorageError):
+            partition_table(source, tmp_path / "shards", 0)
+        source.close()
+
+    def test_append_is_rejected(self, tmp_path, generator):
+        source, _ = _disk_table(tmp_path, generator, 10)
+        partition_table(source, tmp_path / "shards", 2)
+        sharded = ShardedTable.open(tmp_path / "shards", IOStats())
+        try:
+            with pytest.raises(StorageError):
+                sharded.append(generator.generate(1))
+        finally:
+            sharded.close()
+            source.close()
+
+
+class TestManifestValidation:
+    def _make(self, tmp_path, generator, n_shards=2):
+        source, _ = _disk_table(tmp_path, generator, 50)
+        partition_table(source, tmp_path / "shards", n_shards)
+        source.close()
+        return tmp_path / "shards"
+
+    def test_schema_digest_mismatch_is_clear_error(self, tmp_path, generator):
+        directory = self._make(tmp_path, generator)
+        path = directory / MANIFEST_FILE
+        doc = json.loads(path.read_text())
+        doc["schema_digest"] = "0" * 64
+        path.write_text(json.dumps(doc))
+        with pytest.raises(StorageError, match="digest"):
+            ShardedTable.open(directory, IOStats())
+
+    def test_row_count_drift_is_clear_error(self, tmp_path, generator):
+        directory = self._make(tmp_path, generator)
+        path = directory / MANIFEST_FILE
+        doc = json.loads(path.read_text())
+        doc["shards"][0]["rows"] += 1
+        path.write_text(json.dumps(doc))
+        with pytest.raises(StorageError, match="row"):
+            ShardedTable.open(directory, IOStats())
+
+    def test_missing_shard_file(self, tmp_path, generator):
+        directory = self._make(tmp_path, generator)
+        manifest = ShardManifest.load(directory)
+        os.remove(directory / manifest.shard_files[0])
+        with pytest.raises(ReproError):
+            ShardedTable.open(directory, IOStats())
+
+    def test_corrupt_manifest_json(self, tmp_path, generator):
+        directory = self._make(tmp_path, generator)
+        (directory / MANIFEST_FILE).write_text("{not json")
+        with pytest.raises(StorageError):
+            ShardedTable.open(directory, IOStats())
+
+    def test_digest_is_schema_sensitive(self, generator):
+        other = AgrawalGenerator(
+            AgrawalConfig(function_id=3, extra_numeric=1), seed=0
+        )
+        assert schema_digest(generator.schema) != schema_digest(other.schema)
+
+
+class TestIOAccounting:
+    def test_shard_bytes_sum_to_unsharded_bytes(self, tmp_path, generator):
+        """Merge-accounting invariant: a full sharded scan reads exactly
+        the bytes a flat scan reads, split across the per-shard stats."""
+        source, source_io = _disk_table(tmp_path, generator, 300)
+        partition_table(source, tmp_path / "shards", 3)
+        flat_before = source_io.snapshot()
+        _read_rows(source)
+        flat_bytes = source_io.delta_since(flat_before).bytes_read
+
+        experiment = IOStats()
+        sharded = ShardedTable.open(tmp_path / "shards", experiment)
+        try:
+            _read_rows(sharded)
+            per_shard = [io.snapshot() for io in sharded.shard_io_stats]
+            assert sum(io.bytes_read for io in per_shard) == flat_bytes
+            assert experiment.bytes_read == flat_bytes
+            # One logical full scan, not one per shard.
+            assert experiment.full_scans == 1
+            assert all(io.full_scans == 1 for io in per_shard)
+        finally:
+            sharded.close()
+            source.close()
+
+
+class TestStartRowSatellite:
+    """``scan(start_row=)`` parity across DiskTable and MemoryTable."""
+
+    @pytest.mark.parametrize("start", [0, 1, 96, 97, 150, 299, 300])
+    def test_disk_and_memory_agree(self, tmp_path, generator, start):
+        data = generator.generate(300)
+        disk = DiskTable.create(str(tmp_path / "t.tbl"), generator.schema)
+        disk.append(data)
+        mem = MemoryTable(generator.schema, data)
+        assert disk.scan_supports_start_row
+        assert mem.scan_supports_start_row
+        d = list(disk.scan(97, start_row=start))
+        m = list(mem.scan(97, start_row=start))
+        got_d = np.concatenate(d) if d else np.empty(0, dtype=data.dtype)
+        got_m = np.concatenate(m) if m else np.empty(0, dtype=data.dtype)
+        assert np.array_equal(got_d, data[start:])
+        assert np.array_equal(got_m, data[start:])
+        disk.close()
+
+    def test_resume_does_not_count_a_full_scan(self, tmp_path, generator):
+        data = generator.generate(50)
+        io = IOStats()
+        disk = DiskTable.create(str(tmp_path / "t.tbl"), generator.schema, io)
+        disk.append(data)
+        before = io.snapshot()
+        list(disk.scan(16, start_row=10))
+        assert io.delta_since(before).full_scans == 0
+        mem_io = IOStats()
+        mem = MemoryTable(generator.schema, data, mem_io)
+        before = mem_io.snapshot()
+        list(mem.scan(16, start_row=10))
+        assert mem_io.delta_since(before).full_scans == 0
+        disk.close()
+
+    @pytest.mark.parametrize("table_kind", ["disk", "memory", "sharded"])
+    def test_scan_columns_projection_with_start_row(
+        self, tmp_path, generator, table_kind
+    ):
+        data = generator.generate(120)
+        if table_kind == "disk":
+            table = DiskTable.create(str(tmp_path / "t.tbl"), generator.schema)
+            table.append(data)
+        elif table_kind == "memory":
+            table = MemoryTable(generator.schema, data)
+        else:
+            source = MemoryTable(generator.schema, data)
+            partition_table(source, tmp_path / "shards", 3)
+            table = ShardedTable.open(tmp_path / "shards", IOStats())
+        batches = list(table.scan_columns(["salary", "age"], 32, start_row=40))
+        got = np.concatenate(batches)
+        # The class label is always carried along by projections.
+        assert got.dtype.names == ("salary", "age", "class_label")
+        assert np.array_equal(got["salary"], data["salary"][40:])
+        assert np.array_equal(got["age"], data["age"][40:])
+        table.close()
+
+    def test_negative_start_row_rejected(self, generator):
+        mem = MemoryTable(generator.schema, generator.generate(5))
+        with pytest.raises((ValueError, StorageError)):
+            list(mem.scan_columns(["salary"], 4, start_row=-1))
