@@ -1,0 +1,122 @@
+"""Cleanup-scan kernel backends: vectorized numpy vs per-row python.
+
+Builds the same BOAT tree twice on one workload — once per
+``BoatConfig.kernel_backend`` — and records the build-phase (cleanup
+scan) wall clock for both.  The headline assertions:
+
+* the two serialized trees are **byte-identical** (the numpy kernels are
+  an exact lift of the per-row arithmetic, see ``docs/KERNELS.md``);
+* the vectorized cleanup scan is at least ``MIN_SPEEDUP``x faster at the
+  benchmark's full size (1 M tuples at scale 1).
+
+The I/O throttle is disabled here: kernel benchmarks measure pure CPU,
+not the simulated 1999 disk.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench import RunResult, WorkloadSpec, scaled
+from repro.config import BoatConfig, SplitConfig
+from repro.core import boat_build
+from repro.splits import ImpuritySplitSelection
+from repro.storage import DiskTable, IOStats
+from repro.tree import tree_to_json
+
+N_TUPLES = scaled(1_000_000)
+SPEC = WorkloadSpec(function_id=1, n_tuples=N_TUPLES, noise=0.1, seed=9)
+#: Required vectorization win for the cleanup scan at full size; scaled
+#: runs below 200k tuples skip the assertion (fixed costs dominate).
+MIN_SPEEDUP = 3.0
+BACKENDS = ("python", "numpy")
+
+SPLIT_CONFIG = SplitConfig(
+    min_samples_split=max(N_TUPLES // 500, 20),
+    min_samples_leaf=max(N_TUPLES // 2000, 5),
+    max_depth=5,
+)
+
+
+def _boat_config(backend: str) -> BoatConfig:
+    sample = max(N_TUPLES // 10, 2000)
+    return BoatConfig(
+        sample_size=sample,
+        bootstrap_repetitions=10,
+        bootstrap_subsample=max(sample // 4, 1000),
+        seed=17,
+        kernel_backend=backend,
+    )
+
+
+@pytest.fixture(scope="module")
+def kernel_table(workloads):
+    table = workloads.table(SPEC)
+    table.set_simulated_throughput(None)
+    return table
+
+
+def test_kernel_backend_build_speedup(benchmark, kernel_table, collector):
+    """python-vs-numpy cleanup scan on the same 1M-tuple build."""
+    runs = {}
+
+    def once():
+        for backend in BACKENDS:
+            io = IOStats()
+            table = DiskTable.open(kernel_table.path, io)
+            table.set_simulated_throughput(None)
+            start = time.perf_counter()
+            result = boat_build(
+                table,
+                ImpuritySplitSelection("gini", kernels=backend),
+                SPLIT_CONFIG,
+                _boat_config(backend),
+            )
+            seconds = time.perf_counter() - start
+            table.close()
+            runs[backend] = {
+                "tree": tree_to_json(result.tree),
+                "cleanup_s": result.report.wall_seconds["cleanup_scan"],
+                "total_s": seconds,
+                "io": io,
+                "nodes": result.tree.n_nodes,
+                "leaves": result.tree.n_leaves,
+            }
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+
+    assert runs["numpy"]["tree"] == runs["python"]["tree"], (
+        "kernel backends produced different trees"
+    )
+    for backend in BACKENDS:
+        run = runs[backend]
+        assert run["io"].full_scans == 2, backend
+        collector.add(
+            "Cleanup kernels: python vs numpy backend, F1 (noise 10%)",
+            "backend",
+            backend,
+            RunResult(
+                algorithm=f"BOAT[{backend}]",
+                workload=SPEC.describe(),
+                n_tuples=N_TUPLES,
+                wall_seconds=run["total_s"],
+                scans=run["io"].full_scans,
+                tuples_read=run["io"].tuples_read,
+                tree_nodes=run["nodes"],
+                tree_leaves=run["leaves"],
+                extra={
+                    "cleanup_seconds": run["cleanup_s"],
+                    "cleanup_speedup_vs_python": (
+                        runs["python"]["cleanup_s"] / max(run["cleanup_s"], 1e-9)
+                    ),
+                },
+            ),
+        )
+    speedup = runs["python"]["cleanup_s"] / max(runs["numpy"]["cleanup_s"], 1e-9)
+    if N_TUPLES >= 200_000:
+        assert speedup >= MIN_SPEEDUP, (
+            f"cleanup-scan vectorization speedup {speedup:.1f}x fell below "
+            f"{MIN_SPEEDUP}x at {N_TUPLES} tuples"
+        )

@@ -14,7 +14,7 @@ import shutil
 import sys
 import tempfile
 
-from ..config import PARALLEL_BACKENDS, BoatConfig, SplitConfig
+from ..config import KERNEL_BACKENDS, PARALLEL_BACKENDS, BoatConfig, SplitConfig
 from ..datagen import AgrawalConfig, AgrawalGenerator
 from ..observability import NULL_TRACER, Tracer, format_trace, write_jsonl
 from ..splits import ImpuritySplitSelection, QuestSplitSelection
@@ -53,28 +53,22 @@ def _build_flat(
         # span still captures the run's totals.
         with tracer.span("build", method="quest"):
             result = quest_boat_build(
-                table, QuestSplitSelection(), split_config, boat_config
+                table,
+                QuestSplitSelection(kernels=args.kernel_backend),
+                split_config,
+                boat_config,
             )
         return result.tree
+    method = ImpuritySplitSelection(args.method, kernels=args.kernel_backend)
     if args.resume is not None:
         from ..recovery import resume_build
 
         result = resume_build(
-            table,
-            ImpuritySplitSelection(args.method),
-            split_config,
-            boat_config,
-            tracer=tracer,
+            table, method, split_config, boat_config, tracer=tracer
         )
         print(f"resumed from checkpoint {args.resume}")
         return result.tree
-    result = boat_build(
-        table,
-        ImpuritySplitSelection(args.method),
-        split_config,
-        boat_config,
-        tracer=tracer,
-    )
+    result = boat_build(table, method, split_config, boat_config, tracer=tracer)
     return result.tree
 
 
@@ -111,10 +105,14 @@ def _build_sharded(
             # transport-free), so the coordinator is not involved.
             with tracer.span("build", method="quest"):
                 result = quest_boat_build(
-                    table, QuestSplitSelection(), split_config, boat_config
+                    table,
+                    QuestSplitSelection(kernels=args.kernel_backend),
+                    split_config,
+                    boat_config,
                 )
             print(f"quest build over {table.n_shards} shard(s) (direct scan)")
             return result.tree
+        method = ImpuritySplitSelection(args.method, kernels=args.kernel_backend)
         if args.shard_transport == "tcp":
             from ..shard.rpc import LocalShardCluster
 
@@ -125,7 +123,7 @@ def _build_sharded(
                 with transport:
                     result = sharded_boat_build(
                         table,
-                        ImpuritySplitSelection(args.method),
+                        method,
                         split_config,
                         boat_config,
                         tracer=tracer,
@@ -134,7 +132,7 @@ def _build_sharded(
         else:
             result = sharded_boat_build(
                 table,
-                ImpuritySplitSelection(args.method),
+                method,
                 split_config,
                 boat_config,
                 tracer=tracer,
@@ -188,6 +186,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
         checkpoint_dir=args.resume if args.resume is not None else args.checkpoint,
         checkpoint_every_batches=args.checkpoint_every,
         scan_retries=args.scan_retries,
+        kernel_backend=args.kernel_backend,
     )
     tracer = Tracer(io) if args.trace is not None else NULL_TRACER
     if args.method == "quest" and boat_config.checkpoint_dir is not None:
@@ -253,6 +252,14 @@ def register(sub) -> None:
         default="auto",
         choices=list(PARALLEL_BACKENDS),
         help="execution backend; 'auto' picks a process pool when workers > 1",
+    )
+    build.add_argument(
+        "--kernel-backend",
+        default="numpy",
+        choices=list(KERNEL_BACKENDS),
+        help="statistics kernel implementation: 'numpy' (vectorized, "
+        "default) or 'python' (per-row reference); the output tree is "
+        "byte-identical under either (see docs/KERNELS.md)",
     )
     build.add_argument(
         "--shards",

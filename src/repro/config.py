@@ -21,6 +21,9 @@ DEFAULT_BATCH_ROWS = 65536
 #: Valid values for BoatConfig.parallel_backend (see :mod:`repro.parallel`).
 PARALLEL_BACKENDS = ("auto", "process", "thread", "serial")
 
+#: Valid values for BoatConfig.kernel_backend (see :mod:`repro.kernels`).
+KERNEL_BACKENDS = ("numpy", "python")
+
 
 @dataclass(frozen=True)
 class SplitConfig:
@@ -96,6 +99,12 @@ class BoatConfig:
             ``"process"``, ``"thread"``, or ``"serial"``.  Pools that fail
             to start degrade to serial execution; see
             :class:`repro.parallel.WorkerPool`.
+        kernel_backend: ``"numpy"`` (vectorized columnar kernels, the
+            fast path) or ``"python"`` (the per-row reference
+            implementation; see :mod:`repro.kernels`).  Both backends
+            produce bit-identical trees — the kernel-oracle differential
+            suite enforces it — so this knob only trades speed for
+            per-row auditability.
         trace: record a phase-scoped trace of the build.  When no tracer
             is passed to :func:`repro.core.boat_build` explicitly, this
             makes the driver create one and return its
@@ -135,6 +144,7 @@ class BoatConfig:
     batch_rows: int = DEFAULT_BATCH_ROWS
     n_workers: int = 1
     parallel_backend: str = "auto"
+    kernel_backend: str = "numpy"
     trace: bool = False
     checkpoint_dir: str | None = None
     checkpoint_every_batches: int = 16
@@ -167,6 +177,11 @@ class BoatConfig:
             raise ValueError(
                 f"parallel_backend must be one of {PARALLEL_BACKENDS}, "
                 f"got {self.parallel_backend!r}"
+            )
+        if self.kernel_backend not in KERNEL_BACKENDS:
+            raise ValueError(
+                f"kernel_backend must be one of {KERNEL_BACKENDS}, "
+                f"got {self.kernel_backend!r}"
             )
         if self.checkpoint_every_batches < 1:
             raise ValueError("checkpoint_every_batches must be >= 1")
@@ -202,11 +217,15 @@ class RainForestConfig:
         inmemory_threshold: same in-memory switch as BOAT's, for a fair
             comparison.
         batch_rows: scan batch granularity.
+        kernel_backend: same switch as BOAT's — ``"numpy"`` or
+            ``"python"`` (see :mod:`repro.kernels`); the AVC-set
+            constructors route through the selected backend.
     """
 
     avc_buffer_entries: int = 3_000_000
     inmemory_threshold: int = 0
     batch_rows: int = DEFAULT_BATCH_ROWS
+    kernel_backend: str = "numpy"
 
     def __post_init__(self) -> None:
         if self.avc_buffer_entries < 1:
@@ -215,3 +234,8 @@ class RainForestConfig:
             raise ValueError("inmemory_threshold must be >= 0")
         if self.batch_rows < 1:
             raise ValueError("batch_rows must be >= 1")
+        if self.kernel_backend not in KERNEL_BACKENDS:
+            raise ValueError(
+                f"kernel_backend must be one of {KERNEL_BACKENDS}, "
+                f"got {self.kernel_backend!r}"
+            )

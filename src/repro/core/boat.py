@@ -36,6 +36,7 @@ import numpy as np
 
 from ..config import BoatConfig, SplitConfig
 from ..exceptions import ReproError, StorageError
+from ..kernels import get_kernels
 from ..observability import NULL_TRACER, NullTracer, TraceReport, Tracer
 from ..parallel import WorkerPool
 from ..splits.methods import ImpuritySplitSelection
@@ -244,6 +245,7 @@ def boat_build(
                         if checkpoint is None
                         else checkpoint.progress_hook(result.root)
                     ),
+                    kernels=get_kernels(boat_config.kernel_backend),
                 )
                 phase("cleanup_scan", t0, io_before)
                 if checkpoint is not None:

@@ -26,6 +26,7 @@ import numpy as np
 
 from ..config import BoatConfig, SplitConfig
 from ..exceptions import SplitSelectionError
+from ..kernels import DEFAULT_KERNELS
 from ..observability import NULL_TRACER, NullTracer, Tracer
 from ..parallel import WorkerPool, chunked
 from ..splits.base import CategoricalSplit, NumericSplit
@@ -211,6 +212,7 @@ class _SkeletonBuilder:
         placement weights.
         """
         impurity = self._method.impurity
+        kernels = getattr(self._method, "kernels", DEFAULT_KERNELS)
         labels = sample_family[CLASS_COLUMN]
         k = self._schema.n_classes
         min_leaf = self._split_config.min_samples_leaf
@@ -219,7 +221,9 @@ class _SkeletonBuilder:
         for index, attr in enumerate(self._schema.attributes):
             column = sample_family[attr.name]
             if attr.is_numerical:
-                profile = numeric_profile(column, labels, k, impurity, min_leaf)
+                profile = numeric_profile(
+                    column, labels, k, impurity, min_leaf, kernels=kernels
+                )
                 profiles[index] = profile
                 found = profile.best()
                 if found is not None and found[0] < best_estimate:
@@ -233,6 +237,7 @@ class _SkeletonBuilder:
                     impurity,
                     min_leaf,
                     self._split_config.max_categorical_exhaustive,
+                    kernels=kernels,
                 )
                 if found is not None and found[0] < best_estimate:
                     best_estimate = found[0]

@@ -51,6 +51,7 @@ from typing import Callable, Iterator
 import numpy as np
 
 from ..config import DEFAULT_BATCH_ROWS
+from ..kernels import DEFAULT_KERNELS, KernelBackend
 from ..observability import NULL_TRACER, NullTracer, Tracer
 from ..parallel import WorkerPool
 from ..storage import DiskTable, IOStats, Schema, Table
@@ -97,6 +98,7 @@ def cleanup_scan(
     tracer: Tracer | NullTracer = NULL_TRACER,
     start_row: int = 0,
     progress: ProgressFn | None = None,
+    kernels: KernelBackend = DEFAULT_KERNELS,
 ) -> None:
     """Stream the table down the skeleton, in parallel when possible."""
     with tracer.span("cleanup", batch_rows=batch_rows) as span:
@@ -106,7 +108,7 @@ def cleanup_scan(
             span.set(workers=1)
             rows_done = start_row
             for batch in scan_from(table, batch_rows, start_row):
-                stream_batch(root, batch, schema, sign=1)
+                stream_batch(root, batch, schema, sign=1, kernels=kernels)
                 rows_done += len(batch)
                 if progress is not None:
                     progress(rows_done)
@@ -114,7 +116,15 @@ def cleanup_scan(
         span.set(workers=pool.n_workers)
         if pool.backend == "thread":
             _parallel_scan(
-                root, table, schema, batch_rows, pool, tracer, start_row, progress
+                root,
+                table,
+                schema,
+                batch_rows,
+                pool,
+                tracer,
+                start_row,
+                progress,
+                kernels,
             )
         else:
             with WorkerPool(pool.n_workers, "thread", tracer=tracer) as thread_pool:
@@ -127,6 +137,7 @@ def cleanup_scan(
                     tracer,
                     start_row,
                     progress,
+                    kernels,
                 )
 
 
@@ -139,6 +150,7 @@ def _parallel_scan(
     tracer: Tracer | NullTracer,
     start_row: int = 0,
     progress: ProgressFn | None = None,
+    kernels: KernelBackend = DEFAULT_KERNELS,
 ) -> None:
     io = table.io_stats
     if isinstance(table, DiskTable):
@@ -151,7 +163,7 @@ def _parallel_scan(
         def scan_range(bounds: tuple[int, int]) -> tuple[list, IOStats, str]:
             worker_io = IOStats()
             batch = table.read_slice(bounds[0], bounds[1], io_stats=worker_io)
-            deltas = compute_batch_delta(root, batch, schema)
+            deltas = compute_batch_delta(root, batch, schema, kernels)
             return deltas, worker_io, threading.current_thread().name
 
         # One detached span per worker thread, numbered in first-result
@@ -183,7 +195,7 @@ def _parallel_scan(
     # Generic tables (e.g. MemoryTable): the parent iterates the scan —
     # which keeps the table's own charging semantics — and workers route.
     def route(batch) -> tuple[list, int]:
-        return compute_batch_delta(root, batch, schema), len(batch)
+        return compute_batch_delta(root, batch, schema, kernels), len(batch)
 
     rows_done = start_row
     for deltas, n_rows in pool.imap(route, scan_from(table, batch_rows, start_row)):

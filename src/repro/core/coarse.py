@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..kernels import DEFAULT_KERNELS, KernelBackend
 from ..storage import Schema
 
 
@@ -39,7 +40,10 @@ class CoarseNumeric:
             raise ValueError(f"empty confidence interval [{self.low}, {self.high}]")
 
     def masks(
-        self, batch: np.ndarray, schema: Schema
+        self,
+        batch: np.ndarray,
+        schema: Schema,
+        kernels: KernelBackend = DEFAULT_KERNELS,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """(below, held, above) boolean masks for a batch.
 
@@ -47,9 +51,7 @@ class CoarseNumeric:
         held: ``low <= X <= high``, above: ``X > high`` (routes right).
         """
         values = batch[schema[self.attribute_index].name]
-        below = values < self.low
-        above = values > self.high
-        return below, ~(below | above), above
+        return kernels.interval_masks(values, self.low, self.high)
 
     def describe(self, schema: Schema) -> str:
         name = schema[self.attribute_index].name
@@ -63,9 +65,14 @@ class CoarseCategorical:
     attribute_index: int
     subset: frozenset[int]
 
-    def go_left(self, batch: np.ndarray, schema: Schema) -> np.ndarray:
+    def go_left(
+        self,
+        batch: np.ndarray,
+        schema: Schema,
+        kernels: KernelBackend = DEFAULT_KERNELS,
+    ) -> np.ndarray:
         codes = batch[schema[self.attribute_index].name]
-        return np.isin(codes, sorted(self.subset))
+        return kernels.subset_mask(codes, self.subset)
 
     def describe(self, schema: Schema) -> str:
         name = schema[self.attribute_index].name

@@ -44,6 +44,7 @@ from typing import Callable, Iterator
 import numpy as np
 
 from ..config import SplitConfig, config_at_depth
+from ..kernels import DEFAULT_KERNELS
 from ..parallel import WorkerPool
 from ..splits.base import CategoricalSplit, NumericSplit
 from ..splits.categorical import best_categorical_split_from_counts
@@ -100,6 +101,7 @@ class Finalizer:
         self._schema = schema
         self._method = method
         self._impurity = method.impurity
+        self._kernels = getattr(method, "kernels", DEFAULT_KERNELS)
         self._config = config
         self._rebuild = rebuild
         self._keep_state = keep_state
@@ -312,6 +314,7 @@ class Finalizer:
                 self._config.min_samples_leaf,
                 base_left=stats.below_counts,
                 total_counts=counts,
+                kernels=self._kernels,
             )
             found = profile.best()
             if found is None or not found[0] < node_imp:
@@ -322,6 +325,7 @@ class Finalizer:
             self._impurity,
             self._config.min_samples_leaf,
             self._config.max_categorical_exhaustive,
+            kernels=self._kernels,
         )
         if found is None or not found[0] < node_imp:
             return (None, node_imp, True)
@@ -359,6 +363,7 @@ class Finalizer:
                     self._impurity,
                     self._config.min_samples_leaf,
                     self._config.max_categorical_exhaustive,
+                    kernels=self._kernels,
                 )
                 if found is None:
                     continue

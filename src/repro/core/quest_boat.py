@@ -34,6 +34,7 @@ import numpy as np
 
 from ..config import BoatConfig, SplitConfig
 from ..exceptions import SplitSelectionError
+from ..kernels import DEFAULT_KERNELS, KernelBackend, get_kernels
 from ..splits.base import CategoricalSplit, NumericSplit
 from ..splits.quest import QuestSplitSelection, QuestSufficientStats
 from ..storage import CLASS_COLUMN, IOStats, Schema, Table, TupleStore
@@ -184,26 +185,31 @@ def _intersect(
     return node
 
 
-def _stream(node: QuestBoatNode, batch: np.ndarray, schema: Schema) -> None:
+def _stream(
+    node: QuestBoatNode,
+    batch: np.ndarray,
+    schema: Schema,
+    kernels: KernelBackend = DEFAULT_KERNELS,
+) -> None:
     if batch.size == 0:
         return
-    node.stats.update(batch)
+    node.stats.update(batch, kernels=kernels)
     if node.criterion is None:
         node.family_store.append(batch)
         return
     if isinstance(node.criterion, CoarseCategorical):
-        go_left = node.criterion.go_left(batch, schema)
-        _stream(node.left, batch[go_left], schema)
-        _stream(node.right, batch[~go_left], schema)
+        go_left = node.criterion.go_left(batch, schema, kernels)
+        _stream(node.left, batch[go_left], schema, kernels)
+        _stream(node.right, batch[~go_left], schema, kernels)
         return
-    below, held, above = node.criterion.masks(batch, schema)
+    below, held, above = node.criterion.masks(batch, schema, kernels)
     k = schema.n_classes
-    node.below_counts += np.bincount(batch[CLASS_COLUMN][below], minlength=k)
-    node.above_counts += np.bincount(batch[CLASS_COLUMN][above], minlength=k)
+    node.below_counts += kernels.class_histogram(batch[CLASS_COLUMN][below], k)
+    node.above_counts += kernels.class_histogram(batch[CLASS_COLUMN][above], k)
     if held.any():
         node.held.append(batch[held])
-    _stream(node.left, batch[below], schema)
-    _stream(node.right, batch[above], schema)
+    _stream(node.left, batch[below], schema, kernels)
+    _stream(node.right, batch[above], schema, kernels)
 
 
 class _QuestFinalizer:
@@ -423,8 +429,9 @@ def quest_boat_build(
     report.wall_seconds["sampling"] = time.perf_counter() - t0
 
     t0 = time.perf_counter()
+    kernels = get_kernels(boat_config.kernel_backend)
     for batch in table.scan(boat_config.batch_rows):
-        _stream(skeleton, batch, schema)
+        _stream(skeleton, batch, schema, kernels)
     report.wall_seconds["cleanup_scan"] = time.perf_counter() - t0
 
     t0 = time.perf_counter()

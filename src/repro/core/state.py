@@ -30,6 +30,7 @@ import numpy as np
 
 from ..config import BoatConfig
 from ..exceptions import StorageError
+from ..kernels import DEFAULT_KERNELS, KernelBackend
 from ..storage import CLASS_COLUMN, IOStats, Schema, TupleStore
 from ..splits.categorical import category_class_counts
 from .coarse import CoarseCategorical, CoarseCriterion, CoarseNumeric
@@ -190,7 +191,11 @@ class BoatNode:
 
 
 def stream_batch(
-    node: BoatNode, batch: np.ndarray, schema: Schema, sign: int = 1
+    node: BoatNode,
+    batch: np.ndarray,
+    schema: Schema,
+    sign: int = 1,
+    kernels: KernelBackend = DEFAULT_KERNELS,
 ) -> None:
     """Stream a batch down the skeleton, updating statistics in place.
 
@@ -201,7 +206,7 @@ def stream_batch(
     if batch.size == 0:
         return
     node.dirty = True
-    _accumulate_counts(node, batch, schema, sign)
+    _accumulate_counts(node, batch, schema, sign, kernels)
     if node.criterion is None:
         if sign > 0:
             node.family_store.append(batch)
@@ -209,16 +214,16 @@ def stream_batch(
             _remove_from_store(node.family_store, batch)
         return
     if isinstance(node.criterion, CoarseCategorical):
-        go_left = node.criterion.go_left(batch, schema)
+        go_left = node.criterion.go_left(batch, schema, kernels)
         left, right = node.children()
-        stream_batch(left, batch[go_left], schema, sign)
-        stream_batch(right, batch[~go_left], schema, sign)
+        stream_batch(left, batch[go_left], schema, sign, kernels)
+        stream_batch(right, batch[~go_left], schema, sign, kernels)
         return
-    below, held, above = node.criterion.masks(batch, schema)
+    below, held, above = node.criterion.masks(batch, schema, kernels)
     labels = batch[CLASS_COLUMN]
     k = schema.n_classes
-    node.below_counts += sign * np.bincount(labels[below], minlength=k)
-    node.above_counts += sign * np.bincount(labels[above], minlength=k)
+    node.below_counts += sign * kernels.class_histogram(labels[below], k)
+    node.above_counts += sign * kernels.class_histogram(labels[above], k)
     held_batch = batch[held]
     if held_batch.size:
         if sign > 0:
@@ -226,19 +231,22 @@ def stream_batch(
         else:
             _remove_from_store(node.held, held_batch)
     left, right = node.children()
-    stream_batch(left, batch[below], schema, sign)
-    stream_batch(right, batch[above], schema, sign)
+    stream_batch(left, batch[below], schema, sign, kernels)
+    stream_batch(right, batch[above], schema, sign, kernels)
 
 
 def _count_deltas(
-    node: BoatNode, batch: np.ndarray, schema: Schema
+    node: BoatNode,
+    batch: np.ndarray,
+    schema: Schema,
+    kernels: KernelBackend = DEFAULT_KERNELS,
 ) -> tuple[np.ndarray, dict[int, np.ndarray], dict[int, np.ndarray]]:
     """Per-node count increments for a batch, computed without mutation."""
     labels = batch[CLASS_COLUMN]
     k = schema.n_classes
-    class_delta = np.bincount(labels, minlength=k)
+    class_delta = kernels.class_histogram(labels, k)
     cat_deltas = {
-        index: category_class_counts(
+        index: kernels.category_class_counts(
             batch[schema[index].name], labels, matrix.shape[0], k
         )
         for index, matrix in node.cat_counts.items()
@@ -246,16 +254,20 @@ def _count_deltas(
     bucket_deltas = {}
     for index, counts in node.bucket_counts.items():
         edges = node.bucket_edges[index]
-        buckets = bucket_index(edges, batch[schema[index].name])
-        flat = np.bincount(buckets * k + labels, minlength=counts.size)
-        bucket_deltas[index] = flat.reshape(counts.shape)
+        bucket_deltas[index] = kernels.bucket_class_counts(
+            edges, batch[schema[index].name], labels, k
+        )
     return class_delta, cat_deltas, bucket_deltas
 
 
 def _accumulate_counts(
-    node: BoatNode, batch: np.ndarray, schema: Schema, sign: int
+    node: BoatNode,
+    batch: np.ndarray,
+    schema: Schema,
+    sign: int,
+    kernels: KernelBackend = DEFAULT_KERNELS,
 ) -> None:
-    class_delta, cat_deltas, bucket_deltas = _count_deltas(node, batch, schema)
+    class_delta, cat_deltas, bucket_deltas = _count_deltas(node, batch, schema, kernels)
     node.class_counts += sign * class_delta
     for index, delta in cat_deltas.items():
         node.cat_counts[index] += sign * delta
@@ -283,7 +295,10 @@ class NodeDelta:
 
 
 def compute_batch_delta(
-    root: BoatNode, batch: np.ndarray, schema: Schema
+    root: BoatNode,
+    batch: np.ndarray,
+    schema: Schema,
+    kernels: KernelBackend = DEFAULT_KERNELS,
 ) -> list[NodeDelta]:
     """Route a batch down the skeleton, collecting deltas instead of mutating.
 
@@ -295,38 +310,42 @@ def compute_batch_delta(
     order of held and family stores.
     """
     deltas: list[NodeDelta] = []
-    _collect_deltas(root, batch, schema, deltas)
+    _collect_deltas(root, batch, schema, deltas, kernels)
     return deltas
 
 
 def _collect_deltas(
-    node: BoatNode, batch: np.ndarray, schema: Schema, out: list[NodeDelta]
+    node: BoatNode,
+    batch: np.ndarray,
+    schema: Schema,
+    out: list[NodeDelta],
+    kernels: KernelBackend = DEFAULT_KERNELS,
 ) -> None:
     if batch.size == 0:
         return
-    class_delta, cat_deltas, bucket_deltas = _count_deltas(node, batch, schema)
+    class_delta, cat_deltas, bucket_deltas = _count_deltas(node, batch, schema, kernels)
     delta = NodeDelta(node, class_delta, cat_deltas, bucket_deltas)
     out.append(delta)
     if node.criterion is None:
         delta.family_rows = batch
         return
     if isinstance(node.criterion, CoarseCategorical):
-        go_left = node.criterion.go_left(batch, schema)
+        go_left = node.criterion.go_left(batch, schema, kernels)
         left, right = node.children()
-        _collect_deltas(left, batch[go_left], schema, out)
-        _collect_deltas(right, batch[~go_left], schema, out)
+        _collect_deltas(left, batch[go_left], schema, out, kernels)
+        _collect_deltas(right, batch[~go_left], schema, out, kernels)
         return
-    below, held, above = node.criterion.masks(batch, schema)
+    below, held, above = node.criterion.masks(batch, schema, kernels)
     labels = batch[CLASS_COLUMN]
     k = schema.n_classes
-    delta.below_counts = np.bincount(labels[below], minlength=k)
-    delta.above_counts = np.bincount(labels[above], minlength=k)
+    delta.below_counts = kernels.class_histogram(labels[below], k)
+    delta.above_counts = kernels.class_histogram(labels[above], k)
     held_batch = batch[held]
     if held_batch.size:
         delta.held_rows = held_batch
     left, right = node.children()
-    _collect_deltas(left, batch[below], schema, out)
-    _collect_deltas(right, batch[above], schema, out)
+    _collect_deltas(left, batch[below], schema, out, kernels)
+    _collect_deltas(right, batch[above], schema, out, kernels)
 
 
 def apply_batch_delta(deltas: list[NodeDelta]) -> None:

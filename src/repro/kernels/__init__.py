@@ -1,0 +1,62 @@
+"""Columnar kernel backends for the build hot paths.
+
+The cleanup scan, the reference builder's candidate search, QUEST
+statistics collection, and the RainForest AVC constructors all consume
+batch-level counting primitives through one interface,
+:class:`KernelBackend`.  Two interchangeable implementations exist:
+
+* ``"numpy"`` — :class:`NumpyKernels`, whole-batch vectorized array
+  operations (the production default),
+* ``"python"`` — :class:`PythonKernels`, per-row reference loops (the
+  differential-testing oracle).
+
+Select one with ``BoatConfig.kernel_backend`` / CLI ``--kernel-backend``
+or construct split-selection methods with an explicit ``kernels=``
+argument.  Both backends are bit-identical on every kernel — the
+property-based suite in ``tests/test_kernels.py`` and the tree-level
+oracle suite in ``tests/test_kernel_oracle.py`` enforce it — so the
+backend choice can never change which tree is built.
+"""
+
+from __future__ import annotations
+
+from ..config import KERNEL_BACKENDS
+from .base import KernelBackend
+from .reference import PythonKernels
+from .vectorized import NumpyKernels
+
+#: The production default used wherever no backend is threaded explicitly.
+DEFAULT_KERNELS = NumpyKernels()
+
+_BACKENDS: dict[str, KernelBackend] = {
+    "numpy": DEFAULT_KERNELS,
+    "python": PythonKernels(),
+}
+
+
+def get_kernels(name: str | KernelBackend | None) -> KernelBackend:
+    """Resolve a kernel backend by name (or pass an instance through).
+
+    ``None`` resolves to the default (numpy) backend so call sites can
+    forward optional ``kernels`` arguments without special-casing.
+    """
+    if name is None:
+        return DEFAULT_KERNELS
+    if isinstance(name, KernelBackend):
+        return name
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; available: {KERNEL_BACKENDS}"
+        ) from None
+
+
+__all__ = [
+    "KERNEL_BACKENDS",
+    "DEFAULT_KERNELS",
+    "KernelBackend",
+    "NumpyKernels",
+    "PythonKernels",
+    "get_kernels",
+]

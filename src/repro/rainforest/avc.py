@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..kernels import DEFAULT_KERNELS, KernelBackend
 from ..splits.impurity import ImpurityMeasure
 from ..storage import CLASS_COLUMN, Attribute, Schema
 
@@ -67,41 +68,35 @@ class CategoricalAVC:
 
 
 def numeric_avc_from_batch(
-    values: np.ndarray, labels: np.ndarray, n_classes: int
+    values: np.ndarray,
+    labels: np.ndarray,
+    n_classes: int,
+    kernels: KernelBackend = DEFAULT_KERNELS,
 ) -> NumericAVC:
     """Build a numeric AVC-set from one batch of (value, label) pairs."""
-    order = np.argsort(values, kind="stable")
-    sorted_values = values[order]
-    sorted_labels = labels[order]
-    if len(sorted_values) == 0:
-        return NumericAVC(
-            values=np.empty(0), counts=np.empty((0, n_classes), dtype=np.int64)
-        )
-    keep = np.empty(len(sorted_values), dtype=bool)
-    keep[0] = True
-    keep[1:] = sorted_values[1:] != sorted_values[:-1]
-    group = np.cumsum(keep) - 1
-    m = int(group[-1]) + 1
-    flat = np.bincount(group * n_classes + sorted_labels, minlength=m * n_classes)
-    return NumericAVC(
-        values=sorted_values[keep], counts=flat.reshape(m, n_classes)
-    )
+    distinct, counts = kernels.distinct_class_counts(values, labels, n_classes)
+    return NumericAVC(values=distinct, counts=counts)
 
 
 def categorical_avc_from_batch(
-    codes: np.ndarray, labels: np.ndarray, domain_size: int, n_classes: int
+    codes: np.ndarray,
+    labels: np.ndarray,
+    domain_size: int,
+    n_classes: int,
+    kernels: KernelBackend = DEFAULT_KERNELS,
 ) -> CategoricalAVC:
     """Build a categorical AVC-set from one batch."""
-    flat = codes.astype(np.int64) * n_classes + labels
-    counts = np.bincount(flat, minlength=domain_size * n_classes)
-    return CategoricalAVC(counts.reshape(domain_size, n_classes))
+    return CategoricalAVC(
+        kernels.category_class_counts(codes, labels, domain_size, n_classes)
+    )
 
 
 class AVCGroup:
     """The AVC-group of one node: AVC-sets for every predictor attribute."""
 
-    def __init__(self, schema: Schema):
+    def __init__(self, schema: Schema, kernels: KernelBackend = DEFAULT_KERNELS):
         self._schema = schema
+        self._kernels = kernels
         k = schema.n_classes
         self._sets: dict[int, NumericAVC | CategoricalAVC] = {}
         for index, attr in enumerate(schema.attributes):
@@ -122,14 +117,16 @@ class AVCGroup:
             return
         labels = batch[CLASS_COLUMN]
         k = self._schema.n_classes
-        self.class_counts += np.bincount(labels, minlength=k)
+        self.class_counts += self._kernels.class_histogram(labels, k)
         for index, attr in enumerate(self._schema.attributes):
             column = batch[attr.name]
             if attr.is_numerical:
-                fresh = numeric_avc_from_batch(column, labels, k)
+                fresh = numeric_avc_from_batch(column, labels, k, self._kernels)
                 self._sets[index] = self._sets[index].merge(fresh)
             else:
-                fresh = categorical_avc_from_batch(column, labels, attr.domain_size, k)
+                fresh = categorical_avc_from_batch(
+                    column, labels, attr.domain_size, k, self._kernels
+                )
                 self._sets[index] = self._sets[index].merge(fresh)
 
     def avc_set(self, index: int) -> NumericAVC | CategoricalAVC:

@@ -33,6 +33,7 @@ import numpy as np
 
 from ..config import RainForestConfig, SplitConfig
 from ..core.finalize import config_at_depth
+from ..kernels import get_kernels
 from ..observability import NULL_TRACER, NullTracer, Tracer
 from ..splits.base import CategoricalSplit, NumericSplit, Split
 from ..splits.categorical import best_categorical_split_from_counts
@@ -191,6 +192,7 @@ class LevelwiseBuilder:
         self._impurity = method.impurity
         self._config = split_config
         self._rf = rf_config
+        self._kernels = get_kernels(rf_config.kernel_backend)
         self._policy = policy
         self._ids = itertools.count()
         self._tracer = tracer
@@ -302,7 +304,7 @@ class LevelwiseBuilder:
         by_node: dict[int, list[_WorkUnit]] = {}
         for task, attr in units:
             if task.group is None:
-                task.group = AVCGroup(self._schema)
+                task.group = AVCGroup(self._schema, self._kernels)
             by_node.setdefault(task.node.node_id, []).append((task, attr))
         for task in collectors:
             by_node.setdefault(task.node.node_id, [])
@@ -372,15 +374,15 @@ class LevelwiseBuilder:
         k = self._schema.n_classes
         group = task.group
         if count_labels:
-            group.class_counts += np.bincount(labels, minlength=k)
+            group.class_counts += self._kernels.class_histogram(labels, k)
         for index in attrs:
             attr = self._schema[index]
             column = rows[attr.name]
             if attr.is_numerical:
-                fresh = numeric_avc_from_batch(column, labels, k)
+                fresh = numeric_avc_from_batch(column, labels, k, self._kernels)
             else:
                 fresh = categorical_avc_from_batch(
-                    column, labels, attr.domain_size, k
+                    column, labels, attr.domain_size, k, self._kernels
                 )
             group.set_avc(index, group.avc_set(index).merge(fresh))
 
@@ -458,6 +460,7 @@ class LevelwiseBuilder:
                 self._impurity,
                 min_leaf,
                 self._config.max_categorical_exhaustive,
+                kernels=self._kernels,
             )
             if found is None:
                 return None
@@ -466,7 +469,9 @@ class LevelwiseBuilder:
         if len(avc.values) == 0:
             return None
         left_counts = np.cumsum(avc.counts, axis=0)
-        impurities = self._impurity.weighted(left_counts, total)
+        impurities = self._kernels.weighted_impurity(
+            self._impurity, left_counts, total
+        )
         n_total = int(total.sum())
         n_left = left_counts.sum(axis=1)
         admissible = (n_left >= min_leaf) & (n_total - n_left >= min_leaf)

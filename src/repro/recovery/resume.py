@@ -41,6 +41,7 @@ from ..core.boat import BoatReport, BoatResult
 from ..core.cleanup import cleanup_scan
 from ..core.finalize import finalize_tree
 from ..exceptions import RecoveryError, ReproError, StorageError
+from ..kernels import get_kernels
 from ..observability import NULL_TRACER, NullTracer, Tracer
 from ..parallel import WorkerPool
 from ..splits.methods import ImpuritySplitSelection
@@ -175,6 +176,7 @@ def resume_build(
                     tracer=tracer,
                     start_row=start_row,
                     progress=manager.progress_hook(root),
+                    kernels=get_kernels(boat_config.kernel_backend),
                 )
                 phase("cleanup_scan", t0, io_before)
                 # The scan is fully accumulated: checkpoint it so a crash

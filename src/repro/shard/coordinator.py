@@ -22,6 +22,13 @@ table scans distributed to the shards:
    merged skeleton, so the output tree is **byte-identical** to the
    single-table build (``docs/SHARDING.md`` gives the full argument).
 
+Kernel backend: ``BoatConfig.kernel_backend`` travels inside the shipped
+``boat_config`` of every cleanup request, so each shard's local scan runs
+on the same :mod:`repro.kernels` backend as a flat build would, while the
+central sampling/finalization phases use the backend carried by
+``method`` — both backends are bit-identical, so the distributed
+guarantee is unaffected by the switch.
+
 Failure hygiene matches the single-table driver: shard verdicts are ORed
 into a single clean :class:`~repro.exceptions.ShardError`, the master
 skeleton's stores are released on every exit path, and the coordinator's

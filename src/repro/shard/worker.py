@@ -38,6 +38,7 @@ import numpy as np
 from ..config import BoatConfig
 from ..core.cleanup import cleanup_scan
 from ..exceptions import ReproError, ShardError
+from ..kernels import get_kernels
 from ..parallel import WorkerPool
 from ..storage import DiskTable, IOStats, gather_rows
 from ..storage.sharded import schema_digest
@@ -188,6 +189,7 @@ def _execute_cleanup(shard_path: str, request: dict, shard_id: int) -> dict:
                     table.schema,
                     request["batch_rows"],
                     pool=pool,
+                    kernels=get_kernels(boat_config.kernel_backend),
                 )
             nodes = extract_shard_stats(replica, table.schema)
         finally:

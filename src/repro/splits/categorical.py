@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..kernels import DEFAULT_KERNELS, KernelBackend
 from .base import canonical_subset
 from .impurity import ImpurityMeasure
 
@@ -66,6 +67,7 @@ def best_categorical_split_from_counts(
     impurity: ImpurityMeasure,
     min_samples_leaf: int,
     max_exhaustive: int,
+    kernels: KernelBackend = DEFAULT_KERNELS,
 ) -> tuple[float, frozenset[int]] | None:
     """Best admissible subset split from a contingency matrix.
 
@@ -86,7 +88,7 @@ def best_categorical_split_from_counts(
         return None
     total = counts.sum(axis=0)
     left_counts = selectors.astype(np.int64) @ counts[present]
-    impurities = impurity.weighted(left_counts, total)
+    impurities = kernels.weighted_impurity(impurity, left_counts, total)
     n_total = int(total.sum())
     n_left = left_counts.sum(axis=1)
     admissible = (n_left >= min_samples_leaf) & (
@@ -110,9 +112,10 @@ def best_categorical_split(
     impurity: ImpurityMeasure,
     min_samples_leaf: int,
     max_exhaustive: int,
+    kernels: KernelBackend = DEFAULT_KERNELS,
 ) -> tuple[float, frozenset[int]] | None:
     """Tuple-level convenience wrapper over the count-matrix search."""
-    counts = category_class_counts(codes, labels, domain_size, n_classes)
+    counts = kernels.category_class_counts(codes, labels, domain_size, n_classes)
     return best_categorical_split_from_counts(
-        counts, impurity, min_samples_leaf, max_exhaustive
+        counts, impurity, min_samples_leaf, max_exhaustive, kernels
     )

@@ -20,6 +20,7 @@ import numpy as np
 
 from ..config import SplitConfig
 from ..exceptions import SplitSelectionError
+from ..kernels import DEFAULT_KERNELS, KernelBackend, get_kernels
 from ..storage import CLASS_COLUMN, Schema
 from .base import (
     CategoricalSplit,
@@ -34,14 +35,30 @@ from .numeric import best_numeric_split
 
 
 class ImpuritySplitSelection(ImpurityBasedMethod):
-    """CL instantiation for a concave impurity measure (gini, entropy, ...)."""
+    """CL instantiation for a concave impurity measure (gini, entropy, ...).
 
-    def __init__(self, impurity: str | ImpurityMeasure = "gini"):
+    The optional ``kernels`` argument selects the columnar kernel backend
+    the candidate searches run on (:mod:`repro.kernels`); the method
+    carries it so every consumer — the reference builder, BOAT
+    finalization, subtree rebuilds — evaluates candidates on the same
+    backend.  Backends are bit-identical, so this never changes the tree.
+    """
+
+    def __init__(
+        self,
+        impurity: str | ImpurityMeasure = "gini",
+        kernels: KernelBackend | str | None = None,
+    ):
         self._impurity = get_impurity(impurity)
+        self._kernels = get_kernels(kernels)
 
     @property
     def impurity(self) -> ImpurityMeasure:
         return self._impurity
+
+    @property
+    def kernels(self) -> KernelBackend:
+        return self._kernels
 
     def choose_split(
         self, family: np.ndarray, schema: Schema, config: SplitConfig
@@ -49,7 +66,7 @@ class ImpuritySplitSelection(ImpurityBasedMethod):
         n = len(family)
         if n < config.min_samples_split:
             return None
-        counts = self.class_counts(family, schema.n_classes)
+        counts = self._kernels.class_histogram(family[CLASS_COLUMN], schema.n_classes)
         if np.count_nonzero(counts) <= 1:
             return None
         node_impurity = self._impurity.node_impurity(counts)
@@ -64,6 +81,7 @@ class ImpuritySplitSelection(ImpurityBasedMethod):
                     schema.n_classes,
                     self._impurity,
                     config.min_samples_leaf,
+                    kernels=self._kernels,
                 )
                 candidate: Split | None = (
                     None if found is None else NumericSplit(index, found[1])
@@ -77,6 +95,7 @@ class ImpuritySplitSelection(ImpurityBasedMethod):
                     self._impurity,
                     config.min_samples_leaf,
                     config.max_categorical_exhaustive,
+                    kernels=self._kernels,
                 )
                 candidate = (
                     None if found is None else CategoricalSplit(index, found[1])
@@ -96,10 +115,16 @@ class ImpuritySplitSelection(ImpurityBasedMethod):
         return f"ImpuritySplitSelection({self._impurity.name!r})"
 
 
-def get_method(name: str) -> ImpuritySplitSelection:
-    """Construct a split selection method from a registry name."""
+def get_method(
+    name: str, kernel_backend: str | KernelBackend | None = None
+) -> ImpuritySplitSelection:
+    """Construct a split selection method from a registry name.
+
+    ``kernel_backend`` optionally names the columnar kernel backend the
+    method evaluates candidates on (default: the numpy fast path).
+    """
     try:
-        return ImpuritySplitSelection(get_impurity(name))
+        return ImpuritySplitSelection(get_impurity(name), kernels=kernel_backend)
     except SplitSelectionError:
         raise SplitSelectionError(
             f"unknown split selection method {name!r}"

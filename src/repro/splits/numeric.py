@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..kernels import DEFAULT_KERNELS, KernelBackend
 from .impurity import ImpurityMeasure
 
 
@@ -77,6 +78,7 @@ def numeric_profile(
     min_samples_leaf: int,
     base_left: np.ndarray | None = None,
     total_counts: np.ndarray | None = None,
+    kernels: KernelBackend = DEFAULT_KERNELS,
 ) -> NumericProfile:
     """Impurity profile of splitting on ``values`` within one family.
 
@@ -94,12 +96,10 @@ def numeric_profile(
         base_left = np.zeros(n_classes, dtype=np.int64)
     else:
         base_left = np.asarray(base_left, dtype=np.int64)
-    order = np.argsort(values, kind="stable")
-    sorted_values = values[order]
-    cum = cumulative_class_counts(labels[order], n_classes)
+    candidates, cum_left = kernels.numeric_candidates(values, labels, n_classes)
     if total_counts is None:
         if n:
-            total_counts = base_left + cum[-1]
+            total_counts = base_left + cum_left[-1]
         else:
             total_counts = base_left.copy()
     else:
@@ -112,14 +112,8 @@ def numeric_profile(
             impurities=empty,
             admissible=np.empty(0, dtype=bool),
         )
-    # Last occurrence of each distinct value gives that value's candidate row.
-    is_last = np.empty(n, dtype=bool)
-    is_last[:-1] = sorted_values[:-1] != sorted_values[1:]
-    is_last[-1] = True
-    boundary = np.flatnonzero(is_last)
-    candidates = sorted_values[boundary]
-    left_counts = base_left[np.newaxis, :] + cum[boundary]
-    impurities = impurity.weighted(left_counts, total_counts)
+    left_counts = base_left[np.newaxis, :] + cum_left
+    impurities = kernels.weighted_impurity(impurity, left_counts, total_counts)
     n_total = int(total_counts.sum())
     n_left = left_counts.sum(axis=1)
     admissible = (n_left >= min_samples_leaf) & (
@@ -139,7 +133,10 @@ def best_numeric_split(
     n_classes: int,
     impurity: ImpurityMeasure,
     min_samples_leaf: int,
+    kernels: KernelBackend = DEFAULT_KERNELS,
 ) -> tuple[float, float] | None:
     """(impurity, split value) of the best admissible split, or ``None``."""
-    profile = numeric_profile(values, labels, n_classes, impurity, min_samples_leaf)
+    profile = numeric_profile(
+        values, labels, n_classes, impurity, min_samples_leaf, kernels=kernels
+    )
     return profile.best()

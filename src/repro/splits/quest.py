@@ -34,6 +34,7 @@ from scipy import stats as _scipy_stats
 
 from ..config import SplitConfig
 from ..exceptions import SplitSelectionError
+from ..kernels import DEFAULT_KERNELS, KernelBackend, get_kernels
 from ..storage import CLASS_COLUMN, Schema
 from .base import (
     CategoricalSplit,
@@ -43,7 +44,6 @@ from .base import (
     canonical_subset,
     majority_label,
 )
-from .categorical import category_class_counts
 
 
 @dataclass
@@ -79,28 +79,36 @@ class QuestSufficientStats:
             ],
         )
 
-    def update(self, batch: np.ndarray, sign: int = 1) -> None:
+    def update(
+        self,
+        batch: np.ndarray,
+        sign: int = 1,
+        kernels: KernelBackend = DEFAULT_KERNELS,
+    ) -> None:
         """Accumulate (``sign=+1``) or retract (``sign=-1``) a batch."""
         if batch.size == 0:
             return
         labels = batch[CLASS_COLUMN]
         k = self.schema.n_classes
-        self.class_counts += sign * np.bincount(labels, minlength=k)
+        self.class_counts += sign * kernels.class_histogram(labels, k)
         for i, attr in enumerate(self.schema.numerical_attributes):
-            column = batch[attr.name]
-            for c in range(k):
-                mask = labels == c
-                self.numeric_sums[i, c] += sign * column[mask].sum()
-                self.numeric_sumsq[i, c] += sign * np.square(column[mask]).sum()
+            sums, sumsq = kernels.quest_numeric_moments(batch[attr.name], labels, k)
+            self.numeric_sums[i] += sign * sums
+            self.numeric_sumsq[i] += sign * sumsq
         for j, attr in enumerate(self.schema.categorical_attributes):
-            self.contingency[j] += sign * category_class_counts(
+            self.contingency[j] += sign * kernels.category_class_counts(
                 batch[attr.name], labels, attr.domain_size, k
             )
 
     @classmethod
-    def from_family(cls, family: np.ndarray, schema: Schema) -> "QuestSufficientStats":
+    def from_family(
+        cls,
+        family: np.ndarray,
+        schema: Schema,
+        kernels: KernelBackend = DEFAULT_KERNELS,
+    ) -> "QuestSufficientStats":
         stats = cls.empty(schema)
-        stats.update(family)
+        stats.update(family, kernels=kernels)
         return stats
 
 
@@ -307,22 +315,35 @@ def quest_categorical_subset(
 class QuestSplitSelection:
     """QUEST-style CL: test-based attribute selection + QDA split points."""
 
-    def __init__(self, alpha: float = 1.0):
-        """``alpha``: stop splitting when the best p-value exceeds it."""
+    def __init__(
+        self,
+        alpha: float = 1.0,
+        kernels: KernelBackend | str | None = None,
+    ):
+        """``alpha``: stop splitting when the best p-value exceeds it.
+
+        ``kernels`` selects the columnar kernel backend the sufficient
+        statistics are collected on (:mod:`repro.kernels`).
+        """
         if not 0.0 < alpha <= 1.0:
             raise SplitSelectionError("alpha must be in (0, 1]")
         self._alpha = alpha
+        self._kernels = get_kernels(kernels)
 
     @property
     def alpha(self) -> float:
         return self._alpha
+
+    @property
+    def kernels(self) -> KernelBackend:
+        return self._kernels
 
     def choose_split(
         self, family: np.ndarray, schema: Schema, config: SplitConfig
     ) -> SplitDecision | None:
         if len(family) < config.min_samples_split:
             return None
-        stats = QuestSufficientStats.from_family(family, schema)
+        stats = QuestSufficientStats.from_family(family, schema, self._kernels)
         if np.count_nonzero(stats.class_counts) <= 1:
             return None
         decision = self.decide_from_stats(stats, config)

@@ -103,6 +103,7 @@ class Schema:
             raise SchemaError("n_classes must be >= 2")
         self._n_classes = int(n_classes)
         self._index = {a.name: i for i, a in enumerate(self._attributes)}
+        self._dtype: np.dtype | None = None
 
     # -- basic accessors ---------------------------------------------------
 
@@ -174,13 +175,19 @@ class Schema:
 
         Numerical attributes are float64, categorical attributes int32,
         and the class label int32.  The layout is packed (align=False) so
-        record size is stable across platforms.
+        record size is stable across platforms.  Schemas are immutable,
+        so the dtype is built once and cached (scan loops call this per
+        sub-scan).
         """
-        fields: list[tuple[str, str]] = []
-        for attr in self._attributes:
-            fields.append((attr.name, "<f8" if attr.is_numerical else "<i4"))
-        fields.append((CLASS_COLUMN, "<i4"))
-        return np.dtype(fields)
+        if self._dtype is None:
+            fields: list[tuple[str, str]] = []
+            for attr in self._attributes:
+                fields.append(
+                    (attr.name, "<f8" if attr.is_numerical else "<i4")
+                )
+            fields.append((CLASS_COLUMN, "<i4"))
+            self._dtype = np.dtype(fields)
+        return self._dtype
 
     @property
     def record_size(self) -> int:

@@ -46,6 +46,11 @@ def _rebatch(
     pending: list[np.ndarray] = []
     pending_rows = 0
     for chunk in chunks:
+        # Grid-aligned chunks (the steady state of a ShardedTable scan)
+        # pass straight through without slicing.
+        if not pending and len(chunk) == batch_rows:
+            yield chunk
+            continue
         start = 0
         while start < len(chunk):
             take = min(batch_rows - pending_rows, len(chunk) - start)

@@ -184,38 +184,59 @@ class MemoryTable(Table):
             self._io_stats.record_write(len(batch), batch.nbytes)
 
     def scan(
-        self, batch_rows: int = DEFAULT_BATCH_ROWS, start_row: int = 0
+        self,
+        batch_rows: int = DEFAULT_BATCH_ROWS,
+        start_row: int = 0,
+        stop_row: int | None = None,
     ) -> Iterator[np.ndarray]:
         """Yield batches in order, optionally from ``start_row`` on.
 
         As with :meth:`DiskTable.scan`, a partial scan charges only the
-        rows it emits and does not count as a full scan.
+        rows it emits and does not count as a full scan.  ``stop_row``
+        (exclusive) truncates the scan; a scan that does not cover the
+        whole table is never counted as a full scan.
         """
         self._check_open()
         if batch_rows < 1:
             raise ValueError("batch_rows must be >= 1")
         if start_row < 0:
             raise ValueError("start_row must be >= 0")
+        rows_at_start = self._n_rows
+        limit = (
+            rows_at_start
+            if stop_row is None
+            else min(stop_row, rows_at_start)
+        )
+        to_emit = max(limit - start_row, 0)
         pending: list[np.ndarray] = []
         pending_rows = 0
         to_skip = start_row
         for chunk in list(self._chunks):
+            if to_emit <= 0:
+                break
             if to_skip >= len(chunk):
                 to_skip -= len(chunk)
                 continue
             start = to_skip
             to_skip = 0
-            while start < len(chunk):
-                take = min(batch_rows - pending_rows, len(chunk) - start)
+            while start < len(chunk) and to_emit > 0:
+                take = min(
+                    batch_rows - pending_rows, len(chunk) - start, to_emit
+                )
                 pending.append(chunk[start : start + take])
                 pending_rows += take
                 start += take
+                to_emit -= take
                 if pending_rows == batch_rows:
                     yield self._emit(pending)
                     pending, pending_rows = [], 0
         if pending_rows:
             yield self._emit(pending)
-        if self._io_stats is not None and start_row == 0:
+        if (
+            self._io_stats is not None
+            and start_row == 0
+            and limit == rows_at_start
+        ):
             self._io_stats.record_full_scan()
 
     def _emit(self, parts: list[np.ndarray]) -> np.ndarray:
@@ -382,13 +403,18 @@ class DiskTable(Table):
             self._io_stats.record_write(len(batch), len(raw))
 
     def scan(
-        self, batch_rows: int = DEFAULT_BATCH_ROWS, start_row: int = 0
+        self,
+        batch_rows: int = DEFAULT_BATCH_ROWS,
+        start_row: int = 0,
+        stop_row: int | None = None,
     ) -> Iterator[np.ndarray]:
         """Yield batches in record order, optionally from ``start_row`` on.
 
         A partial scan (``start_row > 0`` — a resumed cleanup scan
-        continuing from a checkpoint offset) charges only the rows it
-        actually reads and does *not* count as a full scan.
+        continuing from a checkpoint offset — or ``stop_row`` short of
+        the end, used by :class:`ShardedTable` to grid-align shard
+        boundaries) charges only the rows it actually reads and does
+        *not* count as a full scan.
         """
         self._check_open()
         if batch_rows < 1:
@@ -400,7 +426,12 @@ class DiskTable(Table):
         # Snapshot the row count so concurrent appends during a scan
         # (which the algorithms never do, but tests might) see a stable view.
         rows_at_start = self._n_rows
-        remaining = max(rows_at_start - start_row, 0)
+        limit = (
+            rows_at_start
+            if stop_row is None
+            else min(stop_row, rows_at_start)
+        )
+        remaining = max(limit - start_row, 0)
         with open(self._path, "rb", buffering=io.DEFAULT_BUFFER_SIZE) as fh:
             fh.seek(self._data_offset + start_row * rec)
             while remaining > 0:
@@ -416,7 +447,11 @@ class DiskTable(Table):
                 if self._io_stats is not None:
                     self._io_stats.record_read(len(batch), len(raw))
                 yield batch
-        if self._io_stats is not None and start_row == 0:
+        if (
+            self._io_stats is not None
+            and start_row == 0
+            and limit == rows_at_start
+        ):
             self._io_stats.record_full_scan()
 
     def scan_columns(
@@ -424,6 +459,7 @@ class DiskTable(Table):
         columns: list[str],
         batch_rows: int = DEFAULT_BATCH_ROWS,
         start_row: int = 0,
+        stop_row: int | None = None,
     ) -> Iterator[np.ndarray]:
         """Projection scan billed at projected width (see base docstring).
 
@@ -431,7 +467,8 @@ class DiskTable(Table):
         file: the underlying row file is read, but the charge (and the
         simulated-device throttle) covers only the projected columns.
         Like :meth:`scan`, ``start_row > 0`` seeks past the prefix
-        without reading or charging it and does not count as a full scan.
+        without reading or charging it, ``stop_row`` truncates the scan,
+        and a scan not covering the whole table is not a full scan.
         """
         self._check_open()
         if start_row < 0:
@@ -441,7 +478,12 @@ class DiskTable(Table):
         projected_bytes = sum(dtype[name].itemsize for name in fields)
         full_bytes = dtype.itemsize
         rows_at_start = self._n_rows
-        remaining = max(rows_at_start - start_row, 0)
+        limit = (
+            rows_at_start
+            if stop_row is None
+            else min(stop_row, rows_at_start)
+        )
+        remaining = max(limit - start_row, 0)
         with open(self._path, "rb", buffering=io.DEFAULT_BUFFER_SIZE) as fh:
             fh.seek(self._data_offset + start_row * full_bytes)
             while remaining > 0:
@@ -457,7 +499,11 @@ class DiskTable(Table):
                 if self._io_stats is not None:
                     self._io_stats.record_read(take, take * projected_bytes)
                 yield batch
-        if self._io_stats is not None and start_row == 0:
+        if (
+            self._io_stats is not None
+            and start_row == 0
+            and limit == rows_at_start
+        ):
             self._io_stats.record_full_scan()
 
     def read_slice(

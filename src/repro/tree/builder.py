@@ -16,14 +16,24 @@ from __future__ import annotations
 import numpy as np
 
 from ..config import SplitConfig
+from ..kernels import DEFAULT_KERNELS, KernelBackend
 from ..splits.base import SplitSelectionMethod
 from ..storage import CLASS_COLUMN, Schema
 from .model import DecisionTree, Node
 
 
-def class_counts(family: np.ndarray, n_classes: int) -> np.ndarray:
+def class_counts(
+    family: np.ndarray,
+    n_classes: int,
+    kernels: KernelBackend = DEFAULT_KERNELS,
+) -> np.ndarray:
     """Integer class-count vector of a family array."""
-    return np.bincount(family[CLASS_COLUMN], minlength=n_classes).astype(np.int64)
+    return kernels.class_histogram(family[CLASS_COLUMN], n_classes)
+
+
+def _method_kernels(method: SplitSelectionMethod) -> KernelBackend:
+    """The kernel backend a split selection method carries (numpy default)."""
+    return getattr(method, "kernels", DEFAULT_KERNELS)
 
 
 def build_reference_tree(
@@ -41,7 +51,8 @@ def build_reference_tree(
         config: stopping rules (defaults to :class:`SplitConfig`()).
     """
     config = config or SplitConfig()
-    root = Node(0, 0, class_counts(family, schema.n_classes))
+    kernels = _method_kernels(method)
+    root = Node(0, 0, class_counts(family, schema.n_classes, kernels))
     tree = DecisionTree(schema, root)
     grow_subtree(tree, root, family, method, config)
     return tree
@@ -64,14 +75,19 @@ def grow_subtree(
     decision = method.choose_split(family, tree.schema, config)
     if decision is None:
         return
+    kernels = _method_kernels(method)
     go_left = decision.split.evaluate(family, tree.schema)
     left_family = family[go_left]
     right_family = family[~go_left]
     left = tree.new_node(
-        node.depth + 1, class_counts(left_family, tree.schema.n_classes), node
+        node.depth + 1,
+        class_counts(left_family, tree.schema.n_classes, kernels),
+        node,
     )
     right = tree.new_node(
-        node.depth + 1, class_counts(right_family, tree.schema.n_classes), node
+        node.depth + 1,
+        class_counts(right_family, tree.schema.n_classes, kernels),
+        node,
     )
     node.make_internal(decision.split, left, right)
     grow_subtree(tree, left, left_family, method, config)

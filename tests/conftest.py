@@ -7,6 +7,7 @@ import pytest
 
 from repro.config import BoatConfig, SplitConfig
 from repro.datagen import AgrawalConfig, AgrawalGenerator
+from repro.kernels import KERNEL_BACKENDS, get_kernels
 from repro.splits import ImpuritySplitSelection
 from repro.storage import CLASS_COLUMN, Attribute, IOStats, MemoryTable, Schema
 
@@ -48,6 +49,23 @@ def io_stats() -> IOStats:
 @pytest.fixture
 def gini_method() -> ImpuritySplitSelection:
     return ImpuritySplitSelection("gini")
+
+
+@pytest.fixture(params=list(KERNEL_BACKENDS))
+def kernel_backend(request) -> str:
+    """Parametrizes a test over every statistics-kernel backend.
+
+    Tests taking this fixture run once per backend name; resolve an
+    instance with :func:`repro.kernels.get_kernels` or pass the name
+    through ``BoatConfig.kernel_backend`` / a split-selection method.
+    """
+    return request.param
+
+
+@pytest.fixture
+def kernels(kernel_backend):
+    """The resolved :class:`~repro.kernels.KernelBackend` instance."""
+    return get_kernels(kernel_backend)
 
 
 @pytest.fixture
