@@ -1,0 +1,234 @@
+"""Elastic shard dispatch: what failover, checkpointing and resume cost.
+
+Three figures over one K=2 sharded workload, all asserting byte-identity
+against the flat reference along the way (elasticity may only change
+availability and speed, never the tree):
+
+* **failover overhead** — a clean build versus one whose shard-1 cleanup
+  unit is dropped once and failed over to the local placement; the delta
+  is one re-executed unit plus the retry backoff.
+* **checkpoint overhead** — a sharded build with and without per-unit
+  checkpointing (`BoatConfig.checkpoint_dir`); the delta is one fsynced
+  pickle + state rewrite per completed unit.
+* **resume tail cost** — a build interrupted after checkpointing shard
+  0's unit, then resumed; the resume re-reads only the uncheckpointed
+  complement, never the restored rows.
+
+Series are appended to ``bench_results.jsonl`` by the benchmarks
+conftest.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import shutil
+import tempfile
+import time
+
+import pytest
+
+from repro.bench import RunResult, WorkloadSpec, default_configs, scaled
+from repro.core import boat_build
+from repro.exceptions import ShardError
+from repro.recovery import RetryPolicy
+from repro.shard import (
+    ElasticPolicy,
+    FaultyTransport,
+    make_transport,
+    resume_sharded_build,
+    sharded_boat_build,
+)
+from repro.splits import ImpuritySplitSelection
+from repro.storage import DiskTable, IOStats, ShardedTable, partition_table
+from repro.tree import tree_to_json
+
+N_TUPLES = scaled(40_000)
+SPEC = WorkloadSpec(function_id=1, n_tuples=N_TUPLES, noise=0.1, seed=4)
+FAST_RETRY = RetryPolicy(max_retries=2, base_delay_s=0.01, max_delay_s=0.05)
+
+
+@pytest.fixture(scope="module")
+def elastic_layout(workloads):
+    """One flat reference tree + one K=2 partition of the workload."""
+    table = workloads.table(SPEC)
+    split, boat_cfg, _, _ = default_configs(N_TUPLES)
+    method = ImpuritySplitSelection("gini")
+    flat_io = IOStats()
+    flat = DiskTable.open(table.path, flat_io)
+    reference = boat_build(flat, method, split, boat_cfg)
+    flat.close()
+    root = tempfile.mkdtemp(prefix="repro-bench-elastic-")
+    directory = f"{root}/k2"
+    partition_table(table, directory, 2)
+    yield {
+        "dir": directory,
+        "reference_json": tree_to_json(reference.tree),
+        "split": split,
+        "boat": boat_cfg,
+        "method": method,
+    }
+    shutil.rmtree(root, ignore_errors=True)
+
+
+def _run(layout, *, faults=0, checkpoint_dir=None):
+    io = IOStats()
+    table = ShardedTable.open(layout["dir"], io)
+    config = layout["boat"]
+    if checkpoint_dir is not None:
+        config = dataclasses.replace(config, checkpoint_dir=checkpoint_dir)
+    inner = make_transport("inprocess", table.shard_paths)
+    transport = FaultyTransport(
+        inner,
+        "drop",
+        shard_id=1,
+        at_request=1,
+        times=faults,
+        shard_paths=table.shard_paths,
+    )
+    try:
+        start = time.perf_counter()
+        result = sharded_boat_build(
+            table,
+            layout["method"],
+            layout["split"],
+            config,
+            transport=transport,
+            elastic=ElasticPolicy(retry=FAST_RETRY),
+        )
+        seconds = time.perf_counter() - start
+    finally:
+        transport.close()
+        table.close()
+    assert tree_to_json(result.tree) == layout["reference_json"]
+    return result, seconds, io
+
+
+def _row(name: str, seconds: float, io: IOStats, result) -> RunResult:
+    return RunResult(
+        algorithm=name,
+        workload=SPEC.describe(),
+        n_tuples=N_TUPLES,
+        wall_seconds=seconds,
+        scans=io.full_scans,
+        tuples_read=io.tuples_read,
+        tree_nodes=result.tree.n_nodes,
+        tree_leaves=result.tree.n_leaves,
+        workers=2,
+    )
+
+
+def test_failover_overhead(benchmark, elastic_layout, collector):
+    holder = {}
+
+    def once():
+        for faults in (0, 1):
+            holder[faults] = _run(elastic_layout, faults=faults)
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    for faults, (result, seconds, io) in sorted(holder.items()):
+        assert result.shard_report.failovers == faults
+        collector.add(
+            "Elastic failover: dropped cleanup units (K=2, inprocess)",
+            "dropped_units",
+            faults,
+            _row(f"BOAT@2sh+{faults}drop", seconds, io, result),
+        )
+
+
+def test_checkpoint_overhead(benchmark, elastic_layout, collector):
+    holder = {}
+
+    def once():
+        holder[0] = _run(elastic_layout)
+        ckpt = tempfile.mkdtemp(prefix="repro-bench-elastic-ckpt-")
+        try:
+            holder[1] = _run(elastic_layout, checkpoint_dir=ckpt)
+        finally:
+            shutil.rmtree(ckpt, ignore_errors=True)
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    for flag, (result, seconds, io) in sorted(holder.items()):
+        collector.add(
+            "Sharded checkpoint: per-unit persistence on/off (K=2)",
+            "checkpointing",
+            flag,
+            _row(f"BOAT@2sh+ckpt{flag}", seconds, io, result),
+        )
+
+
+def test_resume_tail_cost(benchmark, elastic_layout, collector):
+    """Interrupt after shard 0's unit checkpoints, then resume.
+
+    The resume restores shard 0's statistics from the checkpoint and
+    re-reads only shard 1 — strictly less table I/O than any full build.
+    """
+    ckpt = tempfile.mkdtemp(prefix="repro-bench-elastic-resume-")
+    holder = {}
+
+    def strict_interrupt():
+        io = IOStats()
+        table = ShardedTable.open(elastic_layout["dir"], io)
+        config = dataclasses.replace(
+            elastic_layout["boat"], checkpoint_dir=ckpt
+        )
+        inner = make_transport("inprocess", table.shard_paths)
+        transport = FaultyTransport(
+            inner, "drop", shard_id=1, at_request=1,
+            shard_paths=table.shard_paths,
+        )
+        try:
+            with pytest.raises(ShardError):
+                sharded_boat_build(
+                    table,
+                    elastic_layout["method"],
+                    elastic_layout["split"],
+                    config,
+                    transport=transport,
+                    elastic=ElasticPolicy(failover=False, local_fallback=False),
+                )
+        finally:
+            transport.close()
+            table.close()
+
+    def resume():
+        io = IOStats()
+        table = ShardedTable.open(elastic_layout["dir"], io)
+        config = dataclasses.replace(
+            elastic_layout["boat"], checkpoint_dir=ckpt
+        )
+        try:
+            start = time.perf_counter()
+            result = resume_sharded_build(
+                table,
+                elastic_layout["method"],
+                elastic_layout["split"],
+                config,
+            )
+            holder["resume"] = (result, time.perf_counter() - start, io)
+        finally:
+            table.close()
+
+    def drill():
+        strict_interrupt()
+        resume()
+
+    try:
+        benchmark.pedantic(drill, rounds=1, iterations=1)
+    finally:
+        shutil.rmtree(ckpt, ignore_errors=True)
+    result, seconds, io = holder["resume"]
+    assert tree_to_json(result.tree) == elastic_layout["reference_json"]
+    report = result.shard_report
+    assert report.resumed and report.restored_units == 1
+    shard_rows = report.shard_rows
+    # Restored rows are never re-read: shard 0 charges nothing, and the
+    # fresh tail is bounded by one scan of shard 1 (plus finalization's
+    # held-tuple re-reads, which are not table rows).
+    assert report.shard_io[0].tuples_read == 0
+    assert report.shard_io[1].tuples_read == shard_rows[1]
+    collector.add(
+        "Sharded resume: tail-only re-read after interrupt (K=2)",
+        "phase",
+        1,
+        _row("BOAT@2sh-resume", seconds, io, result),
+    )

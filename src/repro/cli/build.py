@@ -113,6 +113,10 @@ def _build_sharded(
             print(f"quest build over {table.n_shards} shard(s) (direct scan)")
             return result.tree
         method = ImpuritySplitSelection(args.method, kernels=args.kernel_backend)
+        if args.resume is not None:
+            from ..shard import resume_sharded_build as entry
+        else:
+            entry = sharded_boat_build
         if args.shard_transport == "tcp":
             from ..shard.rpc import LocalShardCluster
 
@@ -121,29 +125,38 @@ def _build_sharded(
                     "tcp", table.shard_paths, addresses=cluster.addresses
                 )
                 with transport:
-                    result = sharded_boat_build(
+                    result = entry(
                         table,
                         method,
                         split_config,
                         boat_config,
                         tracer=tracer,
                         transport=transport,
+                        shard_simulated_mbps=args.simulate_io_mbps,
                     )
         else:
-            result = sharded_boat_build(
+            result = entry(
                 table,
                 method,
                 split_config,
                 boat_config,
                 tracer=tracer,
                 transport=args.shard_transport,
+                shard_simulated_mbps=args.simulate_io_mbps,
             )
         report = result.shard_report
         scans = [stats.full_scans for stats in report.shard_io]
+        if report.resumed:
+            print(
+                f"resumed from checkpoint {boat_config.checkpoint_dir} "
+                f"({report.restored_units} checkpointed unit(s) restored)"
+            )
         print(
             f"sharded build: {report.n_shards} shard(s) via "
             f"{report.transport}, per-shard scans {scans}"
         )
+        if report.failovers:
+            print(f"elastic: {report.failovers} failover(s)")
         return result.tree
     finally:
         if table is not None:
@@ -162,10 +175,6 @@ def _cmd_build(args: argparse.Namespace) -> int:
         if os.path.isdir(args.table) and args.shards is not None:
             print("error: --shards is for flat tables; the table argument "
                   "is already a shard directory", file=sys.stderr)
-            return 2
-        if args.checkpoint is not None or args.resume is not None:
-            print("error: --checkpoint/--resume is not supported for "
-                  "sharded builds", file=sys.stderr)
             return 2
         if args.shards is not None and args.shards < 1:
             print("error: --shards must be >= 1", file=sys.stderr)
@@ -292,7 +301,9 @@ def register(sub) -> None:
         metavar="DIR",
         help="make the build crash-safe: persist the skeleton and "
         "cleanup-scan progress under DIR so a killed build can be "
-        "finished with --resume DIR (see docs/RECOVERY.md)",
+        "finished with --resume DIR; sharded builds checkpoint each "
+        "completed shard unit and may even be resumed at a different "
+        "shard count after `repro reshard` (see docs/RECOVERY.md)",
     )
     build.add_argument(
         "--resume",

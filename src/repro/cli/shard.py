@@ -1,10 +1,16 @@
-"""``shard``: partition a training table into a shard directory.
+"""``shard``/``reshard``/``replicate``: manage a shard directory.
 
-Accepts a flat ``.tbl`` file or a headered CSV (``--label`` names the
-class column, the schema is inferred from a sample).  The output
-directory holds one :class:`~repro.storage.DiskTable` per shard plus a
-manifest; feed it back to ``repro build`` to run the data-parallel
-build.
+``shard`` accepts a flat ``.tbl`` file or a headered CSV (``--label``
+names the class column, the schema is inferred from a sample).  The
+output directory holds one :class:`~repro.storage.DiskTable` per shard
+plus a manifest; feed it back to ``repro build`` to run the
+data-parallel build.
+
+``reshard`` migrates an existing directory to a new shard count in
+place (range split/merge, preserving global row order), so a
+checkpointed K-shard build can be resumed at K' shards.  ``replicate``
+writes replica copies next to the primaries and records them in the
+manifest — the elastic coordinator's failover placements.
 """
 
 from __future__ import annotations
@@ -12,7 +18,15 @@ from __future__ import annotations
 import argparse
 import sys
 
-from ..storage import DiskTable, IOStats, MemoryTable, infer_schema, read_csv
+from ..storage import (
+    DiskTable,
+    IOStats,
+    MemoryTable,
+    infer_schema,
+    read_csv,
+    replicate_shards,
+    reshard,
+)
 from ..storage.sharded import PLACEMENTS, partition_table
 
 
@@ -56,6 +70,31 @@ def _cmd_shard(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_reshard(args: argparse.Namespace) -> int:
+    io = IOStats()
+    manifest = reshard(
+        args.directory, args.shards, batch_rows=args.batch_rows, io_stats=io
+    )
+    rows = manifest.shard_rows
+    print(
+        f"resharded {sum(rows)} rows into {len(rows)} shard(s) under "
+        f"{args.directory}"
+    )
+    print(f"  rows per shard: {list(rows)}")
+    print(f"I/O: {io}")
+    return 0
+
+
+def _cmd_replicate(args: argparse.Namespace) -> int:
+    manifest = replicate_shards(args.directory, copies=args.copies)
+    per_shard = [len(r) for r in manifest.shard_replicas]
+    print(
+        f"replicated {manifest.n_shards} shard(s) under {args.directory}: "
+        f"{per_shard} replica file(s) per shard"
+    )
+    return 0
+
+
 def register(sub) -> None:
     shard = sub.add_parser(
         "shard", help="partition a table or CSV into a shard directory"
@@ -80,3 +119,25 @@ def register(sub) -> None:
     )
     shard.add_argument("--batch-rows", type=int, default=65536)
     shard.set_defaults(fn=_cmd_shard)
+
+    re_shard = sub.add_parser(
+        "reshard",
+        help="migrate a shard directory to a new shard count in place "
+        "(range placement only; global row order is preserved, so a "
+        "checkpointed build can resume at the new count)",
+    )
+    re_shard.add_argument("directory", help="existing shard directory")
+    re_shard.add_argument("shards", type=int, metavar="K", help="new count")
+    re_shard.add_argument("--batch-rows", type=int, default=65536)
+    re_shard.set_defaults(fn=_cmd_reshard)
+
+    replicate = sub.add_parser(
+        "replicate",
+        help="write replica copies of every shard into the directory and "
+        "record them in the manifest (elastic failover placements)",
+    )
+    replicate.add_argument("directory", help="existing shard directory")
+    replicate.add_argument(
+        "--copies", type=int, default=1, help="replicas per shard"
+    )
+    replicate.set_defaults(fn=_cmd_replicate)

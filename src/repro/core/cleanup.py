@@ -62,16 +62,35 @@ ProgressFn = Callable[[int], None]
 
 
 def scan_from(
-    table: Table, batch_rows: int, start_row: int
+    table: Table, batch_rows: int, start_row: int, stop_row: int | None = None
 ) -> Iterator[np.ndarray]:
-    """Scan ``table`` from ``start_row`` onward, as cheaply as it allows.
+    """Scan ``table`` rows ``[start_row, stop_row)``, as cheaply as it allows.
 
     Tables that support offset scans (:class:`DiskTable`, and wrappers
     advertising ``scan_supports_start_row``) seek straight to the offset;
     anything else is scanned from the top with the prefix discarded —
     correctness is unaffected, but the discarded rows are still read (and
     charged), so resumable builds should live on offset-capable tables.
+    ``stop_row`` (exclusive, ``None`` = table end) bounds the scan the
+    same way: natively where the table supports it
+    (``scan_supports_stop_row``), by clipping the emitted batches
+    otherwise.
     """
+    if stop_row is not None:
+        if getattr(table, "scan_supports_stop_row", False):
+            yield from table.scan(
+                batch_rows, start_row=start_row, stop_row=stop_row
+            )
+        else:
+            rows_done = start_row
+            for batch in scan_from(table, batch_rows, start_row):
+                take = min(len(batch), stop_row - rows_done)
+                if take > 0:
+                    yield batch[:take] if take < len(batch) else batch
+                    rows_done += take
+                if rows_done >= stop_row:
+                    return
+        return
     if start_row == 0:
         yield from table.scan(batch_rows)
         return
@@ -99,15 +118,24 @@ def cleanup_scan(
     start_row: int = 0,
     progress: ProgressFn | None = None,
     kernels: KernelBackend = DEFAULT_KERNELS,
+    stop_row: int | None = None,
 ) -> None:
-    """Stream the table down the skeleton, in parallel when possible."""
+    """Stream the table down the skeleton, in parallel when possible.
+
+    ``stop_row`` (exclusive, ``None`` = table end) bounds the scan to a
+    row interval — the unit granularity of the elastic sharded build
+    (``repro.shard.elastic``), where one shard may execute only the
+    uncovered tail of its range after a checkpoint/reshard.
+    """
     with tracer.span("cleanup", batch_rows=batch_rows) as span:
         if start_row:
             span.set(resumed_from_row=start_row)
+        if stop_row is not None:
+            span.set(stop_row=stop_row)
         if pool is None or not pool.is_parallel:
             span.set(workers=1)
             rows_done = start_row
-            for batch in scan_from(table, batch_rows, start_row):
+            for batch in scan_from(table, batch_rows, start_row, stop_row):
                 stream_batch(root, batch, schema, sign=1, kernels=kernels)
                 rows_done += len(batch)
                 if progress is not None:
@@ -125,6 +153,7 @@ def cleanup_scan(
                 start_row,
                 progress,
                 kernels,
+                stop_row,
             )
         else:
             with WorkerPool(pool.n_workers, "thread", tracer=tracer) as thread_pool:
@@ -138,6 +167,7 @@ def cleanup_scan(
                     start_row,
                     progress,
                     kernels,
+                    stop_row,
                 )
 
 
@@ -151,10 +181,11 @@ def _parallel_scan(
     start_row: int = 0,
     progress: ProgressFn | None = None,
     kernels: KernelBackend = DEFAULT_KERNELS,
+    stop_row: int | None = None,
 ) -> None:
     io = table.io_stats
     if isinstance(table, DiskTable):
-        n = len(table)
+        n = len(table) if stop_row is None else min(stop_row, len(table))
         ranges = [
             (start, min(start + batch_rows, n))
             for start in range(start_row, n, batch_rows)
@@ -188,7 +219,7 @@ def _parallel_scan(
                 progress(bounds[1])
         for span in worker_spans.values():
             tracer.attach(span)
-        if io is not None and start_row == 0:
+        if io is not None and start_row == 0 and n == len(table):
             io.record_full_scan()
         return
 
@@ -198,7 +229,9 @@ def _parallel_scan(
         return compute_batch_delta(root, batch, schema, kernels), len(batch)
 
     rows_done = start_row
-    for deltas, n_rows in pool.imap(route, scan_from(table, batch_rows, start_row)):
+    for deltas, n_rows in pool.imap(
+        route, scan_from(table, batch_rows, start_row, stop_row)
+    ):
         apply_batch_delta(deltas)
         rows_done += n_rows
         if progress is not None:

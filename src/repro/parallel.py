@@ -27,6 +27,7 @@ fallback, which recomputes the affected items inline.
 from __future__ import annotations
 
 import os
+import threading
 from collections import deque
 from concurrent.futures import (
     BrokenExecutor,
@@ -119,6 +120,9 @@ class WorkerPool:
         self._executor: Executor | None = None
         self._degraded = False
         self._locally_initialized = False
+        # Guards lazy executor creation: the elastic shard dispatcher
+        # drives one pool from several coordinator threads at once.
+        self._executor_lock = threading.Lock()
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -151,24 +155,27 @@ class WorkerPool:
     def _ensure_executor(self) -> Executor | None:
         if self._degraded or self.backend == "serial":
             return None
-        if self._executor is None:
-            try:
-                if self.backend == "process":
-                    self._executor = ProcessPoolExecutor(
-                        max_workers=self.n_workers,
-                        initializer=self._initializer,
-                        initargs=self._initargs,
-                    )
-                else:
-                    self._executor = ThreadPoolExecutor(
-                        max_workers=self.n_workers,
-                        thread_name_prefix="repro-worker",
-                    )
-                    # Thread workers share the parent's globals.
-                    self._ensure_local_init()
-            except _POOL_FAILURES + (RuntimeError,):
-                self._degrade()
-        return self._executor
+        with self._executor_lock:
+            if self._degraded:
+                return None
+            if self._executor is None:
+                try:
+                    if self.backend == "process":
+                        self._executor = ProcessPoolExecutor(
+                            max_workers=self.n_workers,
+                            initializer=self._initializer,
+                            initargs=self._initargs,
+                        )
+                    else:
+                        self._executor = ThreadPoolExecutor(
+                            max_workers=self.n_workers,
+                            thread_name_prefix="repro-worker",
+                        )
+                        # Thread workers share the parent's globals.
+                        self._ensure_local_init()
+                except _POOL_FAILURES + (RuntimeError,):
+                    self._degrade()
+            return self._executor
 
     def _degrade(self) -> None:
         """Drop to serial execution after a pool failure."""

@@ -24,6 +24,7 @@ from .checkpoint import (
     CheckpointState,
     build_digest,
     load_checkpoint,
+    load_unit_results,
     restore_cleanup_state,
     restore_skeleton,
     serialize_cleanup_state,
@@ -39,6 +40,7 @@ __all__ = [
     "RetryingTable",
     "build_digest",
     "load_checkpoint",
+    "load_unit_results",
     "restore_cleanup_state",
     "restore_skeleton",
     "resume_build",

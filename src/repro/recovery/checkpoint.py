@@ -39,6 +39,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import pickle
 from dataclasses import dataclass
 from typing import Callable
 
@@ -56,6 +57,12 @@ META_FILE = "meta.json"
 SKELETON_FILE = "skeleton.json"
 STATE_FILE = "cleanup_state.json"
 SPILL_DIR = "spills"
+#: Sharded-build checkpoint state (see :mod:`repro.shard.elastic`):
+#: ``shard_state.json`` lists the completed cleanup units (global row
+#: intervals), ``units/`` holds one pickled
+#: :class:`~repro.shard.stats.ShardScanResult` per completed unit.
+SHARD_STATE_FILE = "shard_state.json"
+UNITS_DIR = "units"
 
 #: Build phases recorded in ``meta.json``, in order.
 PHASE_SAMPLING = "sampling"
@@ -341,6 +348,46 @@ class CheckpointState:
     def phase(self) -> str:
         return self.meta.get("phase", PHASE_SAMPLING)
 
+    @property
+    def sharded(self) -> dict | None:
+        """The sharded-build metadata, or ``None`` for a flat checkpoint."""
+        return self.meta.get("sharded")
+
+
+def unit_file_name(lo: int, hi: int) -> str:
+    """Checkpointed cleanup-unit file for global row interval ``[lo, hi)``."""
+    return f"unit-{lo:012d}-{hi:012d}.pkl"
+
+
+def load_unit_results(directory: str) -> list[tuple[int, int, object]]:
+    """Load a sharded checkpoint's completed cleanup units, sorted by ``lo``.
+
+    Returns ``(lo, hi, ShardScanResult)`` triples.  ``shard_state.json``
+    is only ever written *after* the unit files it references are
+    fsynced, so a referenced file that is missing or unreadable means the
+    checkpoint directory was corrupted out-of-band — refused rather than
+    silently dropped, since dropping a unit would silently re-scan
+    already-counted rows.
+    """
+    state_path = os.path.join(directory, SHARD_STATE_FILE)
+    if not os.path.exists(state_path):
+        return []
+    state = _read_json(state_path, "shard state")
+    units: list[tuple[int, int, object]] = []
+    for lo, hi in state.get("units", []):
+        path = os.path.join(directory, UNITS_DIR, unit_file_name(lo, hi))
+        try:
+            with open(path, "rb") as fh:
+                result = pickle.load(fh)
+        except (OSError, pickle.PickleError, EOFError) as exc:
+            raise RecoveryError(
+                f"checkpoint unit [{lo}, {hi}) is unreadable ({path}): "
+                f"{type(exc).__name__}: {exc}"
+            )
+        units.append((int(lo), int(hi), result))
+    units.sort(key=lambda triple: triple[0])
+    return units
+
 
 def load_checkpoint(directory: str) -> CheckpointState:
     """Read a checkpoint directory, validating version and consistency."""
@@ -388,10 +435,16 @@ class CheckpointManager:
         self._batches_since = 0
         #: Checkpoints written during this build (diagnostics/tests).
         self.checkpoints_written = 0
+        #: Completed cleanup units recorded so far (sharded builds).
+        self._units: list[tuple[int, int]] = []
 
     @property
     def spill_dir(self) -> str:
         return os.path.join(self.directory, SPILL_DIR)
+
+    @property
+    def units_dir(self) -> str:
+        return os.path.join(self.directory, UNITS_DIR)
 
     def _meta_path(self) -> str:
         return os.path.join(self.directory, META_FILE)
@@ -416,7 +469,7 @@ class CheckpointManager:
         return meta
 
     def _sweep_stale(self) -> None:
-        for name in (SKELETON_FILE, STATE_FILE):
+        for name in (SKELETON_FILE, STATE_FILE, SHARD_STATE_FILE):
             try:
                 os.remove(os.path.join(self.directory, name))
             except FileNotFoundError:
@@ -424,6 +477,72 @@ class CheckpointManager:
         for name in os.listdir(self.spill_dir):
             if name.endswith(".spill"):
                 os.remove(os.path.join(self.spill_dir, name))
+        if os.path.isdir(self.units_dir):
+            for name in os.listdir(self.units_dir):
+                if name.endswith(".pkl") or name.endswith(".tmp"):
+                    os.remove(os.path.join(self.units_dir, name))
+
+    def begin_sharded(
+        self,
+        schema: Schema,
+        table_rows: int,
+        config_digest: str,
+        placement: str,
+        schema_digest: str,
+    ) -> dict:
+        """Initialize the directory for a fresh *sharded* build.
+
+        The recorded sharded metadata deliberately pins the placement,
+        the total row count and the schema digest but **not** the shard
+        count or shard boundaries: a checkpoint taken at K shards may be
+        resumed at K' after a :func:`repro.storage.reshard`, because
+        completed cleanup units are keyed by global row interval — which
+        survives any range re-partitioning — rather than by shard id.
+        """
+        os.makedirs(self.units_dir, exist_ok=True)
+        meta = self.begin(schema, table_rows, config_digest)
+        meta["sharded"] = {
+            "placement": placement,
+            "total_rows": table_rows,
+            "schema_digest": schema_digest,
+        }
+        _atomic_write_json(self._meta_path(), meta)
+        return meta
+
+    def checkpoint_unit(self, lo: int, hi: int, result: object) -> None:
+        """Persist one completed cleanup unit (global rows ``[lo, hi)``).
+
+        The pickled result is fsynced before ``shard_state.json`` is
+        atomically rewritten to reference it, so a kill at any instant
+        leaves a state file whose every referenced unit is durable.
+        Called from the elastic dispatcher's driving thread only.
+        """
+        os.makedirs(self.units_dir, exist_ok=True)
+        path = os.path.join(self.units_dir, unit_file_name(lo, hi))
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as fh:
+            pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        self._units.append((int(lo), int(hi)))
+        self._units.sort()
+        _atomic_write_json(
+            os.path.join(self.directory, SHARD_STATE_FILE),
+            {
+                "format_version": FORMAT_VERSION,
+                "units": [list(unit) for unit in self._units],
+            },
+        )
+        self.checkpoints_written += 1
+        span = self._tracer.current()
+        if span is not None:
+            span.bump("checkpoints")
+        self._tracer.event("checkpoint_unit", lo=lo, hi=hi)
+
+    def restore_units(self, units: list[tuple[int, int]]) -> None:
+        """Seed the in-memory unit list from a loaded checkpoint (resume)."""
+        self._units = sorted((int(lo), int(hi)) for lo, hi in units)
 
     def save_skeleton(self, root: BoatNode) -> None:
         """Persist the (now immutable) skeleton; enter the cleanup phase."""
@@ -461,7 +580,7 @@ class CheckpointManager:
         ``clear()`` (see :meth:`repro.storage.TupleStore.clear`) precisely
         so that this sweep is the single point where recovery state dies.
         """
-        for name in (SKELETON_FILE, STATE_FILE):
+        for name in (SKELETON_FILE, STATE_FILE, SHARD_STATE_FILE):
             try:
                 os.remove(os.path.join(self.directory, name))
             except FileNotFoundError:
@@ -470,4 +589,8 @@ class CheckpointManager:
             for name in os.listdir(self.spill_dir):
                 if name.endswith(".spill"):
                     os.remove(os.path.join(self.spill_dir, name))
+        if os.path.isdir(self.units_dir):
+            for name in os.listdir(self.units_dir):
+                if name.endswith(".pkl") or name.endswith(".tmp"):
+                    os.remove(os.path.join(self.units_dir, name))
         self._set_phase(PHASE_COMPLETE)

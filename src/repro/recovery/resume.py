@@ -110,6 +110,15 @@ def resume_build(
         tracer = Tracer(io) if boat_config.trace else NULL_TRACER
 
     state = load_checkpoint(boat_config.checkpoint_dir)
+    if state.sharded is not None:
+        # A sharded coordinator wrote this checkpoint: hand off to the
+        # elastic resume (unit-level restore, replica failover).  The
+        # returned ShardedBoatResult shares the .tree/.report surface.
+        from ..shard.elastic import resume_sharded_build
+
+        return resume_sharded_build(
+            table, method, split_config, boat_config, tracer=tracer
+        )
     if state.phase == PHASE_COMPLETE:
         raise RecoveryError(
             f"checkpoint {boat_config.checkpoint_dir} records a completed "

@@ -10,6 +10,11 @@ Layout:
 
 * :mod:`repro.shard.coordinator` — :func:`sharded_boat_build`, the
   distributed driver (byte-identical output; see ``docs/SHARDING.md``).
+* :mod:`repro.shard.elastic` — elastic dispatch: replica failover,
+  bounded retries, speculative re-execution of stragglers, and
+  :func:`resume_sharded_build` for checkpointed coordinators (including
+  resume at a different shard count after
+  :func:`repro.storage.reshard`).
 * :mod:`repro.shard.worker` — shard-local request execution (idempotent
   pure functions, usable from any transport substrate).
 * :mod:`repro.shard.stats` — the mergeable statistic types and the
@@ -17,10 +22,23 @@ Layout:
 * :mod:`repro.shard.transport` — in-process and multiprocessing
   executors over :mod:`repro.parallel`.
 * :mod:`repro.shard.rpc` — the stdlib-socket TCP transport and the
-  local shard-server cluster used to simulate multi-node operation.
+  local shard-server cluster used to simulate multi-node operation
+  (with chaos hooks for kill-at-batch failure drills).
+* :mod:`repro.shard.testing` — :class:`FaultyTransport`, the
+  fault-injecting transport wrapper behind the chaos-drill tests.
 """
 
 from .coordinator import ShardedBoatResult, ShardReport, sharded_boat_build
+from .elastic import (
+    ElasticDispatcher,
+    ElasticPolicy,
+    WorkUnit,
+    resume_sharded_build,
+    uncovered_intervals,
+    units_for_intervals,
+    whole_shard_units,
+)
+from .testing import TRANSPORT_FAULT_KINDS, FaultyTransport
 from .stats import (
     NodeShardStats,
     ShardScanResult,
@@ -39,6 +57,9 @@ from .transport import (
 from .worker import execute_shard_request
 
 __all__ = [
+    "ElasticDispatcher",
+    "ElasticPolicy",
+    "FaultyTransport",
     "InProcessTransport",
     "NodeShardStats",
     "ProcessTransport",
@@ -48,10 +69,16 @@ __all__ = [
     "ShardVerdict",
     "ShardedBoatResult",
     "TRANSPORTS",
+    "TRANSPORT_FAULT_KINDS",
+    "WorkUnit",
     "combine_verdicts",
     "execute_shard_request",
     "extract_shard_stats",
     "make_transport",
     "merge_shard_stats",
+    "resume_sharded_build",
     "sharded_boat_build",
+    "uncovered_intervals",
+    "units_for_intervals",
+    "whole_shard_units",
 ]

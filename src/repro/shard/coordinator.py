@@ -52,11 +52,16 @@ from ..core.bootstrap import sampling_phase
 from ..core.finalize import finalize_tree, prefetch_frontier_subtrees
 from ..exceptions import ReproError, ShardError, StorageError
 from ..observability import NULL_TRACER, NullTracer, Tracer
-from ..recovery.checkpoint import serialize_skeleton
+from ..recovery.checkpoint import (
+    CheckpointManager,
+    build_digest,
+    serialize_skeleton,
+)
 from ..splits.methods import ImpuritySplitSelection
 from ..storage import IOStats, ShardedTable, choose_sample_indices
 from ..tree import DecisionTree, build_reference_tree
-from .stats import ShardScanResult, ShardVerdict, combine_verdicts, merge_shard_stats
+from .elastic import ElasticDispatcher, ElasticPolicy, whole_shard_units
+from .stats import ShardScanResult, ShardVerdict, merge_shard_stats
 from .transport import ShardTransport, make_transport
 from .worker import cleanup_request, sample_request
 
@@ -76,6 +81,15 @@ class ShardReport:
     #: node (``node_id`` → distinct values across shards).
     candidate_counts: dict[int, int] = field(default_factory=dict)
     verdicts: list[ShardVerdict] = field(default_factory=list)
+    #: Elastic-dispatch diagnostics: failure-triggered relaunches,
+    #: straggler backups, and late duplicate results discarded under
+    #: first-result-wins (see ``repro.shard.elastic``).
+    failovers: int = 0
+    speculative_launches: int = 0
+    duplicates_discarded: int = 0
+    #: Resume diagnostics: completed units restored from the checkpoint.
+    restored_units: int = 0
+    resumed: bool = False
 
 
 @dataclass
@@ -133,25 +147,37 @@ class _PhaseAccountant:
             self._experiment.record_full_scan()
 
 
-def _collect(
-    responses: list[dict],
-    verdicts: list[ShardVerdict],
+def _dispatch(
+    units: list,
+    requests: list[dict],
+    transport: ShardTransport,
+    table: ShardedTable,
+    policy: ElasticPolicy,
+    tracer: Tracer | NullTracer,
+    shard_report: ShardReport,
+    on_result=None,
 ) -> list[dict]:
-    """Validate responses, recording verdicts; raise on any failure."""
-    ok: list[dict] = []
-    for shard_id, response in enumerate(responses):
-        verdict = response.get("verdict")
-        if verdict is None:
-            verdict = ShardVerdict(
-                shard_id,
-                ok=response.get("status") == "ok",
-                reason="shard returned no verdict",
-            )
-        verdicts.append(verdict)
-        if response.get("status") == "ok":
-            ok.append(response)
-    combine_verdicts(verdicts[-len(responses):])
-    return ok
+    """Run one phase's units through the elastic dispatcher.
+
+    Verdicts and elastic counters land on the report even when dispatch
+    fails — a unit whose placements were all exhausted leaves its
+    ``ok=False`` verdict behind for the caller's diagnostics.
+    """
+    dispatcher = ElasticDispatcher(
+        units,
+        transport,
+        table.shard_paths,
+        table.replica_paths,
+        policy,
+        tracer,
+    )
+    try:
+        return dispatcher.run(requests, on_result=on_result)
+    finally:
+        shard_report.verdicts.extend(dispatcher.verdicts)
+        shard_report.failovers += dispatcher.failovers
+        shard_report.speculative_launches += dispatcher.speculative_launches
+        shard_report.duplicates_discarded += dispatcher.duplicates_discarded
 
 
 def sharded_boat_build(
@@ -163,6 +189,7 @@ def sharded_boat_build(
     tracer: Tracer | NullTracer | None = None,
     transport: ShardTransport | str = "inprocess",
     shard_simulated_mbps: float | None = None,
+    elastic: ElasticPolicy | None = None,
 ) -> ShardedBoatResult:
     """Build the exact single-table BOAT tree from a sharded database.
 
@@ -180,7 +207,18 @@ def sharded_boat_build(
             not know where the servers live).
         shard_simulated_mbps: per-shard simulated device throughput for
             the cleanup scan (benchmarks and failure drills).
+        elastic: the :class:`~repro.shard.elastic.ElasticPolicy` for
+            failover/speculation (default: failover on — a shard that
+            dies mid-scan is retried on its replicas and then re-read
+            from the source partition; the build only fails when every
+            placement of a unit is exhausted).
         Everything else matches :func:`repro.core.boat.boat_build`.
+
+    When ``boat_config.checkpoint_dir`` is set, the build is crash-safe:
+    the skeleton and every completed per-shard cleanup unit are persisted
+    as they land, and a SIGKILL'd coordinator finishes byte-identically
+    via :func:`~repro.shard.elastic.resume_sharded_build` (or plain
+    :func:`repro.recovery.resume_build`, which delegates).
     """
     split_config = split_config or SplitConfig()
     boat_config = boat_config or BoatConfig()
@@ -201,6 +239,8 @@ def sharded_boat_build(
     accountant = _PhaseAccountant(table, shard_report)
     offsets = _shard_offsets(manifest.shard_rows)
     digest = manifest.schema_digest
+    policy = elastic if elastic is not None else ElasticPolicy()
+    manager: CheckpointManager | None = None
 
     own_transport = isinstance(transport, str)
     if own_transport:
@@ -225,7 +265,7 @@ def sharded_boat_build(
             ) as sample_span:
                 sample = _distributed_sample(
                     table, boat_config, rng, offsets, digest,
-                    transport, accountant, shard_report, tracer,
+                    transport, accountant, shard_report, tracer, policy,
                 )
                 sample_span.set(sample_rows=len(sample))
             if len(sample) >= n:
@@ -238,6 +278,19 @@ def sharded_boat_build(
                 if tracer.enabled:
                     report.trace = tracer.report()
                 return ShardedBoatResult(tree, report, shard_report)
+            if boat_config.checkpoint_dir:
+                manager = CheckpointManager(
+                    boat_config.checkpoint_dir,
+                    boat_config.checkpoint_every_batches,
+                    tracer,
+                )
+                manager.begin_sharded(
+                    schema,
+                    n,
+                    build_digest(schema, n, split_config, boat_config),
+                    manifest.placement,
+                    digest,
+                )
             with make_build_pool(
                 sample, schema, method, split_config, boat_config, tracer
             ) as pool:
@@ -256,6 +309,8 @@ def sharded_boat_build(
                 )
                 report.sampling = result.report
                 phase("sampling", t0, io_before)
+                if manager is not None:
+                    manager.save_skeleton(result.root)
 
                 # -- distributed cleanup scan + merge ----------------------
                 t0 = time.perf_counter()
@@ -264,21 +319,32 @@ def sharded_boat_build(
                 with tracer.span(
                     "shard_cleanup", shards=manifest.n_shards
                 ):
+                    units = whole_shard_units(offsets)
                     requests = [
                         cleanup_request(
-                            shard_id,
+                            unit.shard_id,
                             skeleton,
                             boat_config,
                             boat_config.batch_rows,
                             digest,
-                            manifest.shard_rows[shard_id],
+                            manifest.shard_rows[unit.shard_id],
                             spill_dir=scratch,
                             simulated_mbps=shard_simulated_mbps,
                         )
-                        for shard_id in range(manifest.n_shards)
+                        for unit in units
                     ]
-                    responses = _collect(
-                        transport.run(requests), shard_report.verdicts
+                    on_result = None
+                    if manager is not None:
+
+                        def on_result(index: int, response: dict) -> None:
+                            unit = units[index]
+                            manager.checkpoint_unit(
+                                unit.lo, unit.hi, response["result"]
+                            )
+
+                    responses = _dispatch(
+                        units, requests, transport, table, policy,
+                        tracer, shard_report, on_result,
                     )
                     scans: list[ShardScanResult] = []
                     for response in responses:
@@ -348,6 +414,10 @@ def sharded_boat_build(
         # worker spilled before dying: sweeping it here is what makes the
         # kill-one-shard drill leave zero spill files behind.
         shutil.rmtree(scratch, ignore_errors=True)
+    if manager is not None:
+        # Only a fully-successful build consumes its checkpoint; a build
+        # that failed (even after retries) stays resumable.
+        manager.finish()
     if tracer.enabled:
         report.trace = tracer.report()
     return ShardedBoatResult(tree, report, shard_report)
@@ -363,6 +433,7 @@ def _distributed_sample(
     accountant: _PhaseAccountant,
     shard_report: ShardReport,
     tracer: Tracer | NullTracer,
+    policy: ElasticPolicy,
 ) -> np.ndarray:
     """The sampling-phase draw, executed shard-locally.
 
@@ -393,7 +464,10 @@ def _distributed_sample(
                 manifest.shard_rows[shard_id],
             )
         )
-    responses = _collect(transport.run(requests), shard_report.verdicts)
+    responses = _dispatch(
+        whole_shard_units(offsets), requests, transport, table,
+        policy, tracer, shard_report,
+    )
     parts = []
     for response in responses:
         accountant.charge(response["shard_id"], response["io"])

@@ -38,7 +38,7 @@ from ..exceptions import ReproError, ShardError
 from ..parallel import WorkerPool
 from ..recovery import RetryPolicy
 from .transport import ShardTransport
-from .worker import execute_shard_request
+from .worker import OP_CLEANUP, execute_shard_request
 
 _LEN = struct.Struct(">Q")
 #: Frames above this size indicate a corrupt or hostile peer, not a build.
@@ -73,16 +73,46 @@ def recv_frame(sock: socket.socket) -> object:
 
 
 class ShardServer:
-    """Serves one shard file over TCP, one request per connection."""
+    """Serves one shard file over TCP, one request per connection.
 
-    def __init__(self, shard_path: str, host: str = "127.0.0.1", port: int = 0):
+    ``chaos`` (failure drills only) is a spec dict injecting worker
+    death: ``{"die_at_cleanup_batch": b}`` hard-kills this process
+    (``os._exit``) after the b-th cleanup-scan progress callback, which
+    the client observes as a connection dropped mid-frame — the exact
+    signature of a shard node dying mid-scan.
+    """
+
+    def __init__(
+        self,
+        shard_path: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        chaos: dict | None = None,
+    ):
         self._shard_path = shard_path
+        self._chaos = chaos or {}
         self._sock = socket.create_server((host, port))
         self._sock.listen()
 
     @property
     def address(self) -> tuple[str, int]:
         return self._sock.getsockname()[:2]
+
+    def _chaos_progress(self, request: dict):
+        """The cleanup progress hook implementing ``die_at_cleanup_batch``."""
+        die_at = self._chaos.get("die_at_cleanup_batch")
+        if die_at is None or request.get("op") != OP_CLEANUP:
+            return None
+        batches = {"seen": 0}
+
+        def on_progress(rows_scanned: int) -> None:
+            batches["seen"] += 1
+            if batches["seen"] >= die_at:
+                # A real node death: no cleanup, no response, no exit
+                # handlers — the client sees the connection drop.
+                os._exit(137)
+
+        return on_progress
 
     def serve_forever(self) -> None:
         """Accept and answer requests until the process dies.
@@ -97,7 +127,11 @@ class ShardServer:
             with conn:
                 try:
                     request = recv_frame(conn)
-                    response = execute_shard_request(self._shard_path, request)
+                    response = execute_shard_request(
+                        self._shard_path,
+                        request,
+                        progress=self._chaos_progress(request),
+                    )
                     send_frame(conn, response)
                 except (ConnectionError, EOFError, pickle.PickleError):
                     continue  # client vanished mid-exchange; next, please
@@ -111,9 +145,10 @@ def serve_shard(
     host: str = "127.0.0.1",
     port: int = 0,
     ready: "Queue | None" = None,
+    chaos: dict | None = None,
 ) -> None:
     """Run a shard server (blocking); report the bound port via ``ready``."""
-    server = ShardServer(shard_path, host, port)
+    server = ShardServer(shard_path, host, port, chaos=chaos)
     if ready is not None:
         ready.put(server.address)
     try:
@@ -193,20 +228,31 @@ class LocalShardCluster:
     The simulated multi-node deployment used by tests, CI and the CLI's
     ``--shard-transport tcp``: start as a context manager, hand
     :attr:`addresses` to a :class:`TcpTransport`, and (for failure
-    drills) :meth:`kill` individual shard servers mid-build.
+    drills) :meth:`kill` individual shard servers mid-build or pass
+    ``chaos={shard_id: {"die_at_cleanup_batch": b}}`` to have a server
+    hard-kill itself at a chosen cleanup batch (deterministic
+    kill-at-offset drills).
     """
 
-    def __init__(self, shard_paths: list[str], host: str = "127.0.0.1"):
+    def __init__(
+        self,
+        shard_paths: list[str],
+        host: str = "127.0.0.1",
+        chaos: dict[int, dict] | None = None,
+    ):
         self._paths = list(shard_paths)
         self._host = host
+        self._chaos = chaos or {}
         self._procs: list[Process] = []
         self.addresses: list[tuple[str, int]] = []
 
     def __enter__(self) -> "LocalShardCluster":
         ready: Queue = Queue()
-        for path in self._paths:
+        for shard_id, path in enumerate(self._paths):
             proc = Process(
-                target=serve_shard, args=(path, self._host, 0, ready), daemon=True
+                target=serve_shard,
+                args=(path, self._host, 0, ready, self._chaos.get(shard_id)),
+                daemon=True,
             )
             proc.start()
             self._procs.append(proc)

@@ -1,0 +1,166 @@
+"""Fault-injection wrappers for shard-transport failure tests.
+
+The storage sibling (:class:`repro.storage.testing.FaultyTable`) models
+the *device* failing mid-scan; this module models the *cluster* failing
+mid-dispatch.  :class:`FaultyTransport` wraps a real transport and
+injects one configured fault into the request stream of one shard, so
+the chaos-drill suites can rehearse every leg of the elastic
+dispatcher's failure handling deterministically — no timers, no real
+process kills — and assert that the recovered build is byte-identical
+with zero spill litter.
+
+Four fault kinds, one per failure plane:
+
+* ``"drop"`` — the request never arrives: a
+  :class:`~repro.exceptions.ShardError` raised at delivery (a dropped
+  TCP connection, a dead pool worker).  The dispatcher's *delivery*
+  plane: fails over to the next placement.
+* ``"delay"`` — the request arrives but the response is slow by
+  ``delay_s`` (a straggler node).  Exercises speculative re-execution:
+  a backup attempt on another placement should win the race.
+* ``"duplicate"`` — the request is executed **twice** against the real
+  transport and both responses are recorded (a retried request whose
+  first response was merely lost in flight).  Exercises idempotence:
+  re-execution must reproduce the identical result, and the dispatcher
+  must merge exactly one.
+* ``"abort_scan"`` — the shard worker dies at cleanup batch
+  ``at_batch``: the request is executed locally against the shard file
+  with a progress hook that raises mid-scan, after the worker has
+  partially accumulated statistics.  The *logical* plane: the unit
+  comes back as an ``error`` verdict and must be re-executed from
+  scratch elsewhere without double-counting a single row.
+
+``at_request`` selects which of the shard's requests trips (0-based;
+request 0 is the sample gather, request 1 the cleanup scan in a
+default build), and ``times`` bounds how many consecutive requests are
+hit — ``times`` larger than the dispatcher's attempt budget rehearses
+placement exhaustion.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import defaultdict
+
+from ..exceptions import ShardError
+from .transport import ShardTransport
+from .worker import execute_shard_request
+
+#: Valid values for FaultyTransport's ``kind``.
+TRANSPORT_FAULT_KINDS = ("drop", "delay", "duplicate", "abort_scan")
+
+
+class FaultyTransport(ShardTransport):
+    """A transport wrapper that injects one fault kind at one shard.
+
+    Args:
+        inner: the real transport; unaffected requests pass straight
+            through (and keep their idempotence guarantee).
+        kind: one of :data:`TRANSPORT_FAULT_KINDS`.
+        shard_id: the shard whose requests are hit.
+        at_request: zero-based index, per shard, of the first request
+            that trips (earlier requests run clean).
+        times: how many consecutive matching requests are hit.
+        delay_s: the straggler delay for ``"delay"``.
+        at_batch: the 1-based cleanup batch at which ``"abort_scan"``
+            kills the scan.
+        shard_paths: shard files, required for ``"abort_scan"`` (the
+            aborting scan executes locally so the progress hook can
+            fire).
+
+    Counters (inspected by tests): ``faults_injected``,
+    ``requests_seen`` (per shard), and ``duplicate_responses`` — the
+    ``(first, second)`` response pairs produced by ``"duplicate"``.
+    """
+
+    def __init__(
+        self,
+        inner: ShardTransport,
+        kind: str,
+        shard_id: int,
+        at_request: int = 0,
+        times: int = 1,
+        delay_s: float = 0.5,
+        at_batch: int = 1,
+        shard_paths: list[str] | None = None,
+    ):
+        if kind not in TRANSPORT_FAULT_KINDS:
+            raise ValueError(
+                f"kind must be one of {TRANSPORT_FAULT_KINDS}, got {kind!r}"
+            )
+        if kind == "abort_scan" and not shard_paths:
+            raise ValueError("abort_scan needs shard_paths to execute locally")
+        self._inner = inner
+        self.kind = kind
+        self.shard_id = shard_id
+        self.at_request = at_request
+        self.times = times
+        self.delay_s = delay_s
+        self.at_batch = at_batch
+        self._paths = list(shard_paths or [])
+        self.faults_injected = 0
+        self.requests_seen: dict[int, int] = defaultdict(int)
+        self.duplicate_responses: list[tuple[dict, dict]] = []
+        self._lock = threading.Lock()
+
+    @property
+    def name(self) -> str:
+        return f"faulty-{self._inner.name}"
+
+    def _arm(self, shard_id: int) -> bool:
+        """Count the request; decide under the lock whether it trips."""
+        with self._lock:
+            index = self.requests_seen[shard_id]
+            self.requests_seen[shard_id] += 1
+            trips = (
+                shard_id == self.shard_id
+                and index >= self.at_request
+                and self.faults_injected < self.times
+            )
+            if trips:
+                self.faults_injected += 1
+            return trips
+
+    def request_one(self, shard_id: int, request: dict) -> dict:
+        if not self._arm(shard_id):
+            return self._inner.request_one(shard_id, request)
+        if self.kind == "drop":
+            raise ShardError(
+                f"injected drop of request "
+                f"{self.requests_seen[shard_id] - 1} to shard {shard_id}"
+            )
+        if self.kind == "delay":
+            time.sleep(self.delay_s)
+            return self._inner.request_one(shard_id, request)
+        if self.kind == "duplicate":
+            first = self._inner.request_one(shard_id, request)
+            second = self._inner.request_one(shard_id, request)
+            with self._lock:
+                self.duplicate_responses.append((first, second))
+            return second
+        # abort_scan: die mid-cleanup at the configured batch, after the
+        # worker has partially accumulated — the re-executed unit must
+        # not double-count a row.
+        batches = {"seen": 0}
+
+        def on_progress(rows_scanned: int) -> None:
+            batches["seen"] += 1
+            if batches["seen"] >= self.at_batch:
+                raise ShardError(
+                    f"injected worker death at cleanup batch "
+                    f"{batches['seen']} of shard {shard_id}"
+                )
+
+        return execute_shard_request(
+            self._paths[shard_id], request, progress=on_progress
+        )
+
+    def run(self, requests: list[dict]) -> list[dict]:
+        return [
+            self.request_one(shard_id, request)
+            for shard_id, request in enumerate(requests)
+        ]
+
+    def close(self) -> None:
+        self._inner.close()

@@ -43,6 +43,20 @@ class ShardTransport(ABC):
     def run(self, requests: list[dict]) -> list[dict]:
         """Execute ``requests[i]`` against shard ``i``; ordered responses."""
 
+    def request_one(self, shard_id: int, request: dict) -> dict:
+        """One request/response exchange with a single shard.
+
+        The elastic dispatcher's primitive: unlike :meth:`run`, requests
+        target individual shards (possibly several in flight against the
+        same shard — retries, speculation) and may carry partial row
+        ranges.  Raises :class:`~repro.exceptions.ShardError` for
+        delivery failures only; shard-side failures come back as
+        ``ok=False`` verdict responses.
+        """
+        raise ShardError(
+            f"transport {self.name!r} does not support per-shard requests"
+        )
+
     def close(self) -> None:  # noqa: B027 - optional hook
         """Release transport resources (pools, sockets)."""
 
@@ -67,6 +81,14 @@ class InProcessTransport(ShardTransport):
             execute_shard_request(path, request)
             for path, request in zip(self._paths, requests)
         ]
+
+    def request_one(self, shard_id: int, request: dict) -> dict:
+        if not 0 <= shard_id < len(self._paths):
+            raise ShardError(
+                f"transport serves {len(self._paths)} shard(s); there is "
+                f"no shard {shard_id}"
+            )
+        return execute_shard_request(self._paths[shard_id], request)
 
     def _check_count(self, n: int) -> None:
         if n != len(self._paths):
@@ -100,6 +122,17 @@ class ProcessTransport(InProcessTransport):
         return self._pool.map(
             _execute_pair, list(zip(self._paths, requests))
         )
+
+    def request_one(self, shard_id: int, request: dict) -> dict:
+        if not 0 <= shard_id < len(self._paths):
+            raise ShardError(
+                f"transport serves {len(self._paths)} shard(s); there is "
+                f"no shard {shard_id}"
+            )
+        (response,) = self._pool.map(
+            _execute_pair, [(self._paths[shard_id], request)]
+        )
+        return response
 
     def close(self) -> None:
         self._pool.shutdown()

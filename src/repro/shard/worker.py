@@ -78,8 +78,17 @@ def cleanup_request(
     expect_rows: int,
     spill_dir: str | None = None,
     simulated_mbps: float | None = None,
+    start_row: int = 0,
+    stop_row: int | None = None,
 ) -> dict:
-    """Build a ``cleanup`` request shipping the frozen skeleton."""
+    """Build a ``cleanup`` request shipping the frozen skeleton.
+
+    ``start_row``/``stop_row`` bound the scan to a shard-local row
+    interval (``stop_row=None`` = shard end): the elastic coordinator
+    dispatches *partial* units after a checkpoint restore or a reshard,
+    where only part of a shard's range is still uncovered.  The default
+    whole-shard unit is unchanged.
+    """
     return {
         "op": OP_CLEANUP,
         "shard_id": shard_id,
@@ -90,6 +99,8 @@ def cleanup_request(
         "shard_rows": expect_rows,
         "spill_dir": spill_dir,
         "simulated_mbps": simulated_mbps,
+        "start_row": start_row,
+        "stop_row": stop_row,
     }
 
 
@@ -118,9 +129,16 @@ def _check_shard(
     return None
 
 
-def execute_shard_request(shard_path: str, request: dict) -> dict:
+def execute_shard_request(
+    shard_path: str, request: dict, progress=None
+) -> dict:
     """Execute one request against one shard file; never raises for
-    shard-local failures (they become ``error`` responses)."""
+    shard-local failures (they become ``error`` responses).
+
+    ``progress`` (optional) is forwarded to the cleanup scan — used by
+    the TCP shard server's chaos hooks and by fault-injecting test
+    transports to model a worker dying mid-scan at a chosen batch.
+    """
     shard_id = request.get("shard_id", -1)
     op = request.get("op")
     if op == OP_PING:
@@ -129,7 +147,7 @@ def execute_shard_request(shard_path: str, request: dict) -> dict:
         if op == OP_SAMPLE:
             return _execute_sample(shard_path, request, shard_id)
         if op == OP_CLEANUP:
-            return _execute_cleanup(shard_path, request, shard_id)
+            return _execute_cleanup(shard_path, request, shard_id, progress)
         raise ShardError(f"unknown shard operation {op!r}")
     except (ReproError, OSError) as exc:
         return _error_response(shard_id, f"{type(exc).__name__}: {exc}")
@@ -155,7 +173,9 @@ def _execute_sample(shard_path: str, request: dict, shard_id: int) -> dict:
     }
 
 
-def _execute_cleanup(shard_path: str, request: dict, shard_id: int) -> dict:
+def _execute_cleanup(
+    shard_path: str, request: dict, shard_id: int, progress=None
+) -> dict:
     # Imported here, not at module top: repro.recovery imports repro.core.boat,
     # whose import must not require the shard subsystem (and vice versa).
     from ..recovery.checkpoint import restore_skeleton
@@ -173,6 +193,11 @@ def _execute_cleanup(shard_path: str, request: dict, shard_id: int) -> dict:
         bad = _check_shard(table, request, shard_id)
         if bad is not None:
             return _error_response(shard_id, bad)
+        start_row = request.get("start_row") or 0
+        stop_row = request.get("stop_row")
+        unit_rows = (
+            len(table) if stop_row is None else min(stop_row, len(table))
+        ) - start_row
         replica = restore_skeleton(
             request["skeleton"],
             table.schema,
@@ -189,7 +214,10 @@ def _execute_cleanup(shard_path: str, request: dict, shard_id: int) -> dict:
                     table.schema,
                     request["batch_rows"],
                     pool=pool,
+                    progress=progress,
                     kernels=get_kernels(boat_config.kernel_backend),
+                    start_row=start_row,
+                    stop_row=stop_row,
                 )
             nodes = extract_shard_stats(replica, table.schema)
         finally:
@@ -197,7 +225,7 @@ def _execute_cleanup(shard_path: str, request: dict, shard_id: int) -> dict:
     verdict = ShardVerdict(shard_id, ok=True)
     result = ShardScanResult(
         shard_id=shard_id,
-        rows_scanned=len(table),
+        rows_scanned=unit_rows,
         nodes=nodes,
         io=io,
         verdict=verdict,

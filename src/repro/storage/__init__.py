@@ -11,7 +11,14 @@ from .sampling import (
     split_into_chunks,
 )
 from .schema import CLASS_COLUMN, Attribute, AttributeKind, Schema
-from .sharded import ShardedTable, ShardManifest, partition_table, schema_digest
+from .sharded import (
+    ShardedTable,
+    ShardManifest,
+    partition_table,
+    replicate_shards,
+    reshard,
+    schema_digest,
+)
 from .spill import SpillFile, TupleStore
 from .table import DiskTable, MemoryTable, Table, read_json_sidecar, write_json_sidecar
 from .csv_io import CategoryEncoder, infer_schema, read_csv, write_csv
@@ -44,6 +51,8 @@ __all__ = [
     "partition_table",
     "read_csv",
     "read_json_sidecar",
+    "replicate_shards",
+    "reshard",
     "reservoir_sample",
     "sample_known_size",
     "sample_table",

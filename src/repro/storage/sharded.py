@@ -39,6 +39,8 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
+import shutil
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -97,12 +99,21 @@ def range_offsets(n_rows: int, n_shards: int) -> list[int]:
 
 @dataclass(frozen=True)
 class ShardManifest:
-    """The shard directory's metadata (``manifest.json``)."""
+    """The shard directory's metadata (``manifest.json``).
+
+    ``shard_replicas`` (optional, written by :func:`replicate_shards`)
+    lists extra byte-identical copies of each shard file — the failover
+    placements the elastic coordinator falls back to when a shard's
+    primary placement dies mid-build.  An empty tuple means "no
+    replicas"; manifests written before replication existed load
+    unchanged.
+    """
 
     placement: str
     schema_digest: str
     shard_files: tuple[str, ...]
     shard_rows: tuple[int, ...]
+    shard_replicas: tuple[tuple[str, ...], ...] = ()
 
     @property
     def n_shards(self) -> int:
@@ -112,15 +123,26 @@ class ShardManifest:
     def total_rows(self) -> int:
         return sum(self.shard_rows)
 
+    def replicas_for(self, shard_id: int) -> tuple[str, ...]:
+        if shard_id < len(self.shard_replicas):
+            return self.shard_replicas[shard_id]
+        return ()
+
     def to_dict(self) -> dict:
+        shards = []
+        for shard_id, (name, rows) in enumerate(
+            zip(self.shard_files, self.shard_rows)
+        ):
+            entry: dict = {"file": name, "rows": rows}
+            replicas = self.replicas_for(shard_id)
+            if replicas:
+                entry["replicas"] = list(replicas)
+            shards.append(entry)
         return {
             "version": MANIFEST_VERSION,
             "placement": self.placement,
             "schema_digest": self.schema_digest,
-            "shards": [
-                {"file": name, "rows": rows}
-                for name, rows in zip(self.shard_files, self.shard_rows)
-            ],
+            "shards": shards,
         }
 
     @classmethod
@@ -133,11 +155,15 @@ class ShardManifest:
                 )
             placement = data["placement"]
             shards = data["shards"]
+            replicas = tuple(
+                tuple(entry.get("replicas", ())) for entry in shards
+            )
             manifest = cls(
                 placement=placement,
                 schema_digest=data["schema_digest"],
                 shard_files=tuple(entry["file"] for entry in shards),
                 shard_rows=tuple(int(entry["rows"]) for entry in shards),
+                shard_replicas=replicas if any(replicas) else (),
             )
         except (KeyError, TypeError) as exc:
             raise StorageError(f"{where}: malformed shard manifest: {exc}")
@@ -235,6 +261,187 @@ def partition_table(
         for shard in shards:
             shard.close()
     return manifest
+
+
+#: Shard-set file name shapes swept by :func:`reshard`:
+#: ``shard-0007.tbl``, ``shard-0007-g3.tbl`` (generation 3),
+#: ``shard-0007.r1.tbl`` / ``shard-0007-g3.r1.tbl`` (replica 1).
+_SHARD_FILE_RE = re.compile(
+    r"^shard-\d{4}(?:-g(?P<gen>\d+))?(?:\.r\d+)?\.tbl$"
+)
+
+
+def _link_or_copy(src: str, dst: str) -> None:
+    """Duplicate a shard file as cheaply as the filesystem allows."""
+    try:
+        os.link(src, dst)
+    except OSError:
+        shutil.copy2(src, dst)
+
+
+def _fsync_file(path: str) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def replicate_shards(
+    directory: str | os.PathLike, copies: int = 1
+) -> ShardManifest:
+    """Write ``copies`` byte-identical replicas of every shard file.
+
+    Replicas are named ``<primary stem>.r{j}.tbl`` (hardlinked when the
+    filesystem allows, copied otherwise) and recorded in the manifest's
+    per-shard ``replicas`` lists.  The elastic build coordinator uses
+    them as failover placements: a shard whose primary placement dies
+    mid-scan is re-executed from a replica without restarting the build.
+    Re-running with a higher ``copies`` adds the missing replicas;
+    :func:`reshard` drops all replicas (re-replicate afterwards).
+    """
+    if copies < 1:
+        raise StorageError("copies must be >= 1")
+    directory = os.fspath(directory)
+    manifest = ShardManifest.load(directory)
+    replicas: list[tuple[str, ...]] = []
+    for shard_id, primary in enumerate(manifest.shard_files):
+        stem = primary[: -len(".tbl")]
+        have = list(manifest.replicas_for(shard_id))
+        for j in range(1, copies + 1):
+            name = f"{stem}.r{j}.tbl"
+            if name in have:
+                continue
+            path = os.path.join(directory, name)
+            if os.path.exists(path):
+                os.remove(path)
+            _link_or_copy(os.path.join(directory, primary), path)
+            _fsync_file(path)
+            have.append(name)
+        replicas.append(tuple(have))
+    manifest = ShardManifest(
+        placement=manifest.placement,
+        schema_digest=manifest.schema_digest,
+        shard_files=manifest.shard_files,
+        shard_rows=manifest.shard_rows,
+        shard_replicas=tuple(replicas),
+    )
+    manifest.save(directory)
+    return manifest
+
+
+def _next_generation(directory: str) -> int:
+    """One past the highest shard-file generation present in ``directory``.
+
+    Scans the directory rather than the manifest so that stray files from
+    a reshard that died between writing its new shards and swapping the
+    manifest can never collide with the next attempt's names.
+    """
+    gen = 0
+    for name in os.listdir(directory):
+        match = _SHARD_FILE_RE.match(name)
+        if match is not None:
+            gen = max(gen, int(match.group("gen") or 0))
+    return gen + 1
+
+
+def reshard(
+    directory: str | os.PathLike,
+    n_shards: int,
+    batch_rows: int = DEFAULT_BATCH_ROWS,
+    io_stats: IOStats | None = None,
+) -> ShardManifest:
+    """Re-partition a ``range``-placed shard directory to ``n_shards`` in place.
+
+    The global row order is preserved exactly, so a build checkpointed
+    against the old layout resumes against the new one byte-identically
+    (checkpointed cleanup units are keyed by *global* row interval, not
+    shard id — see ``repro.shard.elastic``).  The migration is
+    crash-safe: new shard files carry a fresh generation suffix
+    (``shard-0001-g2.tbl``), are fully written and fsynced before the
+    manifest is atomically swapped, and only then are the old
+    generation's files (including its replicas — re-run
+    :func:`replicate_shards` afterwards) deleted.  A kill at any instant
+    leaves a directory that opens consistently under exactly one of the
+    two manifests.
+
+    A new shard whose range coincides with an old shard's reuses the old
+    file via hardlink/copy instead of re-scanning it — a pure split or a
+    pure merge only moves the rows that actually change shards.
+    ``hash`` placement is refused: hash routing fixes K at partition
+    time, so changing K requires re-partitioning from the source table.
+    """
+    if n_shards < 1:
+        raise StorageError("n_shards must be >= 1")
+    directory = os.fspath(directory)
+    manifest = ShardManifest.load(directory)
+    if manifest.placement != "range":
+        raise StorageError(
+            f"{directory}: reshard requires range placement; {manifest.placement!r}"
+            f"-placed shard sets fix K at partition time and must be "
+            f"re-partitioned from the source table"
+        )
+    old_offsets = [0]
+    for rows in manifest.shard_rows:
+        old_offsets.append(old_offsets[-1] + rows)
+    new_offsets = range_offsets(manifest.total_rows, n_shards)
+    gen = _next_generation(directory)
+    new_names = [f"shard-{i:04d}-g{gen}.tbl" for i in range(n_shards)]
+
+    table = ShardedTable.open(directory, io_stats)
+    try:
+        schema = table.schema
+        shards = table.shard_tables
+        for i in range(n_shards):
+            lo, hi = new_offsets[i], new_offsets[i + 1]
+            new_path = os.path.join(directory, new_names[i])
+            reuse = next(
+                (
+                    j
+                    for j in range(manifest.n_shards)
+                    if old_offsets[j] == lo and old_offsets[j + 1] == hi
+                ),
+                None,
+            )
+            if reuse is not None:
+                _link_or_copy(
+                    os.path.join(directory, manifest.shard_files[reuse]),
+                    new_path,
+                )
+            else:
+                out = DiskTable.create(new_path, schema, io_stats)
+                try:
+                    for j in range(manifest.n_shards):
+                        take_lo = max(lo, old_offsets[j])
+                        take_hi = min(hi, old_offsets[j + 1])
+                        if take_lo >= take_hi:
+                            continue
+                        for batch in shards[j].scan(
+                            batch_rows,
+                            start_row=take_lo - old_offsets[j],
+                            stop_row=take_hi - old_offsets[j],
+                        ):
+                            out.append(batch)
+                finally:
+                    out.close()
+            _fsync_file(new_path)
+    finally:
+        table.close()
+
+    new_manifest = ShardManifest(
+        placement="range",
+        schema_digest=manifest.schema_digest,
+        shard_files=tuple(new_names),
+        shard_rows=tuple(
+            new_offsets[i + 1] - new_offsets[i] for i in range(n_shards)
+        ),
+    )
+    new_manifest.save(directory)
+    keep = set(new_names)
+    for name in os.listdir(directory):
+        if name not in keep and _SHARD_FILE_RE.match(name):
+            os.remove(os.path.join(directory, name))
+    return new_manifest
 
 
 class ShardedTable(Table):
@@ -337,6 +544,22 @@ class ShardedTable(Table):
         return [
             os.path.join(self._directory, name)
             for name in self._manifest.shard_files
+        ]
+
+    @property
+    def replica_paths(self) -> list[list[str]]:
+        """Per-shard replica file paths (``[]`` when never replicated).
+
+        Replicas are *not* validated at open time — they only matter on
+        the failover path, where the elastic coordinator checks them
+        lazily (a corrupt replica simply fails that placement attempt).
+        """
+        return [
+            [
+                os.path.join(self._directory, name)
+                for name in self._manifest.replicas_for(shard_id)
+            ]
+            for shard_id in range(self._manifest.n_shards)
         ]
 
     @property

@@ -54,6 +54,9 @@ class Table(ABC):
     #: of re-reading the prefix).  Implementations that can seek set this
     #: to True; :meth:`scan_columns` and resumable-scan helpers consult it.
     scan_supports_start_row = False
+    #: Whether :meth:`scan` accepts a ``stop_row`` keyword (bounded scans
+    #: truncate at the source instead of clipping emitted batches).
+    scan_supports_stop_row = False
 
     def __init__(self, schema: Schema, io_stats: IOStats | None):
         self._schema = schema
@@ -152,6 +155,7 @@ class MemoryTable(Table):
     #: :class:`~repro.recovery.RetryingTable` and shard workers behave
     #: identically over in-memory shards in tests.
     scan_supports_start_row = True
+    scan_supports_stop_row = True
 
     def __init__(
         self,
@@ -273,6 +277,7 @@ class DiskTable(Table):
     #: ``scan`` accepts ``start_row`` (resumed scans seek instead of
     #: re-reading the prefix) — see :func:`repro.core.cleanup.scan_from`.
     scan_supports_start_row = True
+    scan_supports_stop_row = True
 
     def __init__(
         self,

@@ -25,6 +25,10 @@ Three fault kinds model the failures a real scan can hit:
 Which scan trips is configurable (``fail_on_scan``): for BOAT, scan 0
 is the sample draw and scan 1 the cleanup scan, so both failure points
 of the two-scan algorithm can be rehearsed separately.
+
+The transport-level sibling — dropped, delayed, duplicated, and
+mid-scan-aborted *shard requests* rather than device faults — is
+:class:`repro.shard.testing.FaultyTransport`.
 """
 
 from __future__ import annotations

@@ -101,10 +101,17 @@ class TestBuildSharded:
         assert main(["build", shards, str(tmp_path / "o.json"),
                      "--shards", "2"]) == 2
 
-    def test_checkpoint_with_shards_errors(self, tmp_path, flat_table):
-        assert main(["build", flat_table, str(tmp_path / "o.json"),
-                     "--shards", "2",
-                     "--checkpoint", str(tmp_path / "ck")]) == 2
+    def test_checkpoint_with_shards_builds(self, tmp_path, flat_table):
+        # Sharded builds checkpoint at the work-unit level; an
+        # uninterrupted build consumes its checkpoint on success.
+        flat_out = str(tmp_path / "flat.json")
+        shard_out = str(tmp_path / "sharded.json")
+        ckpt = tmp_path / "ck"
+        assert main(["build", flat_table, flat_out, *BUILD_OPTS]) == 0
+        assert main(["build", flat_table, shard_out, "--shards", "2",
+                     "--checkpoint", str(ckpt), *BUILD_OPTS]) == 0
+        assert self._trees_match(flat_out, shard_out)
+        assert not (ckpt / "shard_state.json").exists()
 
     def test_invalid_shard_count_errors(self, tmp_path, flat_table):
         assert main(["build", flat_table, str(tmp_path / "o.json"),

@@ -1,8 +1,12 @@
 """TCP shard transport: framing, retry, the cluster, and the kill drill.
 
 The failure-injection bar: SIGKILLing one shard server mid-cleanup must
-surface exactly one clean :class:`ShardError` naming the dead shard,
-and leave zero spill files or scratch directories behind.
+be *recovered* — the elastic coordinator fails the dead shard's unit
+over to a local re-read of the source partition and finishes the exact
+tree — and must leave zero spill files or scratch directories behind.
+Only when failover is disabled (or every placement of a unit is
+exhausted) may the build fail, with a single clean :class:`ShardError`
+naming the dead unit.
 """
 
 from __future__ import annotations
@@ -17,7 +21,7 @@ from repro.core import boat_build
 from repro.exceptions import ShardError
 from repro.datagen import AgrawalConfig, AgrawalGenerator
 from repro.recovery import RetryPolicy
-from repro.shard import make_transport, sharded_boat_build
+from repro.shard import ElasticPolicy, make_transport, sharded_boat_build
 from repro.shard.rpc import (
     LocalShardCluster,
     TcpTransport,
@@ -140,24 +144,71 @@ class TestTcpBuild:
 
 
 class TestKillOneShard:
-    def test_clean_error_and_no_spill_litter(self, tmp_path, shard_dir):
-        """SIGKILL a shard server mid-cleanup: one ShardError, no litter."""
+    def test_killed_shard_fails_over_and_completes(self, tmp_path, shard_dir):
+        """SIGKILL a shard server mid-cleanup: failover finishes the tree."""
+        reference = boat_build(
+            shard_dir["table"], ImpuritySplitSelection("gini"), SPLIT, CONFIG
+        ).tree
         spill_dir = tmp_path / "spills"
         spill_dir.mkdir()
         experiment = IOStats()
         table = ShardedTable.open(shard_dir["dir"], experiment)
-        policy = RetryPolicy(max_retries=2, base_delay_s=0.01, max_delay_s=0.1)
+        policy = RetryPolicy(max_retries=1, base_delay_s=0.01, max_delay_s=0.1)
         try:
             with LocalShardCluster(table.shard_paths) as cluster:
                 transport = TcpTransport(
                     cluster.addresses, timeout_s=30.0, policy=policy
                 )
-                killer = threading.Timer(1.5, lambda: cluster.kill(1))
+                killer = threading.Timer(1.0, lambda: cluster.kill(1))
                 killer.start()
                 try:
-                    with pytest.raises(ShardError, match="shard 1"):
-                        # Throttle the workers' shard scans so the kill
-                        # timer lands mid-cleanup deterministically.
+                    # Throttle the workers' shard scans so the kill
+                    # timer lands mid-cleanup deterministically; the
+                    # coordinator re-reads the dead shard's partition
+                    # locally and completes.
+                    result = sharded_boat_build(
+                        table,
+                        ImpuritySplitSelection("gini"),
+                        SPLIT,
+                        CONFIG,
+                        spill_dir=str(spill_dir),
+                        transport=transport,
+                        shard_simulated_mbps=0.1,
+                    )
+                finally:
+                    killer.cancel()
+        finally:
+            table.close()
+        assert trees_equal(result.tree, reference)
+        assert result.shard_report.failovers >= 1
+        # The coordinator swept its scratch directory on the way out.
+        assert list(spill_dir.iterdir()) == []
+
+    def test_strict_policy_surfaces_single_clean_error(
+        self, tmp_path, shard_dir
+    ):
+        """With failover off, the kill surfaces one pinned ShardError."""
+        spill_dir = tmp_path / "spills"
+        spill_dir.mkdir()
+        experiment = IOStats()
+        table = ShardedTable.open(shard_dir["dir"], experiment)
+        policy = RetryPolicy(max_retries=1, base_delay_s=0.01, max_delay_s=0.1)
+        strict = ElasticPolicy(failover=False, local_fallback=False)
+        try:
+            with LocalShardCluster(table.shard_paths) as cluster:
+                transport = TcpTransport(
+                    cluster.addresses, timeout_s=30.0, policy=policy
+                )
+                killer = threading.Timer(1.0, lambda: cluster.kill(1))
+                killer.start()
+                try:
+                    with pytest.raises(
+                        ShardError,
+                        match=(
+                            r"shard 1 rows \[1500, 3000\): all 1 "
+                            r"placement\(s\) exhausted after 1 attempt"
+                        ),
+                    ) as excinfo:
                         sharded_boat_build(
                             table,
                             ImpuritySplitSelection("gini"),
@@ -165,11 +216,14 @@ class TestKillOneShard:
                             CONFIG,
                             spill_dir=str(spill_dir),
                             transport=transport,
-                            shard_simulated_mbps=0.05,
+                            shard_simulated_mbps=0.1,
+                            elastic=strict,
                         )
                 finally:
                     killer.cancel()
         finally:
             table.close()
-        # The coordinator swept its scratch directory on the way out.
+        assert "1 of 2 shard work unit(s) failed permanently" in str(
+            excinfo.value
+        )
         assert list(spill_dir.iterdir()) == []
