@@ -1,0 +1,224 @@
+"""Streaming soak benchmark: the fraud-detection loop under live load.
+
+``examples/fraud_detection_stream.py`` walks the paper's §4 fraud
+scenario offline — chunks arrive, old days expire, the pattern drifts.
+This bench runs the same scenario through the full online loop: a
+:class:`~repro.stream.StreamService` absorbing transaction micro-batches
+(inserts + window expiry deletes, with a mid-run drift event) on its
+maintenance thread while four predictor threads score traffic through
+the shared batcher, and a sampler watches staleness.
+
+Two SLOs are asserted and recorded into ``bench_results.jsonl``:
+
+* **p99 predict latency** under sustained concurrent maintenance
+  (``REPRO_STREAM_P99_SLO_MS``, default 750 ms — predictions share the
+  process with live tree maintenance, so this is deliberately looser
+  than the idle-batcher p99 in ``bench_serving.py``);
+* **staleness** — the age of the oldest accepted-but-unapplied update
+  never exceeds ``REPRO_STREAM_STALENESS_SLO_S`` (default 10 s), even
+  across the drift-triggered rebuild.
+
+The run length comes from ``REPRO_STREAM_SOAK_S`` (default 30 s; the CI
+soak-smoke job pins it).  After the drill the service drains and the
+maintained tree must equal a from-scratch build on the live window —
+the §4 exactness guarantee, now proven at the end of a concurrent soak.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import RunResult
+from repro.config import BoatConfig, SplitConfig
+from repro.core import IncrementalBoat
+from repro.datagen import AgrawalConfig, AgrawalGenerator, drifted_function_1
+from repro.serve import ServeConfig
+from repro.splits import ImpuritySplitSelection
+from repro.stream import StreamConfig, StreamService
+from repro.tree import build_reference_tree, tree_diff
+
+DURATION_S = float(os.environ.get("REPRO_STREAM_SOAK_S", "30"))
+P99_SLO_MS = float(os.environ.get("REPRO_STREAM_P99_SLO_MS", "750"))
+STALENESS_SLO_S = float(os.environ.get("REPRO_STREAM_STALENESS_SLO_S", "10"))
+
+BASE_ROWS = 10_000
+CHUNK_ROWS = 1_500
+WINDOW_CHUNKS = 12  # expire the oldest chunk beyond this many
+PREDICT_ROWS = 256
+N_PREDICTORS = 4
+
+GINI = ImpuritySplitSelection("gini")
+SPLIT = SplitConfig(min_samples_split=100, min_samples_leaf=25, max_depth=8)
+BOAT = BoatConfig(sample_size=2_000, bootstrap_repetitions=8, seed=11)
+
+LEGITIMATE = AgrawalConfig(function_id=1, noise=0.1)
+DRIFTED = AgrawalConfig(
+    function_id=1, noise=0.1, label_fn=drifted_function_1(70.0)
+)
+
+
+@pytest.mark.soak
+def test_stream_soak_slos(collector):
+    schema = AgrawalGenerator(LEGITIMATE).schema
+    base = AgrawalGenerator(LEGITIMATE, seed=0).generate(BASE_ROWS)
+    maintainer = IncrementalBoat.from_chunk(base, schema, GINI, SPLIT, BOAT)
+    config = StreamConfig(
+        staleness_slo_s=STALENESS_SLO_S,
+        serve=ServeConfig(max_batch_size=4096, max_delay_ms=1.0),
+    )
+    service = StreamService(maintainer, config)
+
+    stop = threading.Event()
+    errors: list[BaseException] = []
+    staleness_samples: list[float] = []
+    predict_counts = [0] * N_PREDICTORS
+    window: list[np.ndarray] = [base]
+    drift_fired_at: list[int] = []
+    traffic = AgrawalGenerator(LEGITIMATE, seed=500).generate(
+        PREDICT_ROWS * 64
+    )
+
+    def predictor(slot: int) -> None:
+        try:
+            offset = slot * PREDICT_ROWS
+            while not stop.is_set():
+                batch = traffic[offset : offset + PREDICT_ROWS]
+                ticket = service.submit_predict(batch)
+                ticket.result(timeout=120)
+                predict_counts[slot] += 1
+                offset = (offset + PREDICT_ROWS * N_PREDICTORS) % (
+                    PREDICT_ROWS * 32
+                )
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    def sampler() -> None:
+        try:
+            while not stop.is_set():
+                _, staleness = service.loop.staleness()
+                staleness_samples.append(staleness)
+                time.sleep(0.02)
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    start = time.perf_counter()
+    with service:
+        threads = [
+            threading.Thread(target=predictor, args=(slot,), daemon=True)
+            for slot in range(N_PREDICTORS)
+        ]
+        threads.append(threading.Thread(target=sampler, daemon=True))
+        for thread in threads:
+            thread.start()
+
+        # The updater runs here, on the driving thread: fresh transaction
+        # chunks stream in, the window expires, and halfway through the
+        # run the fraud pattern drifts for one burst.
+        deadline = time.monotonic() + DURATION_S
+        halfway = time.monotonic() + DURATION_S / 2
+        day = 0
+        while time.monotonic() < deadline:
+            day += 1
+            pattern = LEGITIMATE
+            if not drift_fired_at and time.monotonic() >= halfway:
+                pattern = DRIFTED
+                drift_fired_at.append(day)
+            chunk = AgrawalGenerator(pattern, seed=day).generate(CHUNK_ROWS)
+            service.update("insert", chunk, timeout=300)
+            window.append(chunk)
+            if len(window) - 1 > WINDOW_CHUNKS:  # the base day stays
+                expired = window.pop(1)
+                service.update("delete", expired, timeout=300)
+        service.drain(timeout=300)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=120)
+        stats = service.stats()
+    elapsed = time.perf_counter() - start
+
+    assert not errors, errors
+    assert stats["maintain"]["failed_updates"] == 0
+    assert stats["maintain"]["degraded"] is None
+    assert stats["pending_updates"] == 0
+    assert drift_fired_at, "run too short: the drift burst never fired"
+
+    latency = stats["serve"]["latency"]
+    p99_ms = latency["p99_ms"]
+    worst_staleness = max(staleness_samples)
+    updates = stats["maintain"]["applied_updates"]
+    predictions = sum(predict_counts)
+    print(
+        f"\nstream soak {DURATION_S:.0f}s: {updates} updates "
+        f"({stats['maintain']['rebuild_updates']} with rebuilds, drift on "
+        f"day {drift_fired_at[0]}), {predictions} predict requests, "
+        f"p99 {p99_ms}ms (SLO {P99_SLO_MS:.0f}ms), "
+        f"staleness max {worst_staleness:.3f}s (SLO {STALENESS_SLO_S:.0f}s)"
+    )
+    assert p99_ms < P99_SLO_MS, (
+        f"p99 predict latency SLO broken: {p99_ms}ms >= {P99_SLO_MS}ms"
+    )
+    assert worst_staleness < STALENESS_SLO_S, (
+        f"staleness SLO broken: {worst_staleness:.3f}s >= {STALENESS_SLO_S}s"
+    )
+
+    # Post-drain exactness on the live window (base + unexpired chunks).
+    live = np.concatenate(window)
+    assert maintainer.n_rows == len(live)
+    reference = build_reference_tree(live, schema, GINI, SPLIT)
+    diff = tree_diff(maintainer.tree, reference)
+    assert diff is None, f"post-drain tree diverged from rebuild: {diff}"
+    tree = maintainer.tree
+    maintainer.close()
+
+    workload = (
+        f"F1 fraud stream, {CHUNK_ROWS}-row chunks, "
+        f"window {WINDOW_CHUNKS}, {N_PREDICTORS} predictors"
+    )
+    collector.add(
+        "Streaming: sustained update+predict soak",
+        "path",
+        "predict",
+        RunResult(
+            algorithm="StreamService",
+            workload=workload,
+            n_tuples=predictions * PREDICT_ROWS,
+            wall_seconds=elapsed,
+            scans=0,
+            tuples_read=predictions * PREDICT_ROWS,
+            tree_nodes=tree.n_nodes,
+            tree_leaves=tree.n_leaves,
+            extra={
+                "p50_ms": latency["p50_ms"],
+                "p99_ms": p99_ms,
+                "p99_slo_ms": P99_SLO_MS,
+                "requests": float(predictions),
+            },
+        ),
+    )
+    collector.add(
+        "Streaming: sustained update+predict soak",
+        "path",
+        "update",
+        RunResult(
+            algorithm="StreamService",
+            workload=workload,
+            n_tuples=stats["maintain"]["applied_rows"],
+            wall_seconds=elapsed,
+            scans=0,
+            tuples_read=stats["maintain"]["applied_rows"],
+            tree_nodes=tree.n_nodes,
+            tree_leaves=tree.n_leaves,
+            extra={
+                "updates": float(updates),
+                "rebuild_updates": float(stats["maintain"]["rebuild_updates"]),
+                "patch_updates": float(stats["maintain"]["patch_updates"]),
+                "staleness_max_s": worst_staleness,
+                "staleness_slo_s": STALENESS_SLO_S,
+            },
+        ),
+    )

@@ -41,6 +41,13 @@ from .splits import (
     get_method,
 )
 from .shard import ShardedBoatResult, ShardReport, sharded_boat_build
+from .stream import (
+    IngestQueue,
+    RebuildMaintainer,
+    StreamConfig,
+    StreamServer,
+    StreamService,
+)
 from .storage import (
     Attribute,
     DiskTable,
@@ -76,11 +83,13 @@ __all__ = [
     "FitReport",
     "IOStats",
     "ImpuritySplitSelection",
+    "IngestQueue",
     "MemoryTable",
     "ModelRegistry",
     "PredictionServer",
     "QuestSplitSelection",
     "RainForestConfig",
+    "RebuildMaintainer",
     "ReproError",
     "RequestBatcher",
     "Schema",
@@ -89,6 +98,9 @@ __all__ = [
     "ShardedBoatResult",
     "ShardedTable",
     "SplitConfig",
+    "StreamConfig",
+    "StreamServer",
+    "StreamService",
     "Table",
     "TraceReport",
     "Tracer",

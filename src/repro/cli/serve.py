@@ -51,9 +51,110 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_stream(args: argparse.Namespace) -> int:
+    """``serve --stream``: online-learning loop over a training table.
+
+    The positional argument names a *table* (not a saved tree): the
+    initial model is built from it, then the asyncio front end accepts
+    insert/delete micro-batches on POST /update while POST /predict
+    serves hot-swapped trees — the closed update→maintain→publish→serve
+    loop.
+    """
+    from ..config import BoatConfig, SplitConfig
+    from ..core import IncrementalBoat
+    from ..serve import ServeConfig
+    from ..splits import QuestSplitSelection, get_method
+    from ..stream import (
+        RebuildMaintainer,
+        StreamConfig,
+        StreamServer,
+        StreamService,
+    )
+    from ..tree import build_reference_tree
+
+    io = IOStats()
+    table = DiskTable.open(args.tree, io)
+    split_config = SplitConfig(
+        min_samples_split=args.min_split, max_depth=args.max_depth
+    )
+    tracer = Tracer(io) if args.trace is not None else NULL_TRACER
+    if args.method == "quest":
+        # QUEST has no §4 incremental path; maintain by exact rebuild.
+        maintainer = RebuildMaintainer.from_chunk(
+            table.read_all(), table.schema, QuestSplitSelection(), split_config
+        )
+    else:
+        maintainer = IncrementalBoat.build(
+            table,
+            get_method(args.method),
+            split_config,
+            BoatConfig(
+                sample_size=args.sample_size,
+                bootstrap_repetitions=args.bootstraps,
+                seed=args.seed,
+            ),
+            tracer=tracer,
+        )
+    table.close()
+    config = StreamConfig(
+        queue_rows=args.queue_rows,
+        staleness_slo_s=args.staleness_slo,
+        serve=ServeConfig(
+            max_batch_size=args.max_batch,
+            max_delay_ms=args.max_delay_ms,
+            queue_capacity=args.queue_capacity,
+            default_timeout_s=args.timeout,
+        ),
+    )
+    service = StreamService(maintainer, config, tracer=tracer)
+    with service, StreamServer(service, host=args.host, port=args.port) as server:
+        print(
+            f"streaming {args.tree} ({maintainer.n_rows} rows, "
+            f"{args.method}) on {server.url}",
+            flush=True,
+        )
+        print(
+            f"  ingest: queue {config.queue_rows} rows, staleness SLO "
+            f"{config.staleness_slo_s:g}s; POST /update, /predict",
+            flush=True,
+        )
+        try:
+            while True:
+                if (
+                    args.max_requests is not None
+                    and server.served_requests >= args.max_requests
+                ):
+                    break
+                time.sleep(0.05)
+        except KeyboardInterrupt:
+            pass
+        service.drain()
+        stats = service.stats()
+    maintainer.close()
+    latency = stats["serve"]["latency"]
+    print(
+        f"applied {stats['maintain']['applied_updates']} update(s) "
+        f"({stats['maintain']['patch_updates']} patched, "
+        f"{stats['maintain']['rebuild_updates']} rebuilt) to model "
+        f"v{stats['model_version']}; served {stats['serve']['requests']} "
+        f"prediction request(s), p99 {latency['p99_ms']}ms, "
+        f"staleness {stats['staleness_s']}s"
+    )
+    if args.trace is not None:
+        report = tracer.report()
+        if args.trace == "-":
+            print(format_trace(report))
+        else:
+            write_jsonl(report, args.trace)
+            print(f"trace written to {args.trace}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from ..serve import ModelRegistry, PredictionServer, ServeConfig
 
+    if args.stream:
+        return _cmd_serve_stream(args)
     with open(args.tree, encoding="utf-8") as fh:
         tree = tree_from_json(fh.read())
     tracer = Tracer() if args.trace is not None else NULL_TRACER
@@ -121,7 +222,40 @@ def register(sub) -> None:
     serve = sub.add_parser(
         "serve", help="run the batched HTTP prediction server on a saved tree"
     )
-    serve.add_argument("tree", help="tree JSON path")
+    serve.add_argument(
+        "tree",
+        help="tree JSON path (with --stream: a training *table* path)",
+    )
+    serve.add_argument(
+        "--stream",
+        action="store_true",
+        help="online-learning mode: build from the table, then accept "
+        "insert/delete micro-batches on POST /update while serving "
+        "hot-swapped trees (asyncio front end)",
+    )
+    serve.add_argument(
+        "--method",
+        choices=["gini", "entropy", "interclass_variance", "quest"],
+        default="gini",
+        help="split selection for --stream (quest maintains by rebuild)",
+    )
+    serve.add_argument("--sample-size", type=int, default=20_000)
+    serve.add_argument("--bootstraps", type=int, default=20)
+    serve.add_argument("--seed", type=int, default=42)
+    serve.add_argument("--min-split", type=int, default=2)
+    serve.add_argument("--max-depth", type=int, default=None)
+    serve.add_argument(
+        "--queue-rows",
+        type=int,
+        default=1 << 18,
+        help="maximum buffered update rows before backpressure (--stream)",
+    )
+    serve.add_argument(
+        "--staleness-slo",
+        type=float,
+        default=5.0,
+        help="advertised staleness objective in seconds (--stream)",
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8331)
     serve.add_argument(

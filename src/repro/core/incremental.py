@@ -358,6 +358,11 @@ class IncrementalBoat:
         return self._tree
 
     @property
+    def schema(self) -> Schema:
+        """The training schema (used by streaming front ends to validate)."""
+        return self._schema
+
+    @property
     def n_rows(self) -> int:
         """Number of training tuples currently represented."""
         return self._n_rows

@@ -78,6 +78,24 @@ class ServeError(ReproError):
         self.http_status = http_status
 
 
+class StreamError(ReproError):
+    """A streaming ingest or maintenance operation could not be completed.
+
+    Raised by :mod:`repro.stream` for backpressure rejections (the ingest
+    queue is at capacity, HTTP 429), poisoned micro-batches (schema
+    mismatch, bad label — rejected at submit time so the queue keeps
+    draining), updates submitted after shutdown (503), and updates
+    refused while the maintenance loop is degraded after a mid-apply
+    fault (503).  Like :class:`ServeError`, the ``http_status`` hint
+    lets the streaming front end map failure modes without string
+    matching.
+    """
+
+    def __init__(self, message: str, http_status: int = 400):
+        super().__init__(message)
+        self.http_status = http_status
+
+
 class BenchmarkError(ReproError):
     """A benchmark harness was configured inconsistently."""
 

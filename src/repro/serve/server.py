@@ -39,49 +39,80 @@ from .batcher import RequestBatcher, ServeConfig
 from .registry import ModelRegistry
 
 
-def records_to_batch(schema: Schema, records: list) -> np.ndarray:
+def _record_value(record: dict, i: int, name: str):
+    """One field of a dict record, with the column *named* on absence.
+
+    Centralizing the lookup keeps the "missing field" failure mode a
+    named :class:`ServeError` on every path — a bare ``record[name]``
+    would surface as a ``KeyError`` that loses the offending column
+    name in the HTTP error body.
+    """
+    try:
+        return record[name]
+    except KeyError:
+        raise ServeError(f"record {i} is missing column {name!r}") from None
+
+
+def records_to_batch(
+    schema: Schema, records: list, require_label: bool = False
+) -> np.ndarray:
     """Build a structured batch from JSON records (dicts or arrays).
 
-    Raises :class:`ServeError` naming the offending record/column on
-    malformed input; categorical codes and numerics are range-checked by
-    the kernel's routing semantics (unseen codes route right), so no
-    training-style validation is imposed here.
+    With ``require_label=False`` (inference) each record carries the
+    predictor attributes only and the label column is zeroed; with
+    ``require_label=True`` (streaming training updates) every record
+    must also carry an integer ``class_label`` in ``[0, n_classes)`` —
+    array records list it last.  Raises :class:`ServeError` naming the
+    offending record/column on malformed input; categorical predictor
+    codes are *not* range-checked here (unseen codes route right in the
+    kernel), but labels are, since they feed training statistics.
     """
     if not isinstance(records, list):
         raise ServeError("'records' must be a JSON array")
     batch = schema.empty(len(records))
     batch[CLASS_COLUMN] = 0
     names = [a.name for a in schema]
+    columns = names + [CLASS_COLUMN] if require_label else names
     for i, record in enumerate(records):
         if isinstance(record, dict):
-            for name in names:
-                if name not in record:
-                    raise ServeError(
-                        f"record {i} is missing column {name!r}"
-                    )
-                value = record[name]
-                if not isinstance(value, (int, float)):
-                    raise ServeError(
-                        f"record {i} column {name!r} is not a number: "
-                        f"{value!r}"
-                    )
-                batch[name][i] = value
+            values = [_record_value(record, i, name) for name in columns]
         elif isinstance(record, list):
-            if len(record) != len(names):
+            if len(record) != len(columns):
                 raise ServeError(
-                    f"record {i} has {len(record)} values; schema has "
-                    f"{len(names)} predictor attributes"
+                    f"record {i} has {len(record)} values; expected "
+                    f"{len(columns)} ({len(names)} predictor attributes"
+                    + (" + the label)" if require_label else ")")
                 )
-            for name, value in zip(names, record):
-                if not isinstance(value, (int, float)):
-                    raise ServeError(
-                        f"record {i} column {name!r} is not a number: "
-                        f"{value!r}"
-                    )
-                batch[name][i] = value
+            values = record
         else:
             raise ServeError(f"record {i} must be an object or an array")
+        for name, value in zip(columns, values):
+            if not isinstance(value, (int, float)):
+                raise ServeError(
+                    f"record {i} column {name!r} is not a number: "
+                    f"{value!r}"
+                )
+            if name == CLASS_COLUMN:
+                value = _checked_label(schema, i, value)
+            batch[name][i] = value
     return batch
+
+
+def _checked_label(schema: Schema, i: int, value) -> int:
+    """An integral in-range class label, or a named :class:`ServeError`."""
+    if isinstance(value, float) and not value.is_integer():
+        # Catches NaN and ±inf too: nan.is_integer() is False.
+        raise ServeError(
+            f"record {i} column {CLASS_COLUMN!r} is not an integer "
+            f"label: {value!r}"
+        )
+    label = int(value)
+    if not 0 <= label < schema.n_classes:
+        raise ServeError(
+            f"record {i} column {CLASS_COLUMN!r} is out of range: "
+            f"{label} (schema has {schema.n_classes} classes)"
+        )
+    return label
 
 
 class _Handler(BaseHTTPRequestHandler):

@@ -1,0 +1,216 @@
+"""The ingest queue: bounded buffering between writers and the maintainer.
+
+Producers :meth:`~IngestQueue.submit` insert/delete micro-batches and get
+back an :class:`UpdateTicket`; the maintenance loop pops runs of
+consecutive same-operation chunks (:meth:`~IngestQueue.pop_run`) and
+applies them as one coalesced update.  The queue is bounded in *rows*,
+not chunks: beyond ``queue_rows`` a submit is rejected immediately with
+the backpressure :class:`~repro.exceptions.StreamError` (HTTP 429)
+rather than buffering unboundedly — the same contract the serving-side
+:class:`~repro.serve.RequestBatcher` gives readers.
+
+Poison is rejected at the door: ``submit`` runs the schema's full batch
+validation (dtype, categorical code ranges, label range) before a chunk
+is admitted, so a poisoned micro-batch surfaces one clean
+:class:`StreamError` to its producer and never reaches the maintainer —
+the queue keeps draining and the registry stays on the last good
+version.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+import numpy as np
+
+from ..exceptions import SchemaError, StreamError
+from ..storage import Schema
+
+#: The two accepted update operations.
+OPERATIONS = ("insert", "delete")
+
+
+class UpdateTicket:
+    """Handle for one submitted micro-batch; :meth:`result` blocks for it."""
+
+    __slots__ = ("operation", "rows", "enqueued", "version",
+                 "_event", "_report", "_error")
+
+    def __init__(self, operation: str, rows: np.ndarray, enqueued: float):
+        self.operation = operation
+        self.rows = rows
+        self.enqueued = enqueued
+        #: Model version published by this update (set on success).
+        self.version: int | None = None
+        self._event = threading.Event()
+        self._report = None
+        self._error: BaseException | None = None
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None):
+        """The :class:`~repro.core.UpdateReport`; raises on failure."""
+        if not self._event.wait(timeout):
+            raise StreamError(
+                f"update not applied after {timeout:g}s "
+                f"({len(self.rows)} rows still pending)",
+                http_status=504,
+            )
+        if self._error is not None:
+            raise self._error
+        return self._report
+
+    # maintenance-loop side ---------------------------------------------------
+
+    def _resolve(self, report, version: int) -> None:
+        self._report = report
+        self.version = version
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+class IngestQueue:
+    """A bounded FIFO of validated insert/delete micro-batches."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        queue_rows: int = 1 << 18,
+        max_chunk_rows: int = 65536,
+    ):
+        if queue_rows < 1:
+            raise ValueError("queue_rows must be >= 1")
+        if max_chunk_rows < 1:
+            raise ValueError("max_chunk_rows must be >= 1")
+        self.schema = schema
+        self.queue_rows = queue_rows
+        self.max_chunk_rows = max_chunk_rows
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._pending: deque[UpdateTicket] = deque()
+        self._pending_rows = 0
+        self._closed = False
+        self._n_accepted = 0
+        self._n_rejected = 0
+
+    # -- producer side --------------------------------------------------------
+
+    def submit(self, operation: str, chunk: np.ndarray) -> UpdateTicket:
+        """Validate and enqueue one micro-batch; returns immediately.
+
+        Raises :class:`StreamError`: 400 on a poisoned chunk (wrong
+        operation, schema mismatch, out-of-range label), 413 on an
+        oversized chunk, 429 on backpressure, 503 after :meth:`close`.
+        """
+        if operation not in OPERATIONS:
+            raise StreamError(
+                f"unknown update operation {operation!r}; "
+                f"expected one of {OPERATIONS}"
+            )
+        chunk = np.asarray(chunk)
+        if len(chunk) > self.max_chunk_rows:
+            raise StreamError(
+                f"micro-batch of {len(chunk)} rows exceeds the "
+                f"{self.max_chunk_rows}-row chunk limit; split it",
+                http_status=413,
+            )
+        try:
+            self.schema.validate_batch(chunk)
+        except SchemaError as exc:
+            with self._lock:
+                self._n_rejected += 1
+            raise StreamError(f"poisoned micro-batch rejected: {exc}") from exc
+        ticket = UpdateTicket(operation, chunk, time.monotonic())
+        with self._not_empty:
+            if self._closed:
+                raise StreamError(
+                    "ingest queue is closed; no further updates accepted",
+                    http_status=503,
+                )
+            if self._pending_rows + len(chunk) > self.queue_rows:
+                self._n_rejected += 1
+                raise StreamError(
+                    f"ingest queue is full ({self._pending_rows} of "
+                    f"{self.queue_rows} rows pending); "
+                    "backpressure — retry later",
+                    http_status=429,
+                )
+            self._pending.append(ticket)
+            self._pending_rows += len(chunk)
+            self._n_accepted += 1
+            self._not_empty.notify()
+        return ticket
+
+    # -- consumer side --------------------------------------------------------
+
+    def pop_run(
+        self, max_rows: int, timeout: float | None = None
+    ) -> list[UpdateTicket] | None:
+        """Pop a run of consecutive same-operation tickets (coalescing).
+
+        Blocks up to ``timeout`` for the first ticket; then takes every
+        immediately following ticket with the same operation until
+        ``max_rows`` is reached.  Returns ``[]`` on timeout and ``None``
+        once the queue is closed *and* empty (the drain-complete signal).
+        """
+        with self._not_empty:
+            if not self._pending and not self._closed:
+                self._not_empty.wait(timeout)
+            if not self._pending:
+                return None if self._closed else []
+            run = [self._pending.popleft()]
+            rows = len(run[0].rows)
+            while (
+                self._pending
+                and self._pending[0].operation == run[0].operation
+                and rows + len(self._pending[0].rows) <= max_rows
+            ):
+                ticket = self._pending.popleft()
+                run.append(ticket)
+                rows += len(ticket.rows)
+            self._pending_rows -= rows
+            return run
+
+    # -- lifecycle / inspection -----------------------------------------------
+
+    def close(self) -> None:
+        """Stop accepting submissions; queued tickets remain for draining."""
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def pending_chunks(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def pending_rows(self) -> int:
+        with self._lock:
+            return self._pending_rows
+
+    def oldest_age(self, now: float | None = None) -> float:
+        """Seconds the oldest still-queued ticket has waited (0 if none)."""
+        with self._lock:
+            if not self._pending:
+                return 0.0
+            reference = time.monotonic() if now is None else now
+            return max(0.0, reference - self._pending[0].enqueued)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "accepted": self._n_accepted,
+                "rejected": self._n_rejected,
+                "pending_chunks": len(self._pending),
+                "pending_rows": self._pending_rows,
+            }

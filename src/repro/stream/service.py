@@ -1,0 +1,228 @@
+"""The streaming service: the closed update→maintain→publish→serve loop.
+
+:class:`StreamService` composes the four pieces this package exists for:
+
+* an :class:`~repro.stream.IngestQueue` accepting insert/delete
+  micro-batches with row-bounded buffering and 429 backpressure;
+* a :class:`~repro.stream.MaintenanceLoop` draining it into the
+  maintainer (paper §4's :class:`~repro.core.IncrementalBoat`, or a
+  :class:`~repro.stream.RebuildMaintainer` for methods without
+  incremental support);
+* a :class:`~repro.serve.ModelRegistry` wired via
+  :meth:`~repro.serve.ModelRegistry.follow`, so every applied update
+  publishes the new *exact* tree atomically — readers never see a torn
+  tree, and each served batch names the version that served it;
+* the existing :class:`~repro.serve.RequestBatcher` coalescing
+  prediction traffic against the registry.
+
+The staleness SLO this service reports is defined as: **staleness_s** is
+the age of the oldest accepted-but-not-yet-applied update (0 when caught
+up), and **pending_updates** is how many accepted micro-batches the
+served model is behind.  Both are in :meth:`stats`, next to the
+batcher's p50/p99 prediction latency.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import BoatConfig, SplitConfig
+from ..core import IncrementalBoat
+from ..exceptions import StreamError
+from ..observability import NULL_TRACER, NullTracer, Tracer
+from ..serve import ModelRegistry, RequestBatcher, ServeConfig
+from ..splits.methods import ImpuritySplitSelection
+from ..storage import Schema, Table
+from .ingest import IngestQueue, UpdateTicket
+from .maintain import MaintenanceLoop
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Knobs of the streaming loop (freshness/throughput trade-offs).
+
+    Attributes:
+        queue_rows: maximum buffered update *rows*; beyond it
+            :meth:`StreamService.submit_update` raises the backpressure
+            :class:`StreamError` (HTTP 429).
+        max_chunk_rows: largest single micro-batch accepted (413 beyond).
+        coalesce_rows: the maintenance loop concatenates consecutive
+            same-operation chunks up to this many rows per apply.
+        staleness_slo_s: advertised staleness objective, echoed in
+            :meth:`StreamService.stats` so dashboards and the soak
+            harness agree on the target.
+        serve: the prediction-side :class:`~repro.serve.ServeConfig`.
+    """
+
+    queue_rows: int = 1 << 18
+    max_chunk_rows: int = 65536
+    coalesce_rows: int = 65536
+    staleness_slo_s: float = 5.0
+    serve: ServeConfig = field(default_factory=ServeConfig)
+
+    def __post_init__(self) -> None:
+        if self.coalesce_rows < 1:
+            raise ValueError("coalesce_rows must be >= 1")
+        if self.staleness_slo_s <= 0:
+            raise ValueError("staleness_slo_s must be positive")
+
+
+class StreamService:
+    """One live online-learning loop around a maintainer."""
+
+    def __init__(
+        self,
+        maintainer,
+        config: StreamConfig | None = None,
+        tracer: Tracer | NullTracer | None = None,
+    ):
+        self.maintainer = maintainer
+        self.config = config or StreamConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.registry = ModelRegistry(tracer=self.tracer)
+        self.queue = IngestQueue(
+            maintainer.schema,
+            queue_rows=self.config.queue_rows,
+            max_chunk_rows=self.config.max_chunk_rows,
+        )
+        self.loop = MaintenanceLoop(
+            maintainer,
+            self.queue,
+            registry=self.registry,
+            coalesce_rows=self.config.coalesce_rows,
+            tracer=self.tracer,
+        )
+        self.batcher = RequestBatcher(
+            self.registry, self.config.serve, tracer=self.tracer
+        )
+        self._started = time.monotonic()
+        self._running = False
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        table: Table,
+        method: ImpuritySplitSelection,
+        split_config: SplitConfig | None = None,
+        boat_config: BoatConfig | None = None,
+        spill_dir: str | None = None,
+        config: StreamConfig | None = None,
+        tracer: Tracer | NullTracer | None = None,
+    ) -> "StreamService":
+        """Initial two-scan build, then wrap the maintainer in a service."""
+        maintainer = IncrementalBoat.build(
+            table, method, split_config, boat_config, spill_dir, tracer=tracer
+        )
+        return cls(maintainer, config, tracer=tracer)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "StreamService":
+        # follow() publishes the current tree now (version 1) and hooks
+        # every future update; ordered before the loop starts so no
+        # update can finalize unpublished.
+        self.registry.follow(self.maintainer)
+        self.loop.start()
+        self.batcher.start()
+        self._started = time.monotonic()
+        self._running = True
+        return self
+
+    def close(self, drain: bool = True) -> None:
+        """Stop ingest, drain (or drop) pending updates, stop serving.
+
+        With ``drain=True`` (default) every accepted update is applied
+        and published before shutdown completes — accepted means
+        applied, even across a shutdown.  ``drain=False`` fails pending
+        tickets with a 503 :class:`StreamError` instead.
+        """
+        self._running = False
+        if not drain:
+            while True:
+                run = self.queue.pop_run(self.config.coalesce_rows, timeout=0)
+                if not run:
+                    break
+                for ticket in run:
+                    ticket._fail(StreamError(
+                        "service shut down before this update was applied",
+                        http_status=503,
+                    ))
+        self.loop.close()  # closes the queue, drains, joins the thread
+        self.batcher.close()
+
+    def __enter__(self) -> "StreamService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # -- the update side ------------------------------------------------------
+
+    def submit_update(self, operation: str, chunk: np.ndarray) -> UpdateTicket:
+        """Enqueue one validated micro-batch; returns immediately."""
+        if not self._running:
+            raise StreamError(
+                "stream service is not running", http_status=503
+            )
+        return self.queue.submit(operation, chunk)
+
+    def update(
+        self, operation: str, chunk: np.ndarray, timeout: float | None = 30.0
+    ):
+        """Synchronous submit-and-wait; returns the update report."""
+        return self.submit_update(operation, chunk).result(timeout)
+
+    def drain(self, timeout: float | None = 30.0) -> None:
+        """Block until every accepted update has been applied."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            pending, _ = self.loop.staleness()
+            if pending == 0:
+                return
+            if deadline is not None and time.monotonic() > deadline:
+                raise StreamError(
+                    f"drain timed out with {pending} update(s) pending",
+                    http_status=504,
+                )
+            time.sleep(0.005)
+
+    # -- the predict side -----------------------------------------------------
+
+    def submit_predict(self, rows, proba=None, timeout=None):
+        """Enqueue a prediction batch (see :meth:`RequestBatcher.submit`)."""
+        return self.batcher.submit(rows, proba, timeout)
+
+    def predict(self, rows, proba=None, timeout=None) -> np.ndarray:
+        return self.batcher.predict(rows, proba, timeout)
+
+    # -- inspection -----------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self.maintainer.schema
+
+    @property
+    def version(self) -> int:
+        """Version of the live published model."""
+        return self.registry.version
+
+    def stats(self) -> dict:
+        """One merged snapshot of the whole loop, SLO fields included."""
+        pending_updates, staleness_s = self.loop.staleness()
+        return {
+            "model_version": self.registry.version,
+            "n_rows": self.maintainer.n_rows,
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "staleness_s": round(staleness_s, 6),
+            "staleness_slo_s": self.config.staleness_slo_s,
+            "pending_updates": pending_updates,
+            "queue": self.queue.stats(),
+            "maintain": self.loop.stats(),
+            "serve": self.batcher.stats(),
+        }

@@ -1,0 +1,43 @@
+"""Regenerate ``tests/fixtures/stream_rebuild_golden.json``.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/fixtures/generate_stream_golden.py
+
+The fixture pins the *rebuild-triggered* incremental path: a maintained
+tree absorbs an insert chunk whose labels follow the inverted rule, the
+drift checks fire, and the affected subtrees are rebuilt.  The fixture
+records the rebuild count, the drift report, the resulting tree shape,
+and a digest of the exact serialized tree — so a behavior change in the
+failure checks or the rebuild machinery shows up as a diff against this
+committed file.  Regenerate ONLY when such a change is intentional, and
+say so in the commit message.
+
+``tests/test_stream_equivalence.py`` holds the recipe
+(:func:`drifted_maintainer`) and the comparison.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__)))))
+
+from tests.test_stream_equivalence import drifted_maintainer, golden_snapshot
+
+FIXTURE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "stream_rebuild_golden.json"
+)
+
+if __name__ == "__main__":
+    maintainer, report = drifted_maintainer()
+    snapshot = golden_snapshot(maintainer, report)
+    maintainer.close()
+    with open(FIXTURE, "w", encoding="utf-8") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {FIXTURE}: {snapshot['rebuilds']} rebuild(s), "
+          f"{snapshot['n_leaves']} leaves")

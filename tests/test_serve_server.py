@@ -109,6 +109,70 @@ class TestRecordsToBatch:
             records_to_batch(SCHEMA, {"x": 1})
 
 
+class TestRecordsToBatchWithLabel:
+    """The ``require_label=True`` mode feeding streaming training updates."""
+
+    def test_dict_records_carry_the_label(self):
+        batch = records_to_batch(
+            SCHEMA, [{"x": 0.25, "c": 2, "class_label": 1}], require_label=True
+        )
+        assert batch["class_label"][0] == 1
+
+    def test_array_records_list_the_label_last(self):
+        batch = records_to_batch(SCHEMA, [[0.25, 2, 1]], require_label=True)
+        assert batch["x"][0] == 0.25
+        assert batch["class_label"][0] == 1
+
+    def test_missing_label_names_record_and_column(self):
+        # Regression: the naive record["class_label"] lookup raised a bare
+        # KeyError that lost the offending column name; the error must be
+        # a ServeError naming record and column on every path.
+        with pytest.raises(
+            ServeError, match=r"record 1 is missing column 'class_label'"
+        ):
+            records_to_batch(
+                SCHEMA,
+                [{"x": 1.0, "c": 0, "class_label": 0}, {"x": 2.0, "c": 1}],
+                require_label=True,
+            )
+
+    def test_missing_predictor_still_named_in_label_mode(self):
+        with pytest.raises(ServeError, match=r"record 0 is missing column 'c'"):
+            records_to_batch(
+                SCHEMA, [{"x": 1.0, "class_label": 0}], require_label=True
+            )
+
+    def test_nan_label_rejected_by_name(self):
+        with pytest.raises(
+            ServeError, match=r"record 0 column 'class_label' is not an integer"
+        ):
+            records_to_batch(
+                SCHEMA,
+                [{"x": 1.0, "c": 0, "class_label": float("nan")}],
+                require_label=True,
+            )
+
+    def test_fractional_label_rejected(self):
+        with pytest.raises(ServeError, match=r"not an integer label"):
+            records_to_batch(SCHEMA, [[1.0, 2, 0.5]], require_label=True)
+
+    def test_out_of_range_label_rejected(self):
+        with pytest.raises(
+            ServeError, match=r"record 0 column 'class_label' is out of range"
+        ):
+            records_to_batch(
+                SCHEMA, [{"x": 1.0, "c": 0, "class_label": 2}], require_label=True
+            )
+
+    def test_integral_float_label_accepted(self):
+        batch = records_to_batch(SCHEMA, [[1.0, 2, 1.0]], require_label=True)
+        assert batch["class_label"][0] == 1
+
+    def test_arity_counts_the_label(self):
+        with pytest.raises(ServeError, match=r"record 0 has 2 values"):
+            records_to_batch(SCHEMA, [[1.0, 2]], require_label=True)
+
+
 class TestPredictEndpoint:
     def test_labels_with_dict_records(self, server):
         status, body = post(

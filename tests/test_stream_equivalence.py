@@ -1,0 +1,251 @@
+"""Property tests: an update stream is equivalent to a from-scratch build.
+
+The contract under test is the paper's §4 guarantee, as consumed by the
+streaming service: after ANY interleaving of insert/delete micro-batches,
+the maintained tree is *exactly* the tree a from-scratch build on the
+final multiset would produce — structurally (``tree_diff`` is None) and
+in served predictions (byte-identical label arrays).  Hypothesis draws
+random interleavings; the gini path runs the real
+:class:`~repro.core.IncrementalBoat` at 1/2/4 workers, and the QUEST
+path (no §4 machinery) runs through the
+:class:`~repro.stream.RebuildMaintainer`, which must keep the live
+multiset bookkeeping (bitwise delete matching, order preservation)
+exact.
+
+The rebuild-triggered path — a drifted chunk firing the failure checks —
+is additionally pinned by a committed golden fixture
+(``tests/fixtures/stream_rebuild_golden.json``; regenerate with
+``PYTHONPATH=src python tests/fixtures/generate_stream_golden.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import BoatConfig, SplitConfig
+from repro.core import IncrementalBoat
+from repro.splits import ImpuritySplitSelection, QuestSplitSelection
+from repro.storage import CLASS_COLUMN, Attribute, Schema
+from repro.stream import RebuildMaintainer
+from repro.tree import build_reference_tree, tree_diff, tree_to_json
+
+from .conftest import simple_xy_data
+
+GINI = ImpuritySplitSelection("gini")
+SPLIT = SplitConfig(min_samples_split=40, min_samples_leaf=10, max_depth=8)
+RULES = ("x", "xy", "color")
+
+FIXTURE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)),
+    "fixtures",
+    "stream_rebuild_golden.json",
+)
+
+
+def schema() -> Schema:
+    return Schema(
+        [
+            Attribute.numerical("x"),
+            Attribute.numerical("y"),
+            Attribute.categorical("color", 4),
+        ],
+        n_classes=2,
+    )
+
+
+def boat_config(workers: int) -> BoatConfig:
+    return BoatConfig(
+        sample_size=400,
+        bootstrap_repetitions=4,
+        seed=2,
+        n_workers=workers,
+        parallel_backend="thread",
+    )
+
+
+@st.composite
+def update_streams(draw):
+    """A base chunk plus 1–4 interleaved insert/delete operations."""
+    base_seed = draw(st.integers(0, 10_000))
+    base_rule = draw(st.sampled_from(RULES))
+    base_size = draw(st.integers(300, 700))
+    n_ops = draw(st.integers(1, 4))
+    ops = []
+    for _ in range(n_ops):
+        if draw(st.booleans()):
+            ops.append((
+                "insert",
+                draw(st.integers(50, 400)),
+                draw(st.integers(0, 10_000)),
+                draw(st.sampled_from(RULES)),
+            ))
+        else:
+            ops.append((
+                "delete",
+                draw(st.floats(0.05, 0.5)),
+                draw(st.integers(0, 10_000)),
+            ))
+    return base_seed, base_rule, base_size, ops
+
+
+def drive_stream(maintainer_factory, stream, sch):
+    """Apply a drawn stream; returns ``(maintainer, final_rows)``."""
+    base_seed, base_rule, base_size, ops = stream
+    base = simple_xy_data(sch, base_size, seed=base_seed, rule=base_rule)
+    maintainer = maintainer_factory(base)
+    live = base
+    for op in ops:
+        if op[0] == "insert":
+            _, size, seed, rule = op
+            chunk = simple_xy_data(sch, size, seed=7000 + seed, rule=rule)
+            maintainer.insert(chunk)
+            live = np.concatenate([live, chunk])
+        else:
+            _, fraction, seed = op
+            rng = np.random.default_rng(seed)
+            count = max(1, int(fraction * len(live)))
+            count = min(count, len(live) - 50)  # keep a buildable remainder
+            if count < 1:
+                continue
+            idx = rng.choice(len(live), size=count, replace=False)
+            mask = np.ones(len(live), dtype=bool)
+            mask[idx] = False
+            maintainer.delete(live[~mask])
+            live = live[mask]
+    return maintainer, live
+
+
+def assert_equivalent(maintainer, final_rows, sch, method):
+    reference = build_reference_tree(final_rows, sch, method, SPLIT)
+    diff = tree_diff(maintainer.tree, reference)
+    assert diff is None, f"maintained tree diverged from rebuild: {diff}"
+    probe = simple_xy_data(sch, 500, seed=99_991, rule="xy")
+    served = maintainer.tree.predict(probe)
+    offline = reference.predict(probe)
+    assert served.tobytes() == offline.tobytes()  # byte-identical predictions
+    assert maintainer.n_rows == len(final_rows)
+
+
+class TestGiniEquivalence:
+    """IncrementalBoat (§4 patch path) at every worker count."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(stream=update_streams())
+    def test_interleaved_stream_matches_rebuild(self, workers, stream):
+        sch = schema()
+        maintainer, final_rows = drive_stream(
+            lambda base: IncrementalBoat.from_chunk(
+                base, sch, GINI, SPLIT, boat_config(workers)
+            ),
+            stream,
+            sch,
+        )
+        try:
+            assert_equivalent(maintainer, final_rows, sch, GINI)
+            assert maintainer.stored_rows() == len(final_rows)
+        finally:
+            maintainer.close()
+
+
+class TestQuestEquivalence:
+    """QUEST has no §4 path; the RebuildMaintainer must still be exact."""
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(stream=update_streams())
+    def test_interleaved_stream_matches_rebuild(self, stream):
+        sch = schema()
+        method = QuestSplitSelection()
+        maintainer, final_rows = drive_stream(
+            lambda base: RebuildMaintainer.from_chunk(
+                base, sch, method, SPLIT
+            ),
+            stream,
+            sch,
+        )
+        try:
+            assert_equivalent(maintainer, final_rows, sch, method)
+        finally:
+            maintainer.close()
+
+
+# -- the rebuild-triggered (drift) path, pinned by a golden fixture ----------
+
+
+def drifted_maintainer():
+    """The deterministic drift recipe behind the golden fixture.
+
+    A tree learned on ``x > 50`` absorbs a chunk labeled by the
+    *inverted* rule — the optimistic coarse criteria are no longer
+    defensible where the distributions collide, the §4 failure checks
+    fire, and the affected subtrees are rebuilt.
+    """
+    sch = schema()
+    base = simple_xy_data(sch, 3000, seed=11, rule="x")
+    maintainer = IncrementalBoat.from_chunk(
+        base,
+        sch,
+        GINI,
+        SPLIT,
+        BoatConfig(sample_size=800, bootstrap_repetitions=6, seed=2),
+    )
+    flipped = simple_xy_data(sch, 2500, seed=12, rule="x")
+    flipped[CLASS_COLUMN] = 1 - flipped[CLASS_COLUMN]
+    report = maintainer.insert(flipped)
+    return maintainer, report
+
+
+def golden_snapshot(maintainer, report) -> dict:
+    tree_json = tree_to_json(maintainer.tree)
+    return {
+        "rebuilds": report.finalize.rebuilds,
+        "rebuilt_tuples": report.finalize.rebuilt_tuples,
+        "drift": report.drift,
+        "n_nodes": maintainer.tree.n_nodes,
+        "n_leaves": maintainer.tree.n_leaves,
+        "tree_sha256": hashlib.sha256(tree_json.encode()).hexdigest(),
+    }
+
+
+class TestRebuildGolden:
+    def test_drift_triggers_rebuild_and_stays_exact(self):
+        sch = schema()
+        maintainer, report = drifted_maintainer()
+        try:
+            assert report.finalize.rebuilds >= 1
+            assert report.drift, "a rebuild must leave a drift report"
+            base = simple_xy_data(sch, 3000, seed=11, rule="x")
+            flipped = simple_xy_data(sch, 2500, seed=12, rule="x")
+            flipped[CLASS_COLUMN] = 1 - flipped[CLASS_COLUMN]
+            final = np.concatenate([base, flipped])
+            assert_equivalent(maintainer, final, sch, GINI)
+        finally:
+            maintainer.close()
+
+    def test_matches_committed_golden_fixture(self):
+        maintainer, report = drifted_maintainer()
+        try:
+            snapshot = golden_snapshot(maintainer, report)
+        finally:
+            maintainer.close()
+        with open(FIXTURE, encoding="utf-8") as fh:
+            golden = json.load(fh)
+        assert snapshot == golden, (
+            "rebuild-path behavior changed; if intentional, regenerate with "
+            "PYTHONPATH=src python tests/fixtures/generate_stream_golden.py"
+        )

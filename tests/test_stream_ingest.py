@@ -1,0 +1,291 @@
+"""Ingest-path tests: bounded buffering, coalescing, poison, degraded mode.
+
+Covers the two streaming components below the service: the
+:class:`~repro.stream.IngestQueue` (validation at the door, row-bounded
+backpressure, same-operation coalescing, drain-on-close) and the
+:class:`~repro.stream.MaintenanceLoop` (serialized applies, patch vs
+rebuild accounting, clean-failure vs fail-stop degraded handling).
+
+The fault-injection contract (issue satellite): a poisoned micro-batch —
+schema mismatch, NaN/out-of-range label — surfaces exactly one clean
+:class:`~repro.exceptions.StreamError` to its producer, leaves the
+registry on the last good version, and the queue keeps draining.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.config import BoatConfig, SplitConfig
+from repro.core import IncrementalBoat
+from repro.exceptions import StreamError, TreeStructureError
+from repro.serve import ModelRegistry
+from repro.splits import ImpuritySplitSelection
+from repro.stream import IngestQueue, MaintenanceLoop
+
+from .conftest import simple_xy_data
+
+GINI = ImpuritySplitSelection("gini")
+SPLIT = SplitConfig(min_samples_split=40, min_samples_leaf=10, max_depth=8)
+BOAT = BoatConfig(sample_size=800, bootstrap_repetitions=6, seed=2)
+
+
+def chunk(schema, n, seed=0, rule="xy"):
+    return simple_xy_data(schema, n, seed=seed, rule=rule)
+
+
+class TestIngestQueue:
+    def test_submit_and_pop_run(self, small_schema):
+        queue = IngestQueue(small_schema)
+        ticket = queue.submit("insert", chunk(small_schema, 10))
+        assert not ticket.done
+        (popped,) = queue.pop_run(max_rows=100)
+        assert popped is ticket
+        assert queue.pending_rows() == 0
+
+    def test_unknown_operation_rejected(self, small_schema):
+        queue = IngestQueue(small_schema)
+        with pytest.raises(StreamError, match="unknown update operation"):
+            queue.submit("upsert", chunk(small_schema, 5))
+
+    def test_poisoned_schema_mismatch_rejected_at_the_door(self, small_schema):
+        queue = IngestQueue(small_schema)
+        poison = np.zeros(4, dtype=[("x", "f8"), ("bogus", "f8")])
+        with pytest.raises(StreamError, match="poisoned micro-batch"):
+            queue.submit("insert", poison)
+        assert queue.pending_chunks() == 0
+        assert queue.stats()["rejected"] == 1
+
+    def test_poisoned_label_rejected_at_the_door(self, small_schema):
+        queue = IngestQueue(small_schema)
+        poison = chunk(small_schema, 4)
+        poison["class_label"] = 7  # outside range(0, n_classes)
+        with pytest.raises(StreamError, match="class labels outside"):
+            queue.submit("insert", poison)
+        assert queue.pending_chunks() == 0
+
+    def test_backpressure_is_429_and_recovers(self, small_schema):
+        queue = IngestQueue(small_schema, queue_rows=100)
+        queue.submit("insert", chunk(small_schema, 60))
+        with pytest.raises(StreamError) as err:
+            queue.submit("insert", chunk(small_schema, 60))
+        assert err.value.http_status == 429
+        assert "backpressure" in str(err.value)
+        queue.pop_run(max_rows=1000)
+        queue.submit("insert", chunk(small_schema, 60))  # capacity freed
+
+    def test_oversized_chunk_is_413(self, small_schema):
+        queue = IngestQueue(small_schema, max_chunk_rows=50)
+        with pytest.raises(StreamError) as err:
+            queue.submit("insert", chunk(small_schema, 51))
+        assert err.value.http_status == 413
+
+    def test_coalesces_same_operation_runs_only(self, small_schema):
+        queue = IngestQueue(small_schema)
+        for seed in range(3):
+            queue.submit("insert", chunk(small_schema, 10, seed=seed))
+        queue.submit("delete", chunk(small_schema, 10, seed=0))
+        queue.submit("insert", chunk(small_schema, 10, seed=5))
+        runs = []
+        while queue.pending_chunks():
+            runs.append(queue.pop_run(max_rows=1000))
+        assert [(r[0].operation, len(r)) for r in runs] == [
+            ("insert", 3),
+            ("delete", 1),
+            ("insert", 1),
+        ]
+
+    def test_coalescing_respects_the_row_cap(self, small_schema):
+        queue = IngestQueue(small_schema)
+        for seed in range(4):
+            queue.submit("insert", chunk(small_schema, 30, seed=seed))
+        run = queue.pop_run(max_rows=70)
+        assert len(run) == 2  # 30 + 30 fit, a third would exceed 70
+
+    def test_pop_run_timeout_returns_empty(self, small_schema):
+        queue = IngestQueue(small_schema)
+        assert queue.pop_run(max_rows=10, timeout=0.01) == []
+
+    def test_close_rejects_submissions_but_keeps_pending(self, small_schema):
+        queue = IngestQueue(small_schema)
+        ticket = queue.submit("insert", chunk(small_schema, 10))
+        queue.close()
+        with pytest.raises(StreamError) as err:
+            queue.submit("insert", chunk(small_schema, 10))
+        assert err.value.http_status == 503
+        assert queue.pop_run(max_rows=100) == [ticket]  # drainable
+        assert queue.pop_run(max_rows=100) is None  # drained signal
+
+    def test_oldest_age_tracks_the_head(self, small_schema):
+        queue = IngestQueue(small_schema)
+        assert queue.oldest_age() == 0.0
+        queue.submit("insert", chunk(small_schema, 5))
+        time.sleep(0.02)
+        assert queue.oldest_age() >= 0.02
+
+    def test_ticket_result_times_out_as_504(self, small_schema):
+        queue = IngestQueue(small_schema)
+        ticket = queue.submit("insert", chunk(small_schema, 5))
+        with pytest.raises(StreamError) as err:
+            ticket.result(timeout=0.01)
+        assert err.value.http_status == 504
+
+
+def looped(schema, base_rows=2000, seed=1, rule="xy"):
+    """A maintainer + registry + queue + running loop, ready to drive."""
+    base = chunk(schema, base_rows, seed=seed, rule=rule)
+    maintainer = IncrementalBoat.from_chunk(base, schema, GINI, SPLIT, BOAT)
+    registry = ModelRegistry()
+    registry.follow(maintainer)
+    queue = IngestQueue(schema)
+    loop = MaintenanceLoop(maintainer, queue, registry=registry)
+    return maintainer, registry, queue, loop
+
+
+class TestMaintenanceLoop:
+    def test_applies_and_publishes(self, small_schema):
+        maintainer, registry, queue, loop = looped(small_schema)
+        with loop:
+            ticket = queue.submit("insert", chunk(small_schema, 100, seed=2))
+            report = ticket.result(timeout=30)
+            assert report.operation == "insert"
+            assert ticket.version == registry.version == 2
+        assert loop.stats()["applied_updates"] == 1
+        maintainer.close()
+
+    def test_coalesced_run_resolves_every_ticket(self, small_schema):
+        maintainer, registry, queue, loop = looped(small_schema)
+        tickets = [
+            queue.submit("insert", chunk(small_schema, 50, seed=s))
+            for s in range(4)
+        ]
+        with loop:  # started after the submits: one coalesced apply
+            reports = [t.result(timeout=30) for t in tickets]
+        assert {id(r) for r in reports} == {id(reports[0])}  # one shared apply
+        assert reports[0].chunk_size == 200
+        assert loop.stats()["coalesced_runs"] == 1
+        assert maintainer.n_rows == 2200
+        maintainer.close()
+
+    def test_patch_vs_rebuild_accounting(self, small_schema):
+        # The golden-fixture drift recipe: an "x"-rule base, then a chunk
+        # labeled by the inverted rule — guaranteed to fire the failure
+        # checks (pinned by tests/test_stream_equivalence.py).
+        maintainer, registry, queue, loop = looped(
+            small_schema, base_rows=3000, seed=11, rule="x"
+        )
+        with loop:
+            same = queue.submit(
+                "insert", chunk(small_schema, 200, seed=3, rule="x")
+            )
+            same.result(timeout=30)
+            flipped = chunk(small_schema, 2500, seed=12, rule="x")
+            flipped["class_label"] = 1 - flipped["class_label"]
+            drift = queue.submit("insert", flipped)
+            report = drift.result(timeout=60)
+        stats = loop.stats()
+        assert stats["patch_updates"] >= 1
+        assert report.finalize.rebuilds >= 1
+        assert stats["rebuild_updates"] >= 1
+        maintainer.close()
+
+    def test_close_drains_accepted_updates(self, small_schema):
+        maintainer, registry, queue, loop = looped(small_schema)
+        loop.start()
+        tickets = [
+            queue.submit("insert", chunk(small_schema, 80, seed=s))
+            for s in range(5)
+        ]
+        loop.close()  # accepted means applied, even across shutdown
+        assert all(t.done for t in tickets)
+        assert maintainer.n_rows == 2400
+        assert registry.version == 1 + loop.stats()["coalesced_runs"]
+        maintainer.close()
+
+
+class TestFaultInjection:
+    """Poison and mid-apply faults (the issue's fault-injection satellite)."""
+
+    def test_poison_leaves_registry_on_last_good_version_and_drains(
+        self, small_schema
+    ):
+        maintainer, registry, queue, loop = looped(small_schema)
+        with loop:
+            queue.submit("insert", chunk(small_schema, 100, seed=2)).result(30)
+            good_version = registry.version
+            # Poison: one clean StreamError to the producer, nothing queued.
+            poison = chunk(small_schema, 10, seed=3)
+            poison["class_label"] = 9
+            with pytest.raises(StreamError, match="poisoned|class labels"):
+                queue.submit("insert", poison)
+            assert registry.version == good_version
+            # The queue keeps draining: the next good update applies.
+            after = queue.submit("insert", chunk(small_schema, 100, seed=4))
+            after.result(timeout=30)
+            assert registry.version == good_version + 1
+        maintainer.close()
+
+    def test_clean_apply_failure_fails_tickets_not_the_loop(
+        self, small_schema, monkeypatch
+    ):
+        maintainer, registry, queue, loop = looped(small_schema)
+        real_insert = type(maintainer).insert
+        calls = {"n": 0}
+
+        def flaky_insert(self, rows):
+            calls["n"] += 1
+            if calls["n"] == 1:  # fail once, before mutating anything
+                raise TreeStructureError("injected: maintainer refused")
+            return real_insert(self, rows)
+
+        monkeypatch.setattr(type(maintainer), "insert", flaky_insert)
+        with loop:
+            doomed = queue.submit("insert", chunk(small_schema, 50, seed=5))
+            with pytest.raises(StreamError, match="injected"):
+                doomed.result(timeout=30)
+            assert registry.version == 1  # still the last good version
+            assert loop.degraded is None  # stores untouched: not degraded
+            ok = queue.submit("insert", chunk(small_schema, 50, seed=6))
+            ok.result(timeout=30)
+            assert registry.version == 2
+        assert loop.stats()["failed_updates"] == 1
+        maintainer.close()
+
+    def test_mid_apply_fault_degrades_fail_stop(
+        self, small_schema, monkeypatch
+    ):
+        maintainer, registry, queue, loop = looped(small_schema)
+        real_insert = type(maintainer).insert
+
+        def torn_insert(self, rows):
+            # Mutate half the stores, then die: the consistency invariant
+            # (stored_rows == n_rows) must catch it and degrade the loop.
+            from repro.core.state import stream_batch
+
+            stream_batch(self._skeleton, rows[: len(rows) // 2],
+                         self._schema, sign=1)
+            raise TreeStructureError("injected: crash mid-apply")
+
+        monkeypatch.setattr(type(maintainer), "insert", torn_insert)
+        with loop:
+            doomed = queue.submit("insert", chunk(small_schema, 100, seed=7))
+            with pytest.raises(StreamError, match="injected"):
+                doomed.result(timeout=30)
+            assert loop.degraded is not None
+            monkeypatch.setattr(type(maintainer), "insert", real_insert)
+            # Updates are now refused 503 — but predictions still flow
+            # from the last published model.
+            refused = queue.submit("insert", chunk(small_schema, 50, seed=8))
+            with pytest.raises(StreamError) as err:
+                refused.result(timeout=30)
+            assert err.value.http_status == 503
+            assert "degraded" in str(err.value)
+            assert registry.version == 1
+            labels = registry.predict(chunk(small_schema, 20, seed=9))
+            assert len(labels) == 20
+        assert loop.stats()["degraded"] is not None
+        maintainer.close()

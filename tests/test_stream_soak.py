@@ -1,0 +1,284 @@
+"""Multi-threaded soak drill over the full streaming loop.
+
+The drill runs a live :class:`~repro.stream.StreamService` under
+sustained concurrent load — one updater thread alternating insert and
+delete micro-batches, four predictor threads, one staleness sampler —
+and proves, at the end, the four streaming invariants the issue names:
+
+* **zero torn reads** — every ``(version, labels)`` a reader observed
+  matches what that version actually published on the probe batch,
+  byte for byte;
+* **monotone versions** — no reader ever sees the model version go
+  backwards;
+* **bounded staleness** — every sampled ``staleness_s`` stays under
+  the configured SLO;
+* **clean drain-on-shutdown** — accepted means applied, and the
+  post-drain tree is *byte-identical in predictions* (and structurally
+  identical) to a from-scratch build on the final multiset.
+
+By default the drill runs ~2 s so it is cheap enough for every local
+run.  Set ``REPRO_SOAK=1`` (and optionally ``REPRO_STREAM_SOAK_S``,
+default 30) for the full-length soak the CI job runs via ``-m soak``.
+
+The kill-mid-maintenance drill injects a crash *halfway through* an
+apply under reader load: the loop must fail stop (degrade), refuse
+further updates with 503, and keep serving the last published model.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.config import BoatConfig, SplitConfig
+from repro.core import IncrementalBoat
+from repro.exceptions import StreamError, TreeStructureError
+from repro.serve import ServeConfig
+from repro.splits import ImpuritySplitSelection
+from repro.stream import StreamConfig, StreamService
+from repro.tree import build_reference_tree, tree_diff
+
+from .conftest import simple_xy_data
+
+GINI = ImpuritySplitSelection("gini")
+SPLIT = SplitConfig(min_samples_split=40, min_samples_leaf=10, max_depth=8)
+BOAT = BoatConfig(sample_size=800, bootstrap_repetitions=6, seed=2)
+RULES = ("x", "xy", "color")
+
+STALENESS_SLO_S = 5.0
+SOAK = os.environ.get("REPRO_SOAK") == "1"
+DURATION_S = (
+    float(os.environ.get("REPRO_STREAM_SOAK_S", "30")) if SOAK else 2.0
+)
+N_READERS = 4
+
+
+def make_service(schema) -> StreamService:
+    base = simple_xy_data(schema, 2000, seed=1, rule="xy")
+    maintainer = IncrementalBoat.from_chunk(base, schema, GINI, SPLIT, BOAT)
+    config = StreamConfig(
+        staleness_slo_s=STALENESS_SLO_S,
+        serve=ServeConfig(max_batch_size=512, max_delay_ms=1.0),
+    )
+    return StreamService(maintainer, config)
+
+
+class Drill:
+    """Shared state for the concurrent drill threads."""
+
+    def __init__(self, service: StreamService, schema) -> None:
+        self.service = service
+        self.schema = schema
+        self.probe = simple_xy_data(schema, 64, seed=123, rule="xy")
+        self.stop = threading.Event()
+        self.errors: list[BaseException] = []
+        self.published: dict[int, bytes] = {}
+        self.observations: list[list[tuple[int, bytes]]] = [
+            [] for _ in range(N_READERS)
+        ]
+        self.staleness_samples: list[float] = []
+        # The live multiset: the base plus every inserted-but-not-yet-
+        # deleted chunk, in insertion order.  Only the updater mutates it.
+        self.chunks: list[np.ndarray] = [
+            simple_xy_data(schema, 2000, seed=1, rule="xy")
+        ]
+        self.applied = 0
+
+    def record_publish(self, tree) -> None:
+        # Fires on the maintenance thread at every hot swap, after
+        # follow() published — service.version is the fresh version.
+        self.published[self.service.version] = tree.predict(
+            self.probe
+        ).tobytes()
+
+    def reader(self, slot: int) -> None:
+        try:
+            while not self.stop.is_set():
+                ticket = self.service.submit_predict(self.probe)
+                labels = ticket.result(timeout=60)
+                self.observations[slot].append(
+                    (ticket.version, labels.tobytes())
+                )
+        except BaseException as exc:  # noqa: BLE001
+            self.errors.append(exc)
+
+    def sampler(self) -> None:
+        try:
+            while not self.stop.is_set():
+                _, staleness = self.service.loop.staleness()
+                self.staleness_samples.append(staleness)
+                time.sleep(0.02)
+        except BaseException as exc:  # noqa: BLE001
+            self.errors.append(exc)
+
+    def updater(self, deadline: float) -> None:
+        try:
+            rng = np.random.default_rng(7)
+            seed = 10_000
+            while time.monotonic() < deadline and not self.stop.is_set():
+                deletable = len(self.chunks) - 1  # the base stays put
+                if deletable >= 3 and rng.random() < 0.25:
+                    victim = self.chunks.pop(1 + rng.integers(deletable))
+                    self.service.update("delete", victim, timeout=120)
+                else:
+                    chunk = simple_xy_data(
+                        self.schema, 150, seed=seed, rule=RULES[seed % 3]
+                    )
+                    seed += 1
+                    self.service.update("insert", chunk, timeout=120)
+                    self.chunks.append(chunk)
+                self.applied += 1
+        except BaseException as exc:  # noqa: BLE001
+            self.errors.append(exc)
+
+    def final_rows(self) -> np.ndarray:
+        return np.concatenate(self.chunks)
+
+
+def assert_no_torn_reads(drill: Drill) -> None:
+    total = 0
+    for obs in drill.observations:
+        versions = [v for v, _ in obs]
+        assert versions == sorted(versions), "version regression in a reader"
+        for version, labels in obs:
+            assert labels == drill.published[version], (
+                f"torn read: labels at v{version} were never published"
+            )
+        total += len(obs)
+    assert total > 0, "readers never got a prediction through"
+
+
+@pytest.mark.soak
+class TestStreamSoak:
+    def test_sustained_update_predict_drill(self, small_schema):
+        service = make_service(small_schema)
+        drill = Drill(service, small_schema)
+        with service:
+            service.maintainer.add_listener(drill.record_publish)
+            drill.published[1] = service.maintainer.tree.predict(
+                drill.probe
+            ).tobytes()
+            threads = [
+                threading.Thread(
+                    target=drill.reader, args=(slot,), daemon=True
+                )
+                for slot in range(N_READERS)
+            ]
+            threads.append(
+                threading.Thread(target=drill.sampler, daemon=True)
+            )
+            for thread in threads:
+                thread.start()
+            drill.updater(deadline=time.monotonic() + DURATION_S)
+            # Clean drain: everything accepted must be applied before
+            # the readers stop observing.
+            service.drain(timeout=120)
+            drill.stop.set()
+            for thread in threads:
+                thread.join(timeout=60)
+            stats = service.stats()
+        assert not drill.errors, drill.errors
+
+        # Zero torn reads + monotone versions, across every reader.
+        assert_no_torn_reads(drill)
+        assert service.version == 1 + drill.applied  # one publish per apply
+        assert drill.applied >= 4, "drill too small to mean anything"
+
+        # Bounded staleness: every sample under the SLO.
+        assert drill.staleness_samples, "sampler never ran"
+        worst = max(drill.staleness_samples)
+        assert worst < STALENESS_SLO_S, (
+            f"staleness SLO broken: {worst:.3f}s >= {STALENESS_SLO_S}s"
+        )
+
+        # The loop never failed or degraded.
+        assert stats["maintain"]["failed_updates"] == 0
+        assert stats["maintain"]["degraded"] is None
+        assert stats["pending_updates"] == 0
+
+        # Post-drain exactness: the maintained tree is the from-scratch
+        # tree on the final multiset — structurally and in predictions.
+        maintainer = service.maintainer
+        final = drill.final_rows()
+        assert maintainer.n_rows == len(final)
+        assert maintainer.stored_rows() == len(final)
+        reference = build_reference_tree(final, small_schema, GINI, SPLIT)
+        diff = tree_diff(maintainer.tree, reference)
+        assert diff is None, f"post-drain tree diverged: {diff}"
+        served = drill.published[service.version]
+        assert served == reference.predict(drill.probe).tobytes()
+        maintainer.close()
+
+
+class TestKillMidMaintenance:
+    def test_crash_mid_apply_under_reader_load(
+        self, small_schema, monkeypatch
+    ):
+        service = make_service(small_schema)
+        drill = Drill(service, small_schema)
+        with service:
+            service.maintainer.add_listener(drill.record_publish)
+            drill.published[1] = service.maintainer.tree.predict(
+                drill.probe
+            ).tobytes()
+            readers = [
+                threading.Thread(
+                    target=drill.reader, args=(slot,), daemon=True
+                )
+                for slot in range(N_READERS)
+            ]
+            for thread in readers:
+                thread.start()
+            # A couple of healthy swaps first, under load.
+            for seed in (1, 2):
+                service.update(
+                    "insert",
+                    simple_xy_data(small_schema, 100, seed=seed, rule="xy"),
+                )
+            good_version = service.version
+            assert good_version == 3
+
+            # Kill mid-maintenance: the apply mutates half the stores and
+            # dies, exactly the torn state fail-stop exists for.
+            maintainer = service.maintainer
+            def torn_insert(self, rows):
+                from repro.core.state import stream_batch
+
+                stream_batch(self._skeleton, rows[: len(rows) // 2],
+                             self._schema, sign=1)
+                raise TreeStructureError("injected: killed mid-maintenance")
+
+            monkeypatch.setattr(type(maintainer), "insert", torn_insert)
+            with pytest.raises(StreamError, match="injected"):
+                service.update(
+                    "insert",
+                    simple_xy_data(small_schema, 100, seed=3, rule="xy"),
+                )
+            assert service.loop.degraded is not None
+
+            # Updates are refused fail-stop...
+            with pytest.raises(StreamError) as err:
+                service.update(
+                    "insert",
+                    simple_xy_data(small_schema, 50, seed=4, rule="xy"),
+                )
+            assert err.value.http_status == 503
+            assert service.version == good_version
+
+            # ...while the readers never notice: predictions keep flowing
+            # from the last published model, untorn and monotone.
+            time.sleep(0.2)
+            drill.stop.set()
+            for thread in readers:
+                thread.join(timeout=60)
+            service.close(drain=False)
+        assert not drill.errors, drill.errors
+        assert_no_torn_reads(drill)
+        assert all(
+            obs[-1][0] == good_version for obs in drill.observations if obs
+        )
+        service.maintainer.close()
