@@ -27,13 +27,37 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         function_id=args.function, noise=args.noise, extra_numeric=args.extra
     )
     generator = AgrawalGenerator(config, seed=args.seed)
-    table = DiskTable.create(args.out, generator.schema)
-    generator.fill_table(table, args.n)
+    if args.backend == "sql":
+        from ..storage import SqlTable
+
+        table = SqlTable.create(args.out, generator.schema)
+    else:
+        table = DiskTable.create(args.out, generator.schema)
+    with table:
+        generator.fill_table(table, args.n)
     print(
         f"wrote {args.n} tuples (function {args.function}, noise "
         f"{args.noise:.0%}, {args.extra} extra attrs) to {args.out}"
+        + (" [sqlite]" if args.backend == "sql" else "")
     )
     return 0
+
+
+def _is_sqlite_file(path: str) -> bool:
+    try:
+        with open(path, "rb") as fh:
+            return fh.read(16) == b"SQLite format 3\x00"
+    except OSError:
+        return False
+
+
+def open_flat_table(path: str, io: IOStats, *, simulated_mbps: float = 0.0):
+    """Open a flat training table, auto-detecting the sqlite backend."""
+    if _is_sqlite_file(path):
+        from ..storage import SqlTable
+
+        return SqlTable.open(path, io_stats=io)
+    return DiskTable.open(path, io, simulated_mbps=simulated_mbps)
 
 
 def _build_flat(
@@ -45,7 +69,19 @@ def _build_flat(
 ):
     from ..core import boat_build
 
-    table = DiskTable.open(args.table, io, simulated_mbps=args.simulate_io_mbps)
+    backend = args.backend
+    if backend == "auto":
+        backend = "sql" if _is_sqlite_file(args.table) else "disk"
+    if backend == "sql":
+        from ..storage import SqlTable
+
+        # The sqlite file is the device; there is no byte stream to
+        # throttle, so --simulate-io-mbps does not apply here.
+        table = SqlTable.open(args.table, io_stats=io)
+    else:
+        table = DiskTable.open(
+            args.table, io, simulated_mbps=args.simulate_io_mbps
+        )
     if args.method == "quest":
         from ..core import quest_boat_build
 
@@ -171,6 +207,10 @@ def _cmd_build(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     sharded = os.path.isdir(args.table) or args.shards is not None
+    if sharded and (args.backend == "sql" or args.sql_pushdown):
+        print("error: --backend sql/--sql-pushdown is for flat tables; "
+              "sharded builds scan shard files", file=sys.stderr)
+        return 2
     if sharded:
         if os.path.isdir(args.table) and args.shards is not None:
             print("error: --shards is for flat tables; the table argument "
@@ -196,6 +236,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
         checkpoint_every_batches=args.checkpoint_every,
         scan_retries=args.scan_retries,
         kernel_backend=args.kernel_backend,
+        sql_pushdown=args.sql_pushdown,
     )
     tracer = Tracer(io) if args.trace is not None else NULL_TRACER
     if args.method == "quest" and boat_config.checkpoint_dir is not None:
@@ -230,6 +271,13 @@ def register(sub) -> None:
     gen.add_argument("--noise", type=float, default=0.0)
     gen.add_argument("--extra", type=int, default=0)
     gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument(
+        "--backend",
+        default="disk",
+        choices=["disk", "sql"],
+        help="table format: the paged .tbl file (default) or a sqlite "
+        "database trainable in place (see docs/SQL.md)",
+    )
     gen.set_defaults(fn=_cmd_generate)
 
     build = sub.add_parser("build", help="build a tree with BOAT")
@@ -269,6 +317,23 @@ def register(sub) -> None:
         help="statistics kernel implementation: 'numpy' (vectorized, "
         "default) or 'python' (per-row reference); the output tree is "
         "byte-identical under either (see docs/KERNELS.md)",
+    )
+    build.add_argument(
+        "--backend",
+        default="auto",
+        choices=["auto", "disk", "sql"],
+        help="how to read a flat table: 'auto' (default) detects a "
+        "sqlite database by its file header, 'disk'/'sql' force the "
+        "paged-file or SQL backend; the output tree is byte-identical "
+        "either way (see docs/SQL.md)",
+    )
+    build.add_argument(
+        "--sql-pushdown",
+        action="store_true",
+        help="with the sql backend, compute the cleanup scan's per-node "
+        "statistics as grouped aggregation queries inside the database "
+        "and export only held/family rows; a placement knob, never the "
+        "tree (ignored for non-SQL tables and checkpointed builds)",
     )
     build.add_argument(
         "--shards",

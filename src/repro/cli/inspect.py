@@ -5,15 +5,16 @@ from __future__ import annotations
 import argparse
 import sys
 
-from ..storage import DiskTable, IOStats
+from ..storage import IOStats
 from ..tree import render_tree, tree_from_json, tree_summary, tree_to_dot
+from .build import open_flat_table
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     with open(args.tree, encoding="utf-8") as fh:
         tree = tree_from_json(fh.read())
     io = IOStats()
-    table = DiskTable.open(args.table, io)
+    table = open_flat_table(args.table, io)
     if table.schema != tree.schema:
         print("error: table schema does not match the tree's schema", file=sys.stderr)
         return 2

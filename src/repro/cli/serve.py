@@ -7,15 +7,17 @@ import sys
 import time
 
 from ..observability import NULL_TRACER, Tracer, format_trace, write_jsonl
-from ..storage import DiskTable, IOStats
+from ..storage import IOStats
 from ..tree import tree_from_json
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
+    from .build import open_flat_table
+
     with open(args.tree, encoding="utf-8") as fh:
         tree = tree_from_json(fh.read())
     io = IOStats()
-    table = DiskTable.open(args.table, io)
+    table = open_flat_table(args.table, io)
     if table.schema != tree.schema:
         print("error: table schema does not match the tree's schema", file=sys.stderr)
         return 2
@@ -72,8 +74,10 @@ def _cmd_serve_stream(args: argparse.Namespace) -> int:
     )
     from ..tree import build_reference_tree
 
+    from .build import open_flat_table
+
     io = IOStats()
-    table = DiskTable.open(args.tree, io)
+    table = open_flat_table(args.tree, io)
     split_config = SplitConfig(
         min_samples_split=args.min_split, max_depth=args.max_depth
     )

@@ -126,6 +126,14 @@ class BoatConfig:
             scan by re-reading from the last good offset with bounded
             exponential backoff (0 disables retrying; failures then
             surface immediately as :class:`~repro.exceptions.StorageError`).
+        sql_pushdown: when the training table is a
+            :class:`~repro.storage.sql.SqlTable`, run the cleanup scan's
+            statistics as grouped aggregation queries inside the database
+            and export only held/family rows (see docs/SQL.md).  A
+            placement/speed knob, never the tree: the output is
+            byte-identical with it on or off, and it is ignored for
+            non-SQL tables, sub-range scans, and checkpointed builds
+            (which need row-granular scan progress).
         scan_retry_base_delay_s: backoff before the first retry; each
             subsequent retry doubles it, capped at
             ``scan_retry_max_delay_s``.
@@ -151,6 +159,7 @@ class BoatConfig:
     scan_retries: int = 0
     scan_retry_base_delay_s: float = 0.05
     scan_retry_max_delay_s: float = 2.0
+    sql_pushdown: bool = False
 
     def __post_init__(self) -> None:
         if self.sample_size < 1:

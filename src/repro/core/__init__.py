@@ -27,6 +27,7 @@ from .finalize import (
 from .crossval import CrossValidationResult, boat_cross_validate
 from .incremental import IncrementalBoat, UpdateReport
 from .quest_boat import QuestBoatReport, QuestBoatResult, quest_boat_build
+from .sql_pushdown import routing_expression, sql_pushdown_scan
 from .state import (
     BoatNode,
     EffectiveStats,
@@ -79,6 +80,8 @@ __all__ = [
     "multiset_remove",
     "prefetch_frontier_subtrees",
     "reference_rebuild",
+    "routing_expression",
     "sampling_phase",
+    "sql_pushdown_scan",
     "stream_batch",
 ]

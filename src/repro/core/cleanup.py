@@ -54,7 +54,7 @@ from ..config import DEFAULT_BATCH_ROWS
 from ..kernels import DEFAULT_KERNELS, KernelBackend
 from ..observability import NULL_TRACER, NullTracer, Tracer
 from ..parallel import WorkerPool
-from ..storage import DiskTable, IOStats, Schema, Table
+from ..storage import DiskTable, IOStats, Schema, Table, bounded_scan
 from .state import BoatNode, apply_batch_delta, compute_batch_delta, stream_batch
 
 #: Progress callback: absolute rows scanned so far (start_row included).
@@ -66,46 +66,22 @@ def scan_from(
 ) -> Iterator[np.ndarray]:
     """Scan ``table`` rows ``[start_row, stop_row)``, as cheaply as it allows.
 
-    Tables that support offset scans (:class:`DiskTable`, and wrappers
-    advertising ``scan_supports_start_row``) seek straight to the offset;
-    anything else is scanned from the top with the prefix discarded —
-    correctness is unaffected, but the discarded rows are still read (and
-    charged), so resumable builds should live on offset-capable tables.
-    ``stop_row`` (exclusive, ``None`` = table end) bounds the scan the
-    same way: natively where the table supports it
-    (``scan_supports_stop_row``), by clipping the emitted batches
-    otherwise.
+    Thin alias for :func:`repro.storage.bounded_scan`, kept because the
+    recovery and shard layers import the bounded scan from here.
     """
-    if stop_row is not None:
-        if getattr(table, "scan_supports_stop_row", False):
-            yield from table.scan(
-                batch_rows, start_row=start_row, stop_row=stop_row
-            )
-        else:
-            rows_done = start_row
-            for batch in scan_from(table, batch_rows, start_row):
-                take = min(len(batch), stop_row - rows_done)
-                if take > 0:
-                    yield batch[:take] if take < len(batch) else batch
-                    rows_done += take
-                if rows_done >= stop_row:
-                    return
-        return
-    if start_row == 0:
-        yield from table.scan(batch_rows)
-        return
-    if getattr(table, "scan_supports_start_row", False):
-        yield from table.scan(batch_rows, start_row=start_row)
-        return
-    skipped = 0
-    for batch in table.scan(batch_rows):
-        if skipped >= start_row:
-            yield batch
-            continue
-        drop = min(start_row - skipped, len(batch))
-        skipped += drop
-        if drop < len(batch):
-            yield batch[drop:]
+    yield from bounded_scan(table, batch_rows, start_row, stop_row)
+
+
+def _sql_source(table: Table):
+    """Unwrap retry/decorator layers down to a ``SqlTable``, if any."""
+    from ..storage.sql import SqlTable
+
+    current: object = table
+    while not isinstance(current, SqlTable):
+        current = getattr(current, "inner", None)
+        if current is None:
+            return None
+    return current
 
 
 def cleanup_scan(
@@ -119,6 +95,7 @@ def cleanup_scan(
     progress: ProgressFn | None = None,
     kernels: KernelBackend = DEFAULT_KERNELS,
     stop_row: int | None = None,
+    sql_pushdown: bool = False,
 ) -> None:
     """Stream the table down the skeleton, in parallel when possible.
 
@@ -126,12 +103,30 @@ def cleanup_scan(
     row interval — the unit granularity of the elastic sharded build
     (``repro.shard.elastic``), where one shard may execute only the
     uncovered tail of its range after a checkpoint/reshard.
+
+    ``sql_pushdown`` asks for the in-database cleanup: when the table (or
+    the innermost layer of a wrapper chain) is a
+    :class:`~repro.storage.sql.SqlTable` and the scan covers the whole
+    table, the per-node statistics are computed as grouped aggregation
+    queries and only held/family rows are exported (see docs/SQL.md).
+    Any other table, or a sub-range scan, falls back to the normal path —
+    the output is byte-identical either way.
     """
     with tracer.span("cleanup", batch_rows=batch_rows) as span:
         if start_row:
             span.set(resumed_from_row=start_row)
         if stop_row is not None:
             span.set(stop_row=stop_row)
+        if sql_pushdown and start_row == 0 and stop_row is None:
+            source = _sql_source(table)
+            if source is not None:
+                from .sql_pushdown import sql_pushdown_scan
+
+                span.set(workers=1, sql_pushdown=True)
+                sql_pushdown_scan(
+                    root, source, schema, batch_rows, progress=progress
+                )
+                return
         if pool is None or not pool.is_parallel:
             span.set(workers=1)
             rows_done = start_row

@@ -23,6 +23,7 @@ from __future__ import annotations
 from ..config import KERNEL_BACKENDS
 from .base import KernelBackend
 from .reference import PythonKernels
+from .sql import SqlAggregations
 from .vectorized import NumpyKernels
 
 #: The production default used wherever no backend is threaded explicitly.
@@ -58,5 +59,6 @@ __all__ = [
     "KernelBackend",
     "NumpyKernels",
     "PythonKernels",
+    "SqlAggregations",
     "get_kernels",
 ]

@@ -1,0 +1,145 @@
+"""Grouped-aggregation kernels executed inside the database.
+
+:class:`SqlAggregations` is the SQL sibling of the counting kernels in
+:class:`~repro.kernels.base.KernelBackend`: class histograms, categorical
+contingency counts and discretized bucket counts — but computed as
+``GROUP BY`` queries over a :class:`~repro.storage.sql.SqlTable` instead
+of over exported numpy batches.  The grouping expression is supplied by
+the caller as SQL text (the cleanup pushdown passes the skeleton's
+node-routing CASE expression, built in :mod:`repro.core.sql_pushdown`;
+tests pass a plain column), which keeps this module free of any
+dependency on the core tree structures.
+
+Counting conventions match the numpy kernels exactly:
+
+* class histograms are ``int64`` vectors of length ``n_classes``;
+* bucket index ``b`` for value ``v`` against sorted ``edges`` is
+  ``#{j : edges[j] < v}`` (``np.searchsorted(edges, v, side="left")``),
+  expressed in SQL as a sum of ``(col > edge)`` comparisons;
+* NaN — stored as ``NULL`` by sqlite — lands in the last bucket
+  (``len(edges)``), mirroring how searchsorted sends NaN past every
+  finite edge.
+
+These queries charge no I/O: the pushdown's cost model bills the single
+row-export pass (see docs/SQL.md), treating aggregation as work the
+database does where the data lives.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..storage.schema import CLASS_COLUMN
+
+
+def bucket_case_sql(column_sql: str, edges: Sequence[float]) -> tuple[str, list]:
+    """SQL expression computing the searchsorted-left bucket of a column.
+
+    Returns ``(expression, params)``; the expression evaluates to an
+    integer in ``[0, len(edges)]`` with NULL (= NaN) in the last bucket.
+    """
+    m = len(edges)
+    if m == 0:
+        return "0", []
+    terms = " + ".join(f"({column_sql} > ?)" for _ in range(m))
+    return (
+        f"(CASE WHEN {column_sql} IS NULL THEN {m} ELSE {terms} END)",
+        [float(e) for e in edges],
+    )
+
+
+class SqlAggregations:
+    """Pushed-down counting kernels over one :class:`SqlTable`.
+
+    ``table`` is duck-typed: anything exposing ``execute``, ``dialect``,
+    ``source_sql`` and ``schema`` works (so tests can wrap fakes).
+    """
+
+    def __init__(self, table):
+        self._table = table
+
+    def _quote(self, name: str) -> str:
+        return self._table.dialect.quote(name)
+
+    def grouped_class_histograms(
+        self, group_sql: str, params: Sequence, n_classes: int
+    ) -> dict[int, np.ndarray]:
+        """Per-group class histograms: ``{group: int64[n_classes]}``."""
+        cursor = self._table.execute(
+            f"SELECT {group_sql} AS g, {self._quote(CLASS_COLUMN)} AS c, "
+            f"COUNT(*) FROM {self._table.source_sql} GROUP BY 1, 2",
+            params,
+        )
+        try:
+            out: dict[int, np.ndarray] = {}
+            for group, label, count in cursor.fetchall():
+                hist = out.get(group)
+                if hist is None:
+                    hist = out[group] = np.zeros(n_classes, dtype=np.int64)
+                hist[label] += count
+            return out
+        finally:
+            cursor.close()
+
+    def grouped_category_class_counts(
+        self,
+        group_sql: str,
+        params: Sequence,
+        column: str,
+        domain_size: int,
+        n_classes: int,
+    ) -> dict[int, np.ndarray]:
+        """Per-group contingency matrices: ``{group: int64[domain, classes]}``."""
+        cursor = self._table.execute(
+            f"SELECT {group_sql} AS g, {self._quote(column)} AS v, "
+            f"{self._quote(CLASS_COLUMN)} AS c, COUNT(*) "
+            f"FROM {self._table.source_sql} GROUP BY 1, 2, 3",
+            params,
+        )
+        try:
+            out: dict[int, np.ndarray] = {}
+            for group, value, label, count in cursor.fetchall():
+                counts = out.get(group)
+                if counts is None:
+                    counts = out[group] = np.zeros(
+                        (domain_size, n_classes), dtype=np.int64
+                    )
+                counts[value, label] += count
+            return out
+        finally:
+            cursor.close()
+
+    def bucket_class_counts(
+        self,
+        column: str,
+        edges: Sequence[float],
+        n_classes: int,
+        group_sql: str,
+        group_params: Sequence,
+        groups: Iterable[int],
+    ) -> np.ndarray:
+        """Bucket-by-class counts over the rows whose group is in ``groups``.
+
+        Returns ``int64[len(edges) + 1, n_classes]`` — one bucket per
+        edge gap plus the overflow/NaN bucket, exactly the shape of
+        ``KernelBackend.bucket_class_counts``.
+        """
+        bucket_sql, bucket_params = bucket_case_sql(self._quote(column), edges)
+        group_list = ", ".join(str(int(g)) for g in groups)
+        if not group_list:
+            return np.zeros((len(edges) + 1, n_classes), dtype=np.int64)
+        cursor = self._table.execute(
+            f"SELECT {bucket_sql} AS b, {self._quote(CLASS_COLUMN)} AS c, "
+            f"COUNT(*) FROM {self._table.source_sql} "
+            f"WHERE {group_sql} IN ({group_list}) GROUP BY 1, 2",
+            list(bucket_params) + list(group_params),
+        )
+        try:
+            counts = np.zeros((len(edges) + 1, n_classes), dtype=np.int64)
+            for bucket, label, count in cursor.fetchall():
+                counts[bucket, label] += count
+            return counts
+        finally:
+            cursor.close()

@@ -20,7 +20,15 @@ from .sharded import (
     schema_digest,
 )
 from .spill import SpillFile, TupleStore
-from .table import DiskTable, MemoryTable, Table, read_json_sidecar, write_json_sidecar
+from .sql import SqlDialect, SqliteDialect, SqlTable, get_dialect
+from .table import (
+    DiskTable,
+    MemoryTable,
+    Table,
+    bounded_scan,
+    read_json_sidecar,
+    write_json_sidecar,
+)
 from .csv_io import CategoryEncoder, infer_schema, read_csv, write_csv
 from .testing import FAULT_KINDS, FaultyTable
 from .views import Dimension, StarJoinView, materialize_view
@@ -40,9 +48,14 @@ __all__ = [
     "ShardManifest",
     "ShardedTable",
     "SpillFile",
+    "SqlDialect",
+    "SqlTable",
+    "SqliteDialect",
     "StarJoinView",
     "Table",
     "TupleStore",
+    "bounded_scan",
+    "get_dialect",
     "materialize_view",
     "bootstrap_resample",
     "choose_sample_indices",

@@ -47,6 +47,49 @@ def _skip_rows(
         to_skip = 0
 
 
+def bounded_scan(
+    table: "Table",
+    batch_rows: int = DEFAULT_BATCH_ROWS,
+    start_row: int = 0,
+    stop_row: int | None = None,
+) -> Iterator[np.ndarray]:
+    """Scan ``table`` rows ``[start_row, stop_row)``, as cheaply as it allows.
+
+    Tables that support offset scans (``scan_supports_start_row``) seek
+    straight to the offset; anything else is scanned from the top with
+    the prefix discarded — correctness is unaffected, but the discarded
+    rows are still read (and charged), so resumable builds should live
+    on offset-capable tables.  ``stop_row`` (exclusive, ``None`` = table
+    end) bounds the scan the same way: natively where the table supports
+    it (``scan_supports_stop_row``), by clipping the emitted batches
+    otherwise.
+    """
+    if start_row < 0:
+        raise ValueError("start_row must be >= 0")
+    if stop_row is not None:
+        if getattr(table, "scan_supports_stop_row", False):
+            yield from table.scan(
+                batch_rows, start_row=start_row, stop_row=stop_row
+            )
+        else:
+            rows_done = start_row
+            for batch in bounded_scan(table, batch_rows, start_row):
+                take = min(len(batch), stop_row - rows_done)
+                if take > 0:
+                    yield batch[:take] if take < len(batch) else batch
+                    rows_done += take
+                if rows_done >= stop_row:
+                    return
+        return
+    if start_row == 0:
+        yield from table.scan(batch_rows)
+        return
+    if getattr(table, "scan_supports_start_row", False):
+        yield from table.scan(batch_rows, start_row=start_row)
+        return
+    yield from _skip_rows(table.scan(batch_rows), start_row)
+
+
 class Table(ABC):
     """A scannable relation of training records."""
 

@@ -28,7 +28,7 @@ import numpy as np
 
 from ..exceptions import SchemaError, StorageError
 from .schema import CLASS_COLUMN, Schema
-from .table import DEFAULT_BATCH_ROWS, Table
+from .table import DEFAULT_BATCH_ROWS, Table, bounded_scan
 
 
 @dataclass(frozen=True)
@@ -47,10 +47,17 @@ class Dimension:
     table: np.ndarray
 
     def lookup(self, keys: np.ndarray) -> np.ndarray:
-        if keys.size and (keys.min() < 0 or keys.max() >= len(self.table)):
+        bad = (keys < 0) | (keys >= len(self.table))
+        if bad.any():
+            positions = np.flatnonzero(bad)
+            shown = ", ".join(
+                f"{int(keys[p])} (fact row {int(p)})" for p in positions[:5]
+            )
+            if len(positions) > 5:
+                shown += f", ... {len(positions) - 5} more"
             raise StorageError(
-                f"dimension {self.name!r}: foreign key out of range "
-                f"[{keys.min()}, {keys.max()}] vs {len(self.table)} rows"
+                f"dimension {self.name!r}: {len(positions)} foreign key(s) "
+                f"outside [0, {len(self.table)}): {shown}"
             )
         return self.table[keys]
 
@@ -70,6 +77,11 @@ class StarJoinView(Table):
         columns: one expression per training column (class label
             included), evaluated per scanned fact batch after the joins.
     """
+
+    #: View row *i* is a pure function of fact row *i*, so bounded scans
+    #: are forwarded to the fact table (which seeks when it can).
+    scan_supports_start_row = True
+    scan_supports_stop_row = True
 
     def __init__(
         self,
@@ -102,22 +114,63 @@ class StarJoinView(Table):
             "StarJoinView is read-only; append to the fact table instead"
         )
 
-    def scan(self, batch_rows: int = DEFAULT_BATCH_ROWS) -> Iterator[np.ndarray]:
+    def scan(
+        self,
+        batch_rows: int = DEFAULT_BATCH_ROWS,
+        start_row: int = 0,
+        stop_row: int | None = None,
+    ) -> Iterator[np.ndarray]:
         """Execute the query: scan facts, join dimensions, project.
 
         The fact table's scan does the I/O charging (and a full-scan tick
         at completion), so downstream algorithms see the honest cost of
         recomputing the view.
+
+        View row *i* is computed from fact row *i*, so a bounded scan of
+        the view is a bounded scan of the fact table: ``start_row`` and
+        ``stop_row`` are forwarded through
+        :func:`~repro.storage.table.bounded_scan` (seeking natively when
+        the fact table can, clipping otherwise).  This is what lets views
+        compose with :class:`~repro.recovery.RetryingTable`,
+        checkpoint/resume, and grid-aligned sharded sub-scans.
         """
-        for fact_batch in self._fact.scan(batch_rows):
+        for fact_batch in bounded_scan(
+            self._fact, batch_rows, start_row, stop_row
+        ):
             yield self._compute(fact_batch)
 
-    def _compute(self, fact_batch: np.ndarray) -> np.ndarray:
+    def scan_columns(
+        self,
+        columns: list[str],
+        batch_rows: int = DEFAULT_BATCH_ROWS,
+        start_row: int = 0,
+    ) -> Iterator[np.ndarray]:
+        """Projected view scan: only the requested expressions are computed.
+
+        Every dimension is still joined (an expression may read any of
+        them), but unrequested column expressions are skipped.  The I/O
+        charged is still the fact-table traffic — the view computes, it
+        does not store, so there is no narrower 'projection file' to read.
+        """
+        fields = self._projection_fields(columns)
+        for fact_batch in bounded_scan(self._fact, batch_rows, start_row):
+            yield self._compute(fact_batch, fields)[fields]
+
+    def _compute(
+        self, fact_batch: np.ndarray, fields: list[str] | None = None
+    ) -> np.ndarray:
         joined: dict[str, np.ndarray] = {}
         for dim in self._dimensions:
             joined[dim.name] = dim.lookup(fact_batch[dim.key_column])
-        out = self._schema.empty(len(fact_batch))
+        if fields is None:
+            out = self._schema.empty(len(fact_batch))
+        else:
+            # Skipped expressions leave their columns unwritten; zero them
+            # so the projected batch has deterministic bytes end to end.
+            out = np.zeros(len(fact_batch), dtype=self._schema.dtype())
         for name, expr in self._columns.items():
+            if fields is not None and name not in fields:
+                continue
             values = expr(fact_batch, joined)
             out[name] = values
         return out
@@ -129,6 +182,39 @@ def materialize_view(view: StarJoinView, target: Table, batch_rows: int = 65536)
     This is exactly what the paper says previous algorithms need and BOAT
     avoids; benchmarks use it to price the materialization alternative.
     """
+    _check_materialize_schema(view.schema, target.schema)
     for batch in view.scan(batch_rows):
         target.append(batch)
     return target
+
+
+def _check_materialize_schema(view_schema: Schema, target_schema: Schema) -> None:
+    """Raise a :class:`SchemaError` naming every column mismatch."""
+    view_attrs = {a.name: a for a in view_schema.attributes}
+    target_attrs = {a.name: a for a in target_schema.attributes}
+    problems = []
+    for name in sorted(set(view_attrs) - set(target_attrs)):
+        problems.append(f"column {name!r} missing from target")
+    for name in sorted(set(target_attrs) - set(view_attrs)):
+        problems.append(f"target column {name!r} not in view")
+    for name in sorted(set(view_attrs) & set(target_attrs)):
+        ours, theirs = view_attrs[name], target_attrs[name]
+        if ours != theirs:
+            problems.append(
+                f"column {name!r} differs: view has {ours}, target has {theirs}"
+            )
+    if not problems and list(view_attrs) != list(target_attrs):
+        problems.append(
+            f"column order differs: view has {list(view_attrs)}, "
+            f"target has {list(target_attrs)}"
+        )
+    if view_schema.n_classes != target_schema.n_classes:
+        problems.append(
+            f"n_classes differs: view has {view_schema.n_classes}, "
+            f"target has {target_schema.n_classes}"
+        )
+    if problems:
+        raise SchemaError(
+            "cannot materialize view: target schema does not match "
+            "(" + "; ".join(problems) + ")"
+        )

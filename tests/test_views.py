@@ -6,11 +6,13 @@ import pytest
 from repro.config import BoatConfig, SplitConfig
 from repro.core import boat_build
 from repro.exceptions import SchemaError, StorageError
+from repro.recovery import RetryingTable, resume_build
 from repro.splits import ImpuritySplitSelection
 from repro.storage import (
     CLASS_COLUMN,
     Attribute,
     Dimension,
+    FaultyTable,
     IOStats,
     MemoryTable,
     Schema,
@@ -18,7 +20,7 @@ from repro.storage import (
     materialize_view,
     reservoir_sample,
 )
-from repro.tree import build_reference_tree, trees_equal
+from repro.tree import build_reference_tree, tree_to_json, trees_equal
 
 
 @pytest.fixture
@@ -103,6 +105,25 @@ class TestStarJoinView:
         with pytest.raises(StorageError):
             view.append(view.schema.empty(0))
 
+    def test_lookup_error_names_keys_and_rows(self):
+        dim_rows = np.zeros(10, dtype=[("weight", "<f8")])
+        dim = Dimension("d", "key", dim_rows)
+        keys = np.array([3, -2, 5, 12, 7], dtype=np.int64)
+        with pytest.raises(StorageError) as excinfo:
+            dim.lookup(keys)
+        message = str(excinfo.value)
+        # Both offenders, with their fact-batch row positions; in-range
+        # keys are not blamed.
+        assert "-2 (fact row 1)" in message
+        assert "12 (fact row 3)" in message
+        assert "2 foreign key(s)" in message
+        assert "(fact row 0)" not in message
+
+    def test_lookup_error_truncates_long_offender_lists(self):
+        dim = Dimension("d", "key", np.zeros(1, dtype=[("w", "<f8")]))
+        with pytest.raises(StorageError, match=r"\.\.\. 3 more"):
+            dim.lookup(np.arange(1, 9, dtype=np.int64))
+
     def test_bad_foreign_key_detected(self, warehouse):
         view, fact, *_ = warehouse
         bad = fact.schema.empty(1)
@@ -150,6 +171,77 @@ class TestStarJoinView:
             )
 
 
+class TestViewScanContract:
+    """The PR-4/6 Table scan contract, honored by computed views."""
+
+    def test_advertises_bounded_scan_support(self, warehouse):
+        view, *_ = warehouse
+        assert view.scan_supports_start_row
+        assert view.scan_supports_stop_row
+
+    @pytest.mark.parametrize(
+        "start,stop", [(0, None), (0, 700), (512, None), (513, 1700), (1999, 2000)]
+    )
+    def test_bounded_scan_matches_full_slice(self, warehouse, start, stop):
+        view, *_ = warehouse
+        full = view.read_all()
+        batches = list(view.scan(batch_rows=256, start_row=start, stop_row=stop))
+        got = np.concatenate(batches) if batches else view.schema.empty(0)
+        assert got.tobytes() == full[start:stop].tobytes()
+
+    def test_partial_scan_is_not_a_full_scan(self, warehouse):
+        view, _, _, io = warehouse
+        list(view.scan(batch_rows=256, start_row=100))
+        assert io.full_scans == 0
+
+    def test_scan_columns_projects_and_seeks(self, warehouse):
+        view, *_ = warehouse
+        full = view.read_all()
+        batches = list(
+            view.scan_columns(["amount"], batch_rows=256, start_row=300)
+        )
+        got = np.concatenate(batches)
+        assert set(got.dtype.names) == {"amount", CLASS_COLUMN}
+        assert np.array_equal(got["amount"], full["amount"][300:])
+        assert np.array_equal(got[CLASS_COLUMN], full[CLASS_COLUMN][300:])
+
+    def test_retrying_table_composes_with_view(self, warehouse):
+        view, *_ = warehouse
+        full = view.read_all()
+        retrying = RetryingTable(view)
+        got = np.concatenate(
+            list(retrying.scan(batch_rows=256, start_row=1024))
+        )
+        assert got.tobytes() == full[1024:].tobytes()
+
+    def test_resume_over_view(self, warehouse, tmp_path):
+        """Regression: a checkpointed build over a view, killed mid-cleanup,
+        resumes through the view's offset scan to a byte-identical tree."""
+        view, *_ = warehouse
+        gini = ImpuritySplitSelection("gini")
+        split = SplitConfig(min_samples_split=20, min_samples_leaf=5, max_depth=6)
+        base = dict(
+            sample_size=500,
+            bootstrap_repetitions=4,
+            seed=3,
+            spill_threshold_rows=1,
+            batch_rows=256,
+        )
+        baseline = tree_to_json(
+            boat_build(view, gini, split, BoatConfig(**base)).tree
+        )
+        config = BoatConfig(
+            **base,
+            checkpoint_dir=str(tmp_path / "ckpt"),
+            checkpoint_every_batches=2,
+        )
+        faulty = FaultyTable(view, "ioerror", fail_on_scan=1, fail_at_row=1500)
+        with pytest.raises(StorageError, match="injected"):
+            boat_build(faulty, gini, split, config)
+        result = resume_build(view, gini, split, config)
+        assert tree_to_json(result.tree) == baseline
+
+
 class TestMiningFromView:
     def test_boat_on_view_two_query_executions(self, warehouse):
         view, _, _, io = warehouse
@@ -165,6 +257,24 @@ class TestMiningFromView:
         view, *_ = warehouse
         target = materialize_view(view, MemoryTable(view.schema))
         assert np.array_equal(target.read_all(), view.read_all())
+
+    def test_materialize_rejects_mismatched_target_schema(self, warehouse):
+        view, *_ = warehouse
+        wrong = Schema(
+            [
+                Attribute.numerical("weight"),
+                Attribute.numerical("volume"),
+                Attribute.categorical("group", 5),
+            ],
+            n_classes=3,
+        )
+        with pytest.raises(SchemaError) as excinfo:
+            materialize_view(view, MemoryTable(wrong))
+        message = str(excinfo.value)
+        assert "'amount' missing from target" in message
+        assert "'volume' not in view" in message
+        assert "'group' differs" in message
+        assert "n_classes differs" in message
 
     def test_reservoir_sampling_over_view(self, warehouse):
         view, *_ = warehouse
