@@ -1,0 +1,163 @@
+"""Shared-scan forest construction: M members on two physical scans.
+
+Builds bagged forests at M ∈ {1, 4, 8} over one throttled 1M-tuple table
+(at scale 1) and, for M = 4, the same ensemble the naive way — M
+independent ``boat_build`` runs over the members' resamples, each paying
+its own two scans.  The headline numbers:
+
+* ``IOStats.full_scans == 2`` for every forest regardless of M;
+* at full size, the M = 8 forest finishes in under
+  ``MAX_M8_OVER_M1``x the M = 1 wall clock (the scans are shared, so
+  adding members adds only streaming compute, overlapped across worker
+  threads);
+* the recorded ``shared_vs_independent_speedup`` for M = 4 (the naive
+  route pays 4x the I/O).
+
+The simulated-I/O throttle stays at the harness default (10 MB/s): this
+experiment is about scan economics, the regime forests share scans for.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.bench import RunResult, WorkloadSpec, scaled, simulated_io_mbps
+from repro.config import BoatConfig, SplitConfig
+from repro.core import boat_build
+from repro.forest import ResampleTable, forest_build, plan_members
+from repro.splits import ImpuritySplitSelection
+from repro.storage import DiskTable, IOStats
+from repro.tree import tree_to_json
+
+N_TUPLES = scaled(1_000_000)
+SPEC = WorkloadSpec(function_id=1, n_tuples=N_TUPLES, noise=0.1, seed=9)
+MEMBER_COUNTS = (1, 4, 8)
+#: Ensemble size for the shared-vs-independent comparison.
+INDEPENDENT_M = 4
+#: Required bound on wall(M=8) / wall(M=1) at full size.
+MAX_M8_OVER_M1 = 3.0
+
+SPLIT_CONFIG = SplitConfig(
+    min_samples_split=max(N_TUPLES // 500, 20),
+    min_samples_leaf=max(N_TUPLES // 2000, 5),
+    max_depth=5,
+)
+
+
+def _boat_config() -> BoatConfig:
+    # Modest per-member sampling phases: the experiment isolates scan
+    # economics, and the sampling work is the one cost that cannot be
+    # shared across members.
+    sample = max(N_TUPLES // 100, 2000)
+    return BoatConfig(
+        sample_size=sample,
+        bootstrap_repetitions=5,
+        bootstrap_subsample=max(sample // 4, 600),
+        seed=17,
+        n_workers=4,
+    )
+
+
+@pytest.fixture(scope="module")
+def forest_table(workloads):
+    return workloads.table(SPEC)
+
+
+def test_forest_shared_scan_scaling(benchmark, forest_table, collector):
+    """Forest wall clock vs M, plus the M=4 independent-builds baseline."""
+    config = _boat_config()
+    method = ImpuritySplitSelection("gini")
+    runs: dict[int, dict] = {}
+    independent: dict = {}
+
+    def once():
+        for n_members in MEMBER_COUNTS:
+            io = IOStats()
+            table = DiskTable.open(forest_table.path, io)
+            table.set_simulated_throughput(simulated_io_mbps())
+            start = time.perf_counter()
+            result = forest_build(
+                table, n_members, method, SPLIT_CONFIG, config
+            )
+            seconds = time.perf_counter() - start
+            table.close()
+            runs[n_members] = {
+                "forest": result.forest,
+                "wall_s": seconds,
+                "io": io,
+            }
+
+        # The naive route: INDEPENDENT_M standalone builds, each over its
+        # member's resample, each paying its own two full scans.
+        plans = plan_members(config.seed, INDEPENDENT_M, N_TUPLES)
+        io = IOStats()
+        trees = []
+        start = time.perf_counter()
+        for plan in plans:
+            table = DiskTable.open(forest_table.path, io)
+            table.set_simulated_throughput(simulated_io_mbps())
+            result = boat_build(
+                ResampleTable(table, plan.weights),
+                method,
+                SPLIT_CONFIG,
+                replace(config, seed=plan.build_seed),
+            )
+            trees.append(result.tree)
+            table.close()
+        independent["wall_s"] = time.perf_counter() - start
+        independent["io"] = io
+        independent["trees"] = trees
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+
+    # Two physical scans at every ensemble size.
+    for n_members, run in runs.items():
+        assert run["io"].full_scans == 2, (n_members, run["io"])
+    assert independent["io"].full_scans == 2 * INDEPENDENT_M
+
+    # The shared-scan members ARE the standalone trees, byte for byte.
+    shared = runs[INDEPENDENT_M]["forest"].members
+    for member, standalone in zip(shared, independent["trees"]):
+        assert tree_to_json(member) == tree_to_json(standalone)
+
+    speedup = independent["wall_s"] / max(runs[INDEPENDENT_M]["wall_s"], 1e-9)
+    for n_members in MEMBER_COUNTS:
+        run = runs[n_members]
+        forest = run["forest"]
+        extra = {
+            "workers": config.n_workers,
+            "wall_vs_m1": run["wall_s"] / max(runs[1]["wall_s"], 1e-9),
+        }
+        if n_members == INDEPENDENT_M:
+            extra["independent_builds_seconds"] = independent["wall_s"]
+            extra["shared_vs_independent_speedup"] = speedup
+        collector.add(
+            "Shared-scan forest: M bagged members on two scans, F1 (noise 10%)",
+            "members",
+            n_members,
+            RunResult(
+                algorithm=f"forest[M={n_members}]",
+                workload=SPEC.describe(),
+                n_tuples=N_TUPLES,
+                wall_seconds=run["wall_s"],
+                scans=run["io"].full_scans,
+                tuples_read=run["io"].tuples_read,
+                tree_nodes=forest.n_nodes,
+                tree_leaves=sum(t.n_leaves for t in forest.members),
+                extra=extra,
+            ),
+        )
+
+    if N_TUPLES >= 200_000:
+        ratio = runs[8]["wall_s"] / max(runs[1]["wall_s"], 1e-9)
+        assert ratio < MAX_M8_OVER_M1, (
+            f"M=8 forest took {ratio:.2f}x the M=1 build at {N_TUPLES} "
+            f"tuples (bound {MAX_M8_OVER_M1}x): the scans are not shared"
+        )
+        assert speedup > 1.5, (
+            f"shared scan beat {INDEPENDENT_M} independent builds by only "
+            f"{speedup:.2f}x under the I/O throttle"
+        )

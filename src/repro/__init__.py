@@ -25,8 +25,16 @@ from .core import BoatReport, BoatResult, boat_build
 from .datagen import AgrawalConfig, AgrawalGenerator, agrawal_schema
 from .estimator import BoatClassifier, FitReport
 from .exceptions import ReproError
+from .forest import (
+    DecisionForest,
+    ForestReport,
+    ForestResult,
+    forest_build,
+    load_model_json,
+)
 from .observability import TraceReport, Tracer, format_trace, read_jsonl, write_jsonl
 from .serve import (
+    CompiledForest,
     CompiledPredictor,
     ModelRegistry,
     PredictionServer,
@@ -77,10 +85,14 @@ __all__ = [
     "BoatConfig",
     "BoatReport",
     "BoatResult",
+    "CompiledForest",
     "CompiledPredictor",
+    "DecisionForest",
     "DecisionTree",
     "DiskTable",
     "FitReport",
+    "ForestReport",
+    "ForestResult",
     "IOStats",
     "ImpuritySplitSelection",
     "IngestQueue",
@@ -108,9 +120,11 @@ __all__ = [
     "available_impurities",
     "boat_build",
     "build_reference_tree",
+    "forest_build",
     "format_trace",
     "get_impurity",
     "get_method",
+    "load_model_json",
     "partition_table",
     "read_jsonl",
     "sharded_boat_build",

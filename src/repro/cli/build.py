@@ -201,12 +201,59 @@ def _build_sharded(
             shutil.rmtree(scratch, ignore_errors=True)
 
 
+def _build_forest(
+    args: argparse.Namespace,
+    io: IOStats,
+    split_config: SplitConfig,
+    boat_config: BoatConfig,
+    tracer,
+):
+    from ..forest import forest_build
+
+    if args.method == "quest":
+        method = QuestSplitSelection(kernels=args.kernel_backend)
+    else:
+        method = ImpuritySplitSelection(args.method, kernels=args.kernel_backend)
+    table = open_flat_table(
+        args.table, io, simulated_mbps=args.simulate_io_mbps or 0.0
+    )
+    with table:
+        return forest_build(
+            table,
+            args.forest,
+            method,
+            split_config,
+            boat_config,
+            tracer=tracer,
+            oob=args.oob,
+        )
+
+
 def _cmd_build(args: argparse.Namespace) -> int:
     if args.resume is not None and args.checkpoint is not None:
         print("error: --resume already names the checkpoint; drop --checkpoint",
               file=sys.stderr)
         return 2
     sharded = os.path.isdir(args.table) or args.shards is not None
+    if args.forest is not None:
+        if args.forest < 1:
+            print("error: --forest must be >= 1", file=sys.stderr)
+            return 2
+        if sharded:
+            print("error: --forest builds share one flat-table scan; shard "
+                  "directories and --shards are not supported", file=sys.stderr)
+            return 2
+        if args.resume is not None or args.checkpoint is not None:
+            print("error: --checkpoint/--resume is not supported for forest "
+                  "builds", file=sys.stderr)
+            return 2
+        if args.sql_pushdown:
+            print("error: --sql-pushdown applies to single-tree builds",
+                  file=sys.stderr)
+            return 2
+    elif args.oob:
+        print("error: --oob is a forest estimate; add --forest M", file=sys.stderr)
+        return 2
     if sharded and (args.backend == "sql" or args.sql_pushdown):
         print("error: --backend sql/--sql-pushdown is for flat tables; "
               "sharded builds scan shard files", file=sys.stderr)
@@ -224,6 +271,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
         min_samples_split=args.min_split,
         min_samples_leaf=args.min_leaf,
         max_depth=args.max_depth,
+        split_sample_rows=args.split_sample_rows,
     )
     boat_config = BoatConfig(
         sample_size=args.sample_size,
@@ -243,15 +291,35 @@ def _cmd_build(args: argparse.Namespace) -> int:
         print("error: --checkpoint/--resume is not supported for the "
               "QUEST driver", file=sys.stderr)
         return 2
-    if sharded:
-        tree = _build_sharded(args, io, split_config, boat_config, tracer)
+    if args.forest is not None:
+        from ..forest import forest_to_json
+
+        result = _build_forest(args, io, split_config, boat_config, tracer)
+        forest, report = result.forest, result.report
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(forest_to_json(forest, indent=2))
+        print(
+            f"forest: {forest.n_members} member(s), {forest.n_nodes} nodes "
+            f"({report.mode} mode, {report.workers} worker(s), shared scans)"
+        )
+        for member, tree in zip(report.members, forest.members):
+            print(f"  member {member.index} (build seed {member.build_seed}): "
+                  f"{tree_summary(tree)}")
+        if report.oob_error is not None:
+            print(f"out-of-bag error: {report.oob_error:.4%} "
+                  f"(coverage {report.oob_coverage:.1%})")
+        print(f"I/O: {io}")
+        print(f"forest written to {args.out}")
     else:
-        tree = _build_flat(args, io, split_config, boat_config, tracer)
-    with open(args.out, "w", encoding="utf-8") as fh:
-        fh.write(tree_to_json(tree, indent=2))
-    print(tree_summary(tree))
-    print(f"I/O: {io}")
-    print(f"tree written to {args.out}")
+        if sharded:
+            tree = _build_sharded(args, io, split_config, boat_config, tracer)
+        else:
+            tree = _build_flat(args, io, split_config, boat_config, tracer)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(tree_to_json(tree, indent=2))
+        print(tree_summary(tree))
+        print(f"I/O: {io}")
+        print(f"tree written to {args.out}")
     if args.trace is not None:
         report = tracer.report()
         if args.trace == "-":
@@ -334,6 +402,32 @@ def register(sub) -> None:
         "statistics as grouped aggregation queries inside the database "
         "and export only held/family rows; a placement knob, never the "
         "tree (ignored for non-SQL tables and checkpointed builds)",
+    )
+    build.add_argument(
+        "--forest",
+        type=int,
+        default=None,
+        metavar="M",
+        help="build a bagged ensemble of M exact BOAT trees sharing the "
+        "two physical scans (one sample gather + one cleanup scan feed "
+        "all members); writes a forest JSON servable by `repro serve` "
+        "(see docs/FORESTS.md)",
+    )
+    build.add_argument(
+        "--oob",
+        action="store_true",
+        help="with --forest, also report the out-of-bag error estimate, "
+        "computed from the same shared cleanup scan (no extra pass)",
+    )
+    build.add_argument(
+        "--split-sample-rows",
+        type=int,
+        default=None,
+        metavar="K",
+        help="evaluate numeric split candidates on a deterministic "
+        "K-row subsample of each node family instead of every row; a "
+        "speed/accuracy trade-off that changes the tree (part of its "
+        "identity, recorded in the model), ignored by QUEST",
     )
     build.add_argument(
         "--shards",

@@ -1,55 +1,101 @@
-"""``evaluate`` and ``show``: scoring and rendering saved trees."""
+"""``evaluate`` and ``show``: scoring and rendering saved models."""
 
 from __future__ import annotations
 
 import argparse
 import sys
 
+from ..forest import DecisionForest, load_model_json
 from ..storage import IOStats
-from ..tree import render_tree, tree_from_json, tree_summary, tree_to_dot
+from ..tree import render_tree, tree_summary, tree_to_dot
 from .build import open_flat_table
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     with open(args.tree, encoding="utf-8") as fh:
-        tree = tree_from_json(fh.read())
+        model = load_model_json(fh.read())
     io = IOStats()
     table = open_flat_table(args.table, io)
-    if table.schema != tree.schema:
-        print("error: table schema does not match the tree's schema", file=sys.stderr)
+    if table.schema != model.schema:
+        print("error: table schema does not match the model's schema",
+              file=sys.stderr)
         return 2
     errors = 0
     total = 0
     from ..storage import CLASS_COLUMN
 
     for batch in table.scan():
-        predicted = tree.predict(batch)
+        predicted = model.predict(batch)
         errors += int((predicted != batch[CLASS_COLUMN]).sum())
         total += len(batch)
     rate = errors / total if total else 0.0
-    print(f"misclassification rate: {rate:.4%} ({errors}/{total})")
+    kind = (
+        f"forest ({model.n_members} members)"
+        if isinstance(model, DecisionForest)
+        else "tree"
+    )
+    print(f"misclassification rate: {rate:.4%} ({errors}/{total}, {kind})")
     return 0
 
 
 def _cmd_show(args: argparse.Namespace) -> int:
     with open(args.tree, encoding="utf-8") as fh:
-        tree = tree_from_json(fh.read())
+        model = load_model_json(fh.read())
+    if isinstance(model, DecisionForest):
+        if args.member is not None:
+            if not 0 <= args.member < model.n_members:
+                print(f"error: --member must be in [0, {model.n_members})",
+                      file=sys.stderr)
+                return 2
+            member = model.members[args.member]
+            if args.dot:
+                print(tree_to_dot(member, max_depth=args.max_depth))
+            else:
+                print(tree_summary(member))
+                print(render_tree(member, max_depth=args.max_depth))
+            return 0
+        if args.dot:
+            print("error: --dot renders a single tree; pass --member M to "
+                  "pick one", file=sys.stderr)
+            return 2
+        print(
+            f"forest: {model.n_members} member(s), {model.n_nodes} nodes, "
+            f"{model.n_classes} classes"
+        )
+        seeds = model.member_seeds or [None] * model.n_members
+        for m, (member, seed) in enumerate(zip(model.members, seeds)):
+            tag = f" (build seed {seed})" if seed is not None else ""
+            print(f"  member {m}{tag}: {tree_summary(member)}")
+        return 0
+    if args.member is not None:
+        print("error: --member applies to forest files", file=sys.stderr)
+        return 2
     if args.dot:
-        print(tree_to_dot(tree, max_depth=args.max_depth))
+        print(tree_to_dot(model, max_depth=args.max_depth))
     else:
-        print(tree_summary(tree))
-        print(render_tree(tree, max_depth=args.max_depth))
+        print(tree_summary(model))
+        print(render_tree(model, max_depth=args.max_depth))
     return 0
 
 
 def register(sub) -> None:
-    evaluate = sub.add_parser("evaluate", help="score a saved tree on a table")
-    evaluate.add_argument("tree", help="tree JSON path")
+    evaluate = sub.add_parser(
+        "evaluate", help="score a saved model (tree or forest) on a table"
+    )
+    evaluate.add_argument("tree", help="model JSON path")
     evaluate.add_argument("table", help="table path")
     evaluate.set_defaults(fn=_cmd_evaluate)
 
-    show = sub.add_parser("show", help="render a saved tree")
-    show.add_argument("tree", help="tree JSON path")
+    show = sub.add_parser("show", help="render a saved model")
+    show.add_argument("tree", help="model JSON path (tree or forest)")
     show.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
     show.add_argument("--max-depth", type=int, default=None)
+    show.add_argument(
+        "--member",
+        type=int,
+        default=None,
+        metavar="M",
+        help="for a forest file: render member M as a single tree "
+        "(combine with --dot for Graphviz output of that member)",
+    )
     show.set_defaults(fn=_cmd_show)

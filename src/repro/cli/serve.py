@@ -6,20 +6,21 @@ import argparse
 import sys
 import time
 
+from ..forest import load_model_json
 from ..observability import NULL_TRACER, Tracer, format_trace, write_jsonl
 from ..storage import IOStats
-from ..tree import tree_from_json
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
     from .build import open_flat_table
 
     with open(args.tree, encoding="utf-8") as fh:
-        tree = tree_from_json(fh.read())
+        tree = load_model_json(fh.read())
     io = IOStats()
     table = open_flat_table(args.table, io)
     if table.schema != tree.schema:
-        print("error: table schema does not match the tree's schema", file=sys.stderr)
+        print("error: table schema does not match the model's schema",
+              file=sys.stderr)
         return 2
     predictor = tree.compile()
     out = open(args.out, "w", encoding="utf-8") if args.out else None
@@ -160,7 +161,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.stream:
         return _cmd_serve_stream(args)
     with open(args.tree, encoding="utf-8") as fh:
-        tree = tree_from_json(fh.read())
+        tree = load_model_json(fh.read())
     tracer = Tracer() if args.trace is not None else NULL_TRACER
     registry = ModelRegistry(tracer=tracer)
     registry.publish(tree)
@@ -214,7 +215,9 @@ def register(sub) -> None:
     predict = sub.add_parser(
         "predict", help="batch inference through the compiled serving kernel"
     )
-    predict.add_argument("tree", help="tree JSON path")
+    predict.add_argument(
+        "tree", help="model JSON path (a saved tree or forest)"
+    )
     predict.add_argument("table", help="table path")
     predict.add_argument("--out", default=None, help="write predictions here")
     predict.add_argument(
@@ -224,11 +227,14 @@ def register(sub) -> None:
     predict.set_defaults(fn=_cmd_predict)
 
     serve = sub.add_parser(
-        "serve", help="run the batched HTTP prediction server on a saved tree"
+        "serve",
+        help="run the batched HTTP prediction server on a saved model "
+        "(tree or forest)",
     )
     serve.add_argument(
         "tree",
-        help="tree JSON path (with --stream: a training *table* path)",
+        help="model JSON path — a saved tree or forest (with --stream: a "
+        "training *table* path)",
     )
     serve.add_argument(
         "--stream",

@@ -40,12 +40,28 @@ class SplitConfig:
             searched exhaustively over all subsets; larger domains use the
             deterministic sorted-by-class-probability search (exact for
             two-class impurity problems, a documented heuristic otherwise).
+        split_sample_rows: when set, impurity-based split *search* at a
+            node with more than this many family rows evaluates candidates
+            on a deterministic stride subsample of this size instead of
+            the full family (Kumar & Edakunni's sampling-based split
+            finding).  The chosen split is still applied to the full
+            family.  Unlike every other knob on this dataclass, sampling
+            changes which tree is produced — which is why it lives here:
+            it is part of the tree's identity, and every consumer
+            (reference builder, BOAT finalization, rebuilds) must agree on
+            it to agree on the tree.  The subsample is a pure function of
+            the family (no RNG), so determinism and the byte-identity
+            guarantees are preserved *for a given config*.  Ignored by
+            QUEST, whose split points come from sufficient statistics
+            rather than candidate enumeration.  ``None`` (default)
+            searches exactly.
     """
 
     min_samples_split: int = 2
     min_samples_leaf: int = 1
     max_depth: int | None = None
     max_categorical_exhaustive: int = 12
+    split_sample_rows: int | None = None
 
     def __post_init__(self) -> None:
         if self.min_samples_split < 2:
@@ -56,6 +72,8 @@ class SplitConfig:
             raise ValueError("max_depth must be >= 0 or None")
         if self.max_categorical_exhaustive < 1:
             raise ValueError("max_categorical_exhaustive must be >= 1")
+        if self.split_sample_rows is not None and self.split_sample_rows < 2:
+            raise ValueError("split_sample_rows must be >= 2 or None")
 
 
 @dataclass(frozen=True)

@@ -8,7 +8,7 @@ from .bootstrap import (
     sampling_phase,
 )
 from .bounds import admissible_bucket_mask, bucket_lower_bound, bucket_lower_bounds
-from .cleanup import cleanup_scan
+from .cleanup import cleanup_scan, shared_cleanup_scan
 from .coarse import CoarseCategorical, CoarseCriterion, CoarseNumeric
 from .discretize import (
     bucket_index,
@@ -82,6 +82,7 @@ __all__ = [
     "reference_rebuild",
     "routing_expression",
     "sampling_phase",
+    "shared_cleanup_scan",
     "sql_pushdown_scan",
     "stream_batch",
 ]

@@ -45,6 +45,7 @@ counters are merged into the shared instance the parent span diffs.
 
 from __future__ import annotations
 
+import queue
 import threading
 from typing import Callable, Iterator
 
@@ -231,3 +232,122 @@ def _parallel_scan(
         rows_done += n_rows
         if progress is not None:
             progress(rows_done)
+
+
+#: One consumer of a shared cleanup scan: called with every source batch
+#: and its absolute row offset, in scan order.
+SinkFn = Callable[[np.ndarray, int], None]
+
+
+def shared_cleanup_scan(
+    table: Table,
+    sinks: list[SinkFn],
+    batch_rows: int = DEFAULT_BATCH_ROWS,
+    pool: WorkerPool | None = None,
+    tracer: Tracer | NullTracer = NULL_TRACER,
+    labels: list[str] | None = None,
+) -> None:
+    """One physical scan feeding many skeletons (crossval folds, forest members).
+
+    Every batch of ``table`` is handed to every sink as ``sink(batch,
+    offset)``; each sink routes it into its own skeleton (filtering,
+    fold-masking, or resample-expanding first as it sees fit).  The table
+    is read exactly once regardless of ``len(sinks)`` — this is the scan
+    sharing that keeps k-fold cross-validation and M-member bagged
+    ensembles inside BOAT's global two-scan budget.
+
+    Ordering guarantee: each sink sees the batches in scan order, one at a
+    time — with a pool, one thread task per sink per batch with a barrier
+    between batches.  Sinks touch disjoint skeletons, so tasks never share
+    mutable state, and the per-sink stream order (hence every per-member
+    spill file and float accumulation) is identical at any worker count.
+
+    Tracing: one ``cleanup`` span for the whole shared scan with one
+    detached child span per sink (named by ``labels``, default
+    ``member-<i>``) counting the batches that sink consumed.
+    """
+    with tracer.span(
+        "cleanup", batch_rows=batch_rows, shared_sinks=len(sinks)
+    ) as span:
+        names = labels or [f"member-{i}" for i in range(len(sinks))]
+        child_spans = (
+            [tracer.worker_span(name) for name in names] if tracer.enabled else None
+        )
+
+        def bump_children() -> None:
+            if child_spans is not None:
+                for child in child_spans:
+                    child.bump("batches")
+
+        def drain_serial() -> None:
+            offset = 0
+            for batch in table.scan(batch_rows):
+                for sink in sinks:
+                    sink(batch, offset)
+                bump_children()
+                offset += len(batch)
+
+        def drain(thread_pool: WorkerPool) -> None:
+            # Double-buffered scan: a reader thread keeps the next batch
+            # in flight while the sinks stream the current one, so the
+            # table read (the expensive part on a sequential device)
+            # overlaps member compute.  Batch order, per-batch barrier,
+            # and per-sink stream order are untouched.
+            batches: queue.Queue = queue.Queue(maxsize=2)
+
+            def read_ahead() -> None:
+                try:
+                    offset = 0
+                    for batch in table.scan(batch_rows):
+                        batches.put((batch, offset))
+                        offset += len(batch)
+                    batches.put(None)
+                except BaseException as exc:
+                    batches.put(exc)
+
+            reader = threading.Thread(
+                target=read_ahead, name="shared-scan-reader", daemon=True
+            )
+            reader.start()
+            try:
+                while True:
+                    item = batches.get()
+                    if item is None:
+                        break
+                    if isinstance(item, BaseException):
+                        raise item
+                    batch, offset = item
+
+                    def route_one(i: int, batch=batch, offset=offset) -> int:
+                        sinks[i](batch, offset)
+                        return i
+
+                    for _ in thread_pool.map(route_one, range(len(sinks))):
+                        pass
+                    bump_children()
+            finally:
+                # If routing raised mid-scan the reader may be blocked on
+                # a full queue; drain it until the thread exits.
+                while reader.is_alive():
+                    try:
+                        batches.get_nowait()
+                    except queue.Empty:
+                        pass
+                    reader.join(timeout=0.01)
+
+        if pool is None or not pool.is_parallel or len(sinks) == 1:
+            span.set(workers=1)
+            drain_serial()
+        elif pool.backend == "thread":
+            span.set(workers=pool.n_workers)
+            drain(pool)
+        else:
+            # Skeleton statistics live in the parent's heap; route on
+            # threads even when the build pool is process-backed (the same
+            # reasoning as cleanup_scan above).
+            span.set(workers=pool.n_workers)
+            with WorkerPool(pool.n_workers, "thread", tracer=tracer) as thread_pool:
+                drain(thread_pool)
+        if child_spans is not None:
+            for child in child_spans:
+                tracer.attach(child, span)

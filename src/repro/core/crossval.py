@@ -31,6 +31,7 @@ from ..splits.methods import ImpuritySplitSelection
 from ..storage import CLASS_COLUMN, Table
 from ..tree import DecisionTree, build_reference_tree
 from .bootstrap import sampling_phase
+from .cleanup import shared_cleanup_scan
 from .finalize import finalize_tree
 from .state import stream_batch
 
@@ -114,12 +115,19 @@ def boat_cross_validate(
             skeletons.append(result.root)
 
         # -- scan 2: shared cleanup scan ---------------------------------
-        offset = 0
-        for batch in table.scan(boat_config.batch_rows):
-            folds = (offset + np.arange(len(batch))) % k
-            for fold, skeleton in enumerate(skeletons):
+        def fold_sink(fold: int, skeleton):
+            def sink(batch: np.ndarray, offset: int) -> None:
+                folds = (offset + np.arange(len(batch))) % k
                 stream_batch(skeleton, batch[folds != fold], schema)
-            offset += len(batch)
+
+            return sink
+
+        shared_cleanup_scan(
+            table,
+            [fold_sink(fold, s) for fold, s in enumerate(skeletons)],
+            boat_config.batch_rows,
+            labels=[f"fold-{fold}" for fold in range(k)],
+        )
         scans += 1
 
         trees = []

@@ -1,0 +1,58 @@
+"""``repro.forest`` — shared-scan bagged BOAT ensembles.
+
+One physical pass over the training table feeds every ensemble member's
+cleanup statistics: each member owns a bootstrap resample (a weight
+vector — no data duplication), its own coarse skeleton from its own
+sampling phase, and the single shared cleanup scan routes every batch
+through all M skeletons.  The global two-scan invariant holds regardless
+of M, and every member tree is byte-identical to a standalone
+:func:`~repro.core.boat_build` over the same resample
+(:class:`ResampleTable`).
+
+See ``docs/FORESTS.md`` for the design, the sampled split-search
+accuracy study, and the serving path
+(:class:`~repro.serve.CompiledForest`).
+"""
+
+from .bagging import (
+    MemberPlan,
+    ResampleTable,
+    bootstrap_weights,
+    expand_batch,
+    plan_members,
+)
+from .build import ForestReport, ForestResult, MemberReport, forest_build
+from .model import (
+    DecisionForest,
+    ForestDifference,
+    forest_diff,
+    forest_from_dict,
+    forest_from_json,
+    forest_to_dict,
+    forest_to_json,
+    forests_equal,
+    load_model_json,
+    majority_vote,
+)
+
+__all__ = [
+    "DecisionForest",
+    "ForestDifference",
+    "ForestReport",
+    "ForestResult",
+    "MemberPlan",
+    "MemberReport",
+    "ResampleTable",
+    "bootstrap_weights",
+    "expand_batch",
+    "forest_build",
+    "forest_diff",
+    "forest_from_dict",
+    "forest_from_json",
+    "forest_to_dict",
+    "forest_to_json",
+    "forests_equal",
+    "load_model_json",
+    "majority_vote",
+    "plan_members",
+]

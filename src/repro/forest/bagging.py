@@ -1,0 +1,157 @@
+"""Bootstrap resamples as weight vectors, and their virtual tables.
+
+A bagged ensemble needs M bootstrap resamples of the training database —
+but materializing M copies of an out-of-core table would defeat the
+point.  Each member's resample is therefore represented as a *weight
+vector*: ``weights[i]`` is how many times source row ``i`` appears in the
+member's resample (``np.bincount`` of n draws with replacement).  The
+canonical resample is the source in scan order with row ``i`` repeated
+``weights[i]`` times — a pure function of (source, weights), which is
+what makes "the same resample" a well-defined object both the shared
+forest build and a standalone per-member build can agree on byte for
+byte.
+
+Two views of one resample:
+
+* :func:`expand_batch` — expand one source batch into the member's
+  contiguous resample rows, re-chunked to ``chunk_rows``.  Both the
+  standalone :class:`ResampleTable` scan and the forest's shared cleanup
+  scan go through this single helper, so the chunk boundaries (and hence
+  every float accumulation order downstream, QUEST included) are
+  identical on both paths.
+* :class:`ResampleTable` — a read-only :class:`~repro.storage.Table`
+  presenting the resample as a normal scannable relation; this is the
+  differential baseline: ``boat_build(ResampleTable(source, w), ...)``
+  is "the standalone single-tree build with the same resample".
+
+Seeding discipline: :func:`plan_members` spawns one
+:class:`numpy.random.SeedSequence` child per member and splits it once
+into (resample seed, build seed) — members are statistically independent,
+adding members never perturbs earlier ones, and each member's build seed
+can be handed verbatim to :class:`~repro.config.BoatConfig` to reproduce
+that member alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..config import DEFAULT_BATCH_ROWS
+from ..exceptions import StorageError
+from ..storage import Table, split_into_chunks
+
+
+def bootstrap_weights(
+    n: int, size: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Multiplicity vector of ``size`` draws with replacement from ``n`` rows."""
+    if n < 1:
+        raise ValueError("cannot resample an empty table")
+    if size < 1:
+        raise ValueError("resample size must be >= 1")
+    draws = rng.integers(0, n, size=size)
+    return np.bincount(draws, minlength=n).astype(np.int64)
+
+
+def expand_batch(
+    batch: np.ndarray, weights: np.ndarray, chunk_rows: int
+) -> Iterator[np.ndarray]:
+    """The resample rows covered by one source batch, chunked.
+
+    ``weights`` must align with ``batch`` (one multiplicity per row).
+    Yields the expanded rows in source order, re-chunked to at most
+    ``chunk_rows`` — chunk boundaries reset at every source batch, a
+    deliberate invariant shared by :class:`ResampleTable` and the forest
+    shared scan (see the module docstring).
+    """
+    expanded = np.repeat(batch, weights)
+    if len(expanded) == 0:
+        return
+    yield from split_into_chunks(expanded, chunk_rows)
+
+
+@dataclass(frozen=True)
+class MemberPlan:
+    """Everything that defines one ensemble member before any scan runs.
+
+    Attributes:
+        index: member position in the forest (0-based).
+        weights: resample multiplicity per source row (sums to ``len(table)``).
+        build_seed: the BOAT seed for this member's own build — pass it as
+            ``BoatConfig.seed`` to reproduce the member standalone.
+    """
+
+    index: int
+    weights: np.ndarray
+    build_seed: int
+
+    @property
+    def resample_rows(self) -> int:
+        return int(self.weights.sum())
+
+    @property
+    def oob_rows(self) -> np.ndarray:
+        """Source row indices the resample never drew (out-of-bag)."""
+        return np.flatnonzero(self.weights == 0)
+
+
+def plan_members(seed: int, n_members: int, n_rows: int) -> list[MemberPlan]:
+    """Derive every member's resample weights and build seed from one seed."""
+    if n_members < 1:
+        raise ValueError("n_members must be >= 1")
+    plans = []
+    for index, child in enumerate(np.random.SeedSequence(seed).spawn(n_members)):
+        resample_ss, build_ss = child.spawn(2)
+        weights = bootstrap_weights(
+            n_rows, n_rows, np.random.default_rng(resample_ss)
+        )
+        build_seed = int(build_ss.generate_state(1, np.uint64)[0])
+        plans.append(MemberPlan(index, weights, build_seed))
+    return plans
+
+
+class ResampleTable(Table):
+    """A bootstrap resample of a source table, as a read-only virtual table.
+
+    Scanning yields the canonical resample — source order, row ``i``
+    repeated ``weights[i]`` times — without materializing it; I/O is
+    charged to the *source's* :class:`~repro.storage.IOStats` (one
+    resample scan costs one physical source scan, which is exactly the
+    accounting a standalone member build should see).
+    """
+
+    def __init__(self, source: Table, weights: np.ndarray):
+        weights = np.asarray(weights, dtype=np.int64)
+        if len(weights) != len(source):
+            raise ValueError(
+                f"weights length {len(weights)} != table rows {len(source)}"
+            )
+        if (weights < 0).any():
+            raise ValueError("resample weights must be >= 0")
+        super().__init__(source.schema, source.io_stats)
+        self.source = source
+        self.weights = weights
+        self._length = int(weights.sum())
+
+    def __len__(self) -> int:
+        return self._length
+
+    def scan(self, batch_rows: int = DEFAULT_BATCH_ROWS) -> Iterator[np.ndarray]:
+        offset = 0
+        for batch in self.source.scan(batch_rows):
+            yield from expand_batch(
+                batch, self.weights[offset : offset + len(batch)], batch_rows
+            )
+            offset += len(batch)
+
+    def append(self, batch: np.ndarray) -> None:
+        raise StorageError("ResampleTable is a read-only resample view")
+
+    def __repr__(self) -> str:
+        return (
+            f"ResampleTable(rows={self._length}, "
+            f"source_rows={len(self.source)})"
+        )

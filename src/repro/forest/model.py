@@ -1,0 +1,239 @@
+"""The bagged forest model: voting, comparison, serialization.
+
+A :class:`DecisionForest` is M member :class:`~repro.tree.DecisionTree`s
+over one schema plus the aggregation rules: majority vote for labels
+(ties broken toward the smallest label, the same deterministic rule as
+:func:`~repro.splits.base.majority_label`), arithmetic mean of member
+leaf distributions for ``predict_proba``.  Aggregation order is fixed
+(member 0 first), so the recursive path here and the compiled path in
+:class:`~repro.serve.CompiledForest` produce bit-identical outputs.
+
+``forest_diff`` extends :func:`~repro.tree.tree_diff` to ensembles: it
+names the first diverging member and the node inside it, which is what
+the differential suite prints when a shared-scan member fails to match
+its standalone build.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import TreeStructureError
+from ..storage import Schema
+from ..tree import DecisionTree, TreeDifference, tree_diff, tree_from_dict, tree_to_dict
+
+#: Top-level marker distinguishing forest JSON from single-tree JSON.
+FOREST_FORMAT = "repro.forest"
+
+
+def majority_vote(member_labels: np.ndarray, n_classes: int) -> np.ndarray:
+    """Aggregate an ``(n_rows, n_members)`` label matrix by majority vote.
+
+    Ties break toward the smallest label (``argmax`` keeps the first
+    maximum), matching the per-tree leaf-label rule — one deterministic
+    convention everywhere.
+    """
+    n = len(member_labels)
+    votes = np.zeros((n, n_classes), dtype=np.int64)
+    rows = np.arange(n)
+    for m in range(member_labels.shape[1]):
+        votes[rows, member_labels[:, m]] += 1
+    return votes.argmax(axis=1).astype(np.int32)
+
+
+class DecisionForest:
+    """A bagged ensemble of decision trees over one schema."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        members: list[DecisionTree],
+        member_seeds: list[int] | None = None,
+    ):
+        if not members:
+            raise TreeStructureError("a forest needs at least one member")
+        for i, member in enumerate(members):
+            if member.schema != schema:
+                raise TreeStructureError(
+                    f"member {i} schema does not match the forest schema"
+                )
+        self._schema = schema
+        self._members = list(members)
+        #: Per-member BOAT build seeds (inspection only), when known.
+        self.member_seeds = list(member_seeds) if member_seeds else None
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def members(self) -> list[DecisionTree]:
+        return self._members
+
+    @property
+    def n_members(self) -> int:
+        return len(self._members)
+
+    @property
+    def n_classes(self) -> int:
+        return self._schema.n_classes
+
+    @property
+    def n_nodes(self) -> int:
+        return sum(member.n_nodes for member in self._members)
+
+    # -- predictions (recursive reference path) ------------------------------
+
+    def member_predictions(self, batch: np.ndarray) -> np.ndarray:
+        """``(n_rows, n_members)`` label matrix, one column per member."""
+        return np.column_stack(
+            [member.predict(batch) for member in self._members]
+        )
+
+    def predict(self, batch: np.ndarray) -> np.ndarray:
+        """Majority-vote labels (smallest label wins ties)."""
+        return majority_vote(self.member_predictions(batch), self.n_classes)
+
+    def predict_proba(self, batch: np.ndarray) -> np.ndarray:
+        """Mean of member leaf distributions, accumulated in member order."""
+        out = np.zeros((len(batch), self.n_classes), dtype=np.float64)
+        for member in self._members:
+            out += member.predict_proba(batch)
+        out /= self.n_members
+        return out
+
+    def misclassification_rate(self, batch: np.ndarray) -> float:
+        from ..storage import CLASS_COLUMN
+
+        if len(batch) == 0:
+            return 0.0
+        return float(np.mean(self.predict(batch) != batch[CLASS_COLUMN]))
+
+    def compile(self):
+        """The stacked-array serving form (:class:`~repro.serve.CompiledForest`)."""
+        from ..serve.forest import CompiledForest
+
+        return CompiledForest.from_forest(self)
+
+    def validate(self) -> None:
+        for member in self._members:
+            member.validate()
+
+    def __repr__(self) -> str:
+        return (
+            f"DecisionForest(members={self.n_members}, "
+            f"nodes={self.n_nodes}, classes={self.n_classes})"
+        )
+
+
+# -- comparison --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ForestDifference:
+    """The first difference between two forests.
+
+    ``member`` is the index of the first diverging member; ``difference``
+    locates the node inside it (``None`` for ensemble-level mismatches
+    such as differing member counts, described by ``reason`` alone).
+    """
+
+    member: int | None
+    reason: str
+    difference: TreeDifference | None = None
+
+    def __str__(self) -> str:
+        if self.member is None:
+            return self.reason
+        detail = f": {self.difference}" if self.difference is not None else ""
+        return f"member {self.member}{detail or ': ' + self.reason}"
+
+
+def forest_diff(
+    a: DecisionForest, b: DecisionForest
+) -> ForestDifference | None:
+    """First difference between two forests, or ``None`` if equal.
+
+    Members are compared pairwise in order with :func:`tree_diff` (exact
+    structural equality, the impurity-mode criterion); the result names
+    the first diverging member and the first diverging node inside it.
+    """
+    if a.schema != b.schema:
+        return ForestDifference(None, "schemas differ")
+    if a.n_members != b.n_members:
+        return ForestDifference(
+            None, f"member counts differ ({a.n_members} vs {b.n_members})"
+        )
+    for index, (ta, tb) in enumerate(zip(a.members, b.members)):
+        difference = tree_diff(ta, tb)
+        if difference is not None:
+            return ForestDifference(index, str(difference), difference)
+    return None
+
+
+def forests_equal(a: DecisionForest, b: DecisionForest) -> bool:
+    return forest_diff(a, b) is None
+
+
+# -- serialization -----------------------------------------------------------
+
+
+def forest_to_dict(forest: DecisionForest) -> dict:
+    """JSON-safe dict; member trees use the exact tree wire format."""
+    data = {
+        "format": FOREST_FORMAT,
+        "version": 1,
+        "n_members": forest.n_members,
+        "members": [tree_to_dict(member) for member in forest.members],
+    }
+    if forest.member_seeds is not None:
+        data["member_seeds"] = [int(seed) for seed in forest.member_seeds]
+    return data
+
+
+def forest_from_dict(data: dict) -> DecisionForest:
+    try:
+        if data.get("format") != FOREST_FORMAT:
+            raise TreeStructureError(
+                f"not a forest document (format={data.get('format')!r})"
+            )
+        members = [tree_from_dict(entry) for entry in data["members"]]
+    except TreeStructureError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TreeStructureError(f"malformed forest document: {exc}") from exc
+    if not members:
+        raise TreeStructureError("forest document has no members")
+    seeds = data.get("member_seeds")
+    return DecisionForest(members[0].schema, members, member_seeds=seeds)
+
+
+def forest_to_json(forest: DecisionForest, indent: int | None = None) -> str:
+    return json.dumps(forest_to_dict(forest), indent=indent, sort_keys=True)
+
+
+def forest_from_json(text: str) -> DecisionForest:
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise TreeStructureError(f"invalid forest JSON: {exc}") from exc
+    return forest_from_dict(data)
+
+
+def load_model_json(text: str) -> DecisionTree | DecisionForest:
+    """Load a saved model, auto-detecting single-tree vs forest documents.
+
+    The CLI's ``predict`` / ``serve`` / ``evaluate`` / ``show`` accept
+    either; forests are marked by a top-level ``"format"`` key that the
+    single-tree wire format never carries.
+    """
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise TreeStructureError(f"invalid model JSON: {exc}") from exc
+    if isinstance(data, dict) and data.get("format") == FOREST_FORMAT:
+        return forest_from_dict(data)
+    return tree_from_dict(data)

@@ -22,11 +22,13 @@ test suites enforce.
 
 from .batcher import PredictionTicket, RequestBatcher, ServeConfig
 from .compiled import LEAF, CompiledPredictor
+from .forest import CompiledForest
 from .registry import ModelRegistry, PublishedModel
 from .server import PredictionServer, records_to_batch
 
 __all__ = [
     "LEAF",
+    "CompiledForest",
     "CompiledPredictor",
     "ModelRegistry",
     "PredictionServer",

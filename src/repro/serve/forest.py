@@ -1,0 +1,124 @@
+"""The compiled forest: stacked per-member predictors behind one interface.
+
+:class:`CompiledForest` makes a bagged
+:class:`~repro.forest.DecisionForest` a drop-in for
+:class:`CompiledPredictor` on the entire serving stack — registry,
+batcher, HTTP server — *unchanged*.  The batcher's contract is the
+narrow thing to satisfy: it calls ``leaf_indices(rows)`` once per
+coalesced batch, slices the result per ticket, and indexes
+``leaf_proba[...]`` / ``leaf_label[...]`` with the slice.  For a forest,
+``leaf_indices`` returns an ``(n_rows, n_members)`` matrix (one compiled
+leaf row per member), and ``leaf_proba`` / ``leaf_label`` are small view
+objects whose ``__getitem__`` aggregates across the member axis:
+mean of the members' leaf distributions, majority vote with ties toward
+the smallest label.  Aggregation runs in member order, bit-identical to
+the recursive :class:`~repro.forest.DecisionForest` path.
+
+Thread safety matches the single-tree predictor: the views hold only
+read-only member arrays and allocate their outputs per call, so one
+compiled forest is safely shared by every serving thread.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .compiled import CompiledPredictor
+
+
+class _ForestLabelView:
+    """``leaf_label`` for a forest: majority vote over member leaf labels."""
+
+    __slots__ = ("_predictors", "_n_classes")
+
+    def __init__(self, predictors: list[CompiledPredictor], n_classes: int):
+        self._predictors = predictors
+        self._n_classes = n_classes
+
+    def __getitem__(self, leaf_rows: np.ndarray) -> np.ndarray:
+        leaf_rows = np.asarray(leaf_rows)
+        n = len(leaf_rows)
+        votes = np.zeros((n, self._n_classes), dtype=np.int64)
+        rows = np.arange(n)
+        for m, predictor in enumerate(self._predictors):
+            votes[rows, predictor.leaf_label[leaf_rows[:, m]]] += 1
+        # argmax keeps the first maximum: ties break toward the smallest
+        # label, the same rule as majority_label / DecisionForest.predict.
+        return votes.argmax(axis=1).astype(np.int32)
+
+
+class _ForestProbaView:
+    """``leaf_proba`` for a forest: mean of member leaf distributions."""
+
+    __slots__ = ("_predictors",)
+
+    def __init__(self, predictors: list[CompiledPredictor]):
+        self._predictors = predictors
+
+    def __getitem__(self, leaf_rows: np.ndarray) -> np.ndarray:
+        leaf_rows = np.asarray(leaf_rows)
+        first = self._predictors[0]
+        out = first.leaf_proba[leaf_rows[:, 0]].copy()
+        for m, predictor in enumerate(self._predictors[1:], start=1):
+            out += predictor.leaf_proba[leaf_rows[:, m]]
+        out /= len(self._predictors)
+        return out
+
+
+class CompiledForest:
+    """M stacked :class:`CompiledPredictor`s with vote/average aggregation.
+
+    Build one with :meth:`from_forest` (or ``forest.compile()``).  The
+    public surface mirrors :class:`CompiledPredictor` exactly where the
+    serving stack touches it: ``schema``, ``n_classes``, ``n_nodes``,
+    ``leaf_indices`` / ``leaf_label`` / ``leaf_proba``, ``predict`` and
+    ``predict_proba``.
+    """
+
+    __slots__ = (
+        "schema",
+        "predictors",
+        "n_members",
+        "n_classes",
+        "n_nodes",
+        "leaf_label",
+        "leaf_proba",
+    )
+
+    def __init__(self, predictors: list[CompiledPredictor]):
+        if not predictors:
+            raise ValueError("a compiled forest needs at least one member")
+        self.predictors = list(predictors)
+        self.schema = predictors[0].schema
+        self.n_members = len(predictors)
+        self.n_classes = predictors[0].n_classes
+        self.n_nodes = sum(p.n_nodes for p in predictors)
+        self.leaf_label = _ForestLabelView(self.predictors, self.n_classes)
+        self.leaf_proba = _ForestProbaView(self.predictors)
+
+    @classmethod
+    def from_forest(cls, forest) -> "CompiledForest":
+        """Compile every member of a :class:`~repro.forest.DecisionForest`."""
+        return cls(
+            [CompiledPredictor.from_tree(member) for member in forest.members]
+        )
+
+    def leaf_indices(self, batch: np.ndarray) -> np.ndarray:
+        """``(n_rows, n_members)`` compiled leaf rows, one column per member."""
+        return np.column_stack(
+            [predictor.leaf_indices(batch) for predictor in self.predictors]
+        )
+
+    def predict(self, batch: np.ndarray) -> np.ndarray:
+        """Majority-vote labels (identical to the recursive forest path)."""
+        return self.leaf_label[self.leaf_indices(batch)]
+
+    def predict_proba(self, batch: np.ndarray) -> np.ndarray:
+        """Mean member distributions (bit-identical to the recursive path)."""
+        return self.leaf_proba[self.leaf_indices(batch)]
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledForest(members={self.n_members}, "
+            f"nodes={self.n_nodes}, classes={self.n_classes})"
+        )

@@ -34,12 +34,17 @@ class PublishedModel:
 
     The predictor is compiled once at publish time; serving threads share
     it read-only.  ``tree`` is kept for inspection and the offline
-    (recursive) reference path — do not mutate it after publishing.
+    (recursive) reference path — do not mutate it after publishing.  It
+    is a :class:`~repro.tree.DecisionTree` for single-tree publishes, a
+    :class:`~repro.forest.DecisionForest` for ensembles, or whatever
+    compiled-form object was published directly; ``predictor`` is its
+    compiled counterpart (:class:`CompiledPredictor`,
+    :class:`~repro.serve.CompiledForest`, ...).
     """
 
     version: int
-    tree: DecisionTree
-    predictor: CompiledPredictor
+    tree: "DecisionTree | object"
+    predictor: "CompiledPredictor | object"
 
     def __repr__(self) -> str:
         return (
@@ -69,9 +74,21 @@ class ModelRegistry:
 
     # -- publishing ----------------------------------------------------------
 
-    def publish(self, tree: DecisionTree) -> PublishedModel:
-        """Compile ``tree`` and make it the live model (atomic swap)."""
-        predictor = CompiledPredictor.from_tree(tree)  # outside the lock
+    def publish(self, tree: "DecisionTree | object") -> PublishedModel:
+        """Compile ``tree`` and make it the live model (atomic swap).
+
+        Anything with a ``compile()`` method is publishable — a
+        :class:`~repro.tree.DecisionTree`, a
+        :class:`~repro.forest.DecisionForest`, or any future model kind
+        whose compiled form exposes the serving surface
+        (``leaf_indices``/``leaf_label``/``leaf_proba``, ``predict``,
+        ``predict_proba``, ``n_classes``, ``schema``).  An object without
+        ``compile()`` is treated as already compiled and published as its
+        own predictor.
+        """
+        predictor = (  # outside the lock
+            tree.compile() if hasattr(tree, "compile") else tree
+        )
         with self._lock:
             self._versions += 1
             model = PublishedModel(self._versions, tree, predictor)
@@ -88,11 +105,15 @@ class ModelRegistry:
         return model
 
     def follow(self, maintainer) -> PublishedModel:
-        """Publish the maintainer's tree now and after every future update.
+        """Publish the maintainer's model now and after every future update.
 
-        ``maintainer`` is an :class:`~repro.core.IncrementalBoat`; its
-        update listener fires after each finalization, so live traffic
-        sees the new exact tree as soon as it exists.
+        ``maintainer`` is anything with an ``add_listener(callback)``
+        hook and a current ``tree`` attribute whose value is publishable
+        (see :meth:`publish` — single trees, forests, and pre-compiled
+        models all qualify).  The canonical case is an
+        :class:`~repro.core.IncrementalBoat`: its update listener fires
+        after each finalization, so live traffic sees the new exact model
+        as soon as it exists.
         """
         maintainer.add_listener(self.publish)
         return self.publish(maintainer.tree)

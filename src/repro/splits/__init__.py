@@ -22,7 +22,7 @@ from .impurity import (
     available_impurities,
     get_impurity,
 )
-from .methods import ImpuritySplitSelection, get_method
+from .methods import ImpuritySplitSelection, get_method, sampled_search_rows
 from .numeric import NumericProfile, best_numeric_split, numeric_profile
 from .quest import QuestSplitSelection, QuestSufficientStats
 
@@ -50,4 +50,5 @@ __all__ = [
     "get_method",
     "majority_label",
     "numeric_profile",
+    "sampled_search_rows",
 ]

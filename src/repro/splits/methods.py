@@ -34,6 +34,24 @@ from .impurity import ImpurityMeasure, get_impurity
 from .numeric import best_numeric_split
 
 
+def sampled_search_rows(family: np.ndarray, config: SplitConfig) -> np.ndarray:
+    """The rows the candidate search runs on under ``split_sample_rows``.
+
+    A deterministic stride subsample: ``k`` row positions spread evenly
+    over the family, ``(np.arange(k) * n) // k``.  Strictly increasing
+    for ``k <= n``, a pure function of the family (no RNG to thread, no
+    hidden state), and every selected row is a member of the family — so
+    an admissible subsample split leaves both full-family children
+    non-empty and recursion still terminates.  Returns the family itself
+    when sampling is off or the family is already small enough.
+    """
+    k = config.split_sample_rows
+    n = len(family)
+    if k is None or n <= k:
+        return family
+    return family[(np.arange(k, dtype=np.int64) * n) // k]
+
+
 class ImpuritySplitSelection(ImpurityBasedMethod):
     """CL instantiation for a concave impurity measure (gini, entropy, ...).
 
@@ -66,6 +84,7 @@ class ImpuritySplitSelection(ImpurityBasedMethod):
         n = len(family)
         if n < config.min_samples_split:
             return None
+        family = sampled_search_rows(family, config)
         counts = self._kernels.class_histogram(family[CLASS_COLUMN], schema.n_classes)
         if np.count_nonzero(counts) <= 1:
             return None

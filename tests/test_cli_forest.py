@@ -1,0 +1,122 @@
+"""CLI coverage for forest builds and forest-aware model commands."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.forest import DecisionForest, load_model_json
+
+
+@pytest.fixture
+def generated_table(tmp_path):
+    path = str(tmp_path / "t.tbl")
+    assert main(
+        ["generate", path, "--n", "4000", "--function", "1",
+         "--noise", "0.05", "--seed", "3"]
+    ) == 0
+    return path
+
+
+@pytest.fixture
+def forest_file(generated_table, tmp_path):
+    out = str(tmp_path / "forest.json")
+    code = main(
+        ["build", generated_table, out,
+         "--forest", "3", "--oob",
+         "--sample-size", "800", "--bootstraps", "5",
+         "--min-split", "20", "--min-leaf", "5", "--max-depth", "6",
+         "--seed", "11", "--batch-rows", "1024"]
+    )
+    assert code == 0
+    return out
+
+
+class TestBuildForest:
+    def test_writes_loadable_forest(self, forest_file, capsys):
+        model = load_model_json(open(forest_file, encoding="utf-8").read())
+        assert isinstance(model, DecisionForest)
+        assert model.n_members == 3
+        assert model.member_seeds is not None
+
+    def test_reports_shared_scans_and_oob(self, generated_table, tmp_path, capsys):
+        out = str(tmp_path / "f.json")
+        assert main(
+            ["build", generated_table, out, "--forest", "2", "--oob",
+             "--sample-size", "800", "--bootstraps", "5",
+             "--min-split", "20", "--max-depth", "5", "--batch-rows", "1024"]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "forest: 2 member(s)" in text
+        assert "scans=2" in text  # two physical scans, M members
+        assert "out-of-bag error" in text
+
+    def test_split_sample_rows_flag(self, generated_table, tmp_path):
+        out = str(tmp_path / "s.json")
+        assert main(
+            ["build", generated_table, out, "--forest", "2",
+             "--split-sample-rows", "500",
+             "--sample-size", "800", "--bootstraps", "5",
+             "--min-split", "20", "--max-depth", "5", "--batch-rows", "1024"]
+        ) == 0
+        assert isinstance(
+            load_model_json(open(out, encoding="utf-8").read()), DecisionForest
+        )
+
+    @pytest.mark.parametrize(
+        "extra",
+        [
+            ["--forest", "0"],
+            ["--forest", "2", "--resume", "ckpt"],
+            ["--forest", "2", "--checkpoint", "ckpt"],
+            ["--forest", "2", "--shards", "2"],
+            ["--forest", "2", "--sql-pushdown"],
+            ["--oob"],  # --oob without --forest
+        ],
+    )
+    def test_incompatible_flags_rejected(self, generated_table, tmp_path, extra):
+        out = str(tmp_path / "x.json")
+        assert main(["build", generated_table, out] + extra) == 2
+
+
+class TestForestModelCommands:
+    def test_evaluate_scores_a_forest(self, forest_file, generated_table, capsys):
+        assert main(["evaluate", forest_file, generated_table]) == 0
+        out = capsys.readouterr().out
+        assert "misclassification rate" in out
+        assert "forest (3 members)" in out
+
+    def test_show_prints_member_summaries(self, forest_file, capsys):
+        assert main(["show", forest_file]) == 0
+        out = capsys.readouterr().out
+        assert "forest: 3 member(s)" in out
+        assert out.count("build seed") == 3
+
+    def test_show_single_member(self, forest_file, capsys):
+        assert main(["show", forest_file, "--member", "1", "--max-depth", "2"]) == 0
+        assert "DecisionTree(" in capsys.readouterr().out
+
+    def test_show_member_dot(self, forest_file, capsys):
+        assert main(["show", forest_file, "--member", "0", "--dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_show_forest_dot_needs_member(self, forest_file, capsys):
+        assert main(["show", forest_file, "--dot"]) == 2
+
+    def test_show_member_out_of_range(self, forest_file):
+        assert main(["show", forest_file, "--member", "9"]) == 2
+
+    def test_predict_with_forest(self, forest_file, generated_table, tmp_path, capsys):
+        out = str(tmp_path / "preds.txt")
+        assert main(["predict", forest_file, generated_table, "--out", out]) == 0
+        assert "predicted 4000 rows" in capsys.readouterr().out
+        lines = open(out, encoding="utf-8").read().splitlines()
+        assert len(lines) == 4000
+        assert set(lines) <= {"0", "1"}
+
+    def test_forest_json_has_format_marker(self, forest_file):
+        data = json.loads(open(forest_file, encoding="utf-8").read())
+        assert data["format"] == "repro.forest"
+        assert data["n_members"] == 3

@@ -1,0 +1,156 @@
+"""Serving forests through the unchanged serving stack.
+
+:class:`~repro.serve.CompiledForest` must be a drop-in for the compiled
+single-tree predictor everywhere the stack touches it: the registry
+compiles and hot-swaps it, the batcher slices its ``leaf_*`` views, and
+its outputs are bit-identical to the recursive
+:class:`~repro.forest.DecisionForest` path.  The registry tests double as
+the ``follow()`` generalization regression: *any* maintainer whose
+``tree`` attribute is publishable — forests included — can drive the
+hot-swap loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import BoatConfig, SplitConfig
+from repro.forest import DecisionForest, forest_build
+from repro.serve import CompiledForest, ModelRegistry, RequestBatcher, ServeConfig
+from repro.storage import MemoryTable
+
+from .conftest import simple_xy_data
+
+
+@pytest.fixture
+def forest(small_schema) -> DecisionForest:
+    data = simple_xy_data(small_schema, 400, seed=6, rule="xy")
+    return forest_build(
+        MemoryTable(small_schema, data),
+        3,
+        boat_config=BoatConfig(sample_size=400, seed=6),
+        split_config=SplitConfig(min_samples_split=10, max_depth=5),
+    ).forest
+
+
+@pytest.fixture
+def queries(small_schema) -> np.ndarray:
+    return simple_xy_data(small_schema, 120, seed=13, rule="xy")
+
+
+class TestCompiledForest:
+    def test_compile_returns_forest_predictor(self, forest):
+        compiled = forest.compile()
+        assert isinstance(compiled, CompiledForest)
+        assert compiled.n_members == forest.n_members
+        assert compiled.n_classes == forest.n_classes
+        assert compiled.n_nodes == forest.n_nodes
+
+    def test_leaf_indices_one_column_per_member(self, forest, queries):
+        compiled = forest.compile()
+        leaves = compiled.leaf_indices(queries)
+        assert leaves.shape == (len(queries), forest.n_members)
+
+    def test_predict_matches_recursive_forest(self, forest, queries):
+        compiled = forest.compile()
+        assert np.array_equal(compiled.predict(queries), forest.predict(queries))
+
+    def test_predict_proba_bit_identical_to_recursive(self, forest, queries):
+        compiled = forest.compile()
+        assert np.array_equal(
+            compiled.predict_proba(queries), forest.predict_proba(queries)
+        )
+
+    def test_views_slice_like_the_batcher(self, forest, queries):
+        # The batcher indexes leaf_label / leaf_proba with row slices of
+        # the coalesced leaf matrix; per-slice results must agree with
+        # whole-batch aggregation.
+        compiled = forest.compile()
+        leaves = compiled.leaf_indices(queries)
+        labels = compiled.leaf_label[leaves]
+        proba = compiled.leaf_proba[leaves]
+        for lo, hi in [(0, 40), (40, 100), (100, len(queries))]:
+            assert np.array_equal(compiled.leaf_label[leaves[lo:hi]], labels[lo:hi])
+            assert np.array_equal(compiled.leaf_proba[leaves[lo:hi]], proba[lo:hi])
+
+    def test_rejects_empty_member_list(self):
+        with pytest.raises(ValueError):
+            CompiledForest([])
+
+
+class TestRegistryForest:
+    def test_publish_forest_compiles_it(self, forest, queries):
+        registry = ModelRegistry()
+        model = registry.publish(forest)
+        assert isinstance(model.predictor, CompiledForest)
+        assert model.tree is forest
+        assert np.array_equal(registry.predict(queries), forest.predict(queries))
+
+    def test_hot_swap_tree_then_forest(self, forest, queries):
+        """Regression: a forest publishes through the same hot-swap path."""
+        registry = ModelRegistry()
+        registry.publish(forest.members[0])
+        assert registry.version == 1
+        registry.publish(forest)
+        assert registry.version == 2
+        labels, version = registry.predict_versioned(queries)
+        assert version == 2
+        assert np.array_equal(labels, forest.predict(queries))
+
+    def test_follow_accepts_any_publishable_maintainer(self, forest, queries):
+        """``follow()`` is duck-typed: anything with ``add_listener`` and a
+        publishable ``tree`` — here a maintainer whose model is a forest."""
+
+        class ForestMaintainer:
+            def __init__(self, model):
+                self.tree = model
+                self._listeners = []
+
+            def add_listener(self, callback):
+                self._listeners.append(callback)
+
+            def swap(self, model):
+                self.tree = model
+                for callback in self._listeners:
+                    callback(model)
+
+        maintainer = ForestMaintainer(forest)
+        registry = ModelRegistry()
+        published = registry.follow(maintainer)
+        assert published.version == 1
+        assert isinstance(published.predictor, CompiledForest)
+
+        # A maintenance update publishes the new forest automatically.
+        smaller = DecisionForest(forest.schema, forest.members[:2])
+        maintainer.swap(smaller)
+        assert registry.version == 2
+        assert registry.current().predictor.n_members == 2
+        assert np.array_equal(registry.predict(queries), smaller.predict(queries))
+
+
+class TestBatcherForest:
+    def test_labels_and_proba_through_the_batcher(self, forest, queries):
+        registry = ModelRegistry()
+        registry.publish(forest)
+        config = ServeConfig(max_batch_size=32, max_delay_ms=1.0)
+        with RequestBatcher(registry, config) as batcher:
+            labels = batcher.predict(queries)
+            assert np.array_equal(labels, forest.predict(queries))
+            proba = batcher.predict(queries, proba=True)
+            assert np.array_equal(proba, forest.predict_proba(queries))
+
+    def test_interleaved_requests_slice_cleanly(self, forest, queries):
+        registry = ModelRegistry()
+        registry.publish(forest)
+        config = ServeConfig(max_batch_size=1024, max_delay_ms=5.0)
+        with RequestBatcher(registry, config) as batcher:
+            tickets = [
+                batcher.submit(queries[lo : lo + 30])
+                for lo in range(0, 120, 30)
+            ]
+            expected = forest.predict(queries)
+            for i, ticket in enumerate(tickets):
+                assert np.array_equal(
+                    ticket.result(), expected[i * 30 : (i + 1) * 30]
+                )
